@@ -1,0 +1,34 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's figures/tables: it runs
+the corresponding experiment driver under ``pytest-benchmark`` (one
+round — these are deterministic simulations, not microbenchmarks where
+variance matters) and prints the same rows/series the paper reports.
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the workload exactly once under the benchmark clock.
+
+    The simulations are deterministic; repeating them only slows the
+    suite without changing any reported number.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run
+
+
+def print_table(table) -> None:
+    print()
+    print(table if isinstance(table, str) else table.render())

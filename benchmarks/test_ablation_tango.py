@@ -1,0 +1,75 @@
+"""The memory-performance tango (section 4) — pack x microbatch sweep
+and the double-buffering (prefetch) trade-off.
+
+The paper poses these as open trade-offs; the bench maps them: the
+surface has an infeasible region (working set > capacity), a swap-bound
+region (tiny packs and microbatches), and a sweet spot the tuner must
+find; prefetch helps when memory headroom exists and silently degrades
+to serial execution when it does not.
+"""
+
+from repro.hardware.device import DeviceKind, DeviceSpec
+from repro.hardware.presets import commodity_server
+from repro.models import zoo
+from repro.tuner.search import tune
+from repro.tuner.tango import prefetch_tradeoff, tango_surface, tango_table
+from repro.units import MB, TFLOP
+
+from conftest import print_table
+
+
+def tight_server(num_gpus: int, capacity: float):
+    return commodity_server(
+        num_gpus=num_gpus,
+        gpu_factory=lambda n: DeviceSpec(n, DeviceKind.GPU, capacity, 4.5 * TFLOP),
+        name=f"tight-{num_gpus}",
+    )
+
+
+def _workload():
+    model = zoo.synthetic_uniform(
+        num_layers=8, param_bytes_per_layer=50 * MB, activation_bytes=10 * MB
+    )
+    return model, tight_server(2, capacity=400 * MB)
+
+
+def test_tango_surface(once):
+    model, topo = _workload()
+    points = once(tango_surface, model, topo, 8)
+    print_table(tango_table(points))
+    feasible = [p for p in points if p.feasible]
+    assert feasible, "some cells must be feasible"
+    assert any(not p.feasible for p in points), "the fence line must appear"
+    # Throughput varies across the surface: the tango is a real trade-off.
+    rates = [p.throughput for p in feasible]
+    assert max(rates) > 1.2 * min(rates)
+
+
+def test_tuner_finds_sweet_spot(once):
+    model, topo = _workload()
+    result = once(tune, model, topo, 4)
+    print_table(result.table())
+    assert result.best.feasible
+    assert result.best.throughput == max(
+        p.throughput for p in result.points if p.feasible
+    )
+
+
+def test_prefetch_tradeoff(once):
+    model, topo = _workload()
+    roomy = tight_server(2, capacity=1200 * MB)
+
+    def both():
+        return (
+            prefetch_tradeoff(model, roomy, 1, 4),
+            prefetch_tradeoff(model, topo, 1, 4),
+        )
+
+    (roomy_base, roomy_pf), (tight_base, tight_pf) = once(both)
+    print()
+    print(f"roomy: base {roomy_base.makespan:.3f}s, prefetch {roomy_pf.makespan:.3f}s")
+    print(f"tight: base {tight_base.makespan:.3f}s, prefetch {tight_pf.makespan:.3f}s")
+    # With headroom, double buffering overlaps transfers with compute.
+    assert roomy_pf.makespan <= roomy_base.makespan + 1e-9
+    # Without headroom it degrades gracefully (never a failure).
+    assert tight_pf.feasible

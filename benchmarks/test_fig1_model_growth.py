@@ -1,0 +1,19 @@
+"""Fig. 1 — model size growth, LeNet (1998) through GPT-3 (2020).
+
+Paper series: 60 K, 61 M, 278 M, 557 M, 1.5 B, 11 B, 175 B.  The bench
+rebuilds every model from its architecture and prints published vs
+reconstructed parameter counts.
+"""
+
+from repro.experiments import fig1_growth
+
+from conftest import print_table
+
+
+def test_fig1_model_growth(once):
+    rows = once(fig1_growth.run)
+    print_table(fig1_growth.table(rows))
+    for row in rows:
+        assert abs(row.relative_error) < 0.10, row.name
+    published = [r.published_params for r in rows]
+    assert all(b > a for a, b in zip(published, published[1:]))

@@ -1,0 +1,28 @@
+"""Fig. 2(a) — DP with per-GPU tensor swapping, BERT, 1-4 GPUs.
+
+Paper shape: global swap-out volume grows linearly with the number of
+GPUs (~15 GB -> ~60 GB on the authors' testbed) while throughput scales
+strongly sublinearly (~0.55 -> ~1.5 seqs/s, < 3x at 4 GPUs) because all
+swap traffic rides the shared host uplink.  Absolute values differ on
+the simulated server; the linearity and sublinearity must hold.
+"""
+
+from repro.experiments import fig2a_dp_swap
+
+from conftest import print_table
+
+
+def test_fig2a_dp_swap(once):
+    rows = once(fig2a_dp_swap.run)
+    print_table(fig2a_dp_swap.table(rows))
+
+    # Swap volume: linear in N (paper: "grows linearly with the number
+    # of GPUs").
+    per_gpu = [r.swap_out_bytes / r.num_gpus for r in rows]
+    for volume in per_gpu[1:]:
+        assert abs(volume - per_gpu[0]) / per_gpu[0] < 0.05
+
+    # Throughput: sublinear, bottlenecked by the host link.
+    speedup = rows[-1].throughput / rows[0].throughput
+    assert 1.0 < speedup < 3.0
+    assert rows[-1].uplink_utilization > 0.8

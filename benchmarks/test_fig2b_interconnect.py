@@ -1,0 +1,32 @@
+"""Fig. 2(b) — intra-server interconnect oversubscription.
+
+The paper's diagram (GPUs behind PCIe switches, one uplink to host
+memory, 4:1/8:1 oversubscription) as a measurable microbenchmark:
+per-GPU host bandwidth collapses as concurrent swappers are added,
+while switch-local p2p bandwidth is unaffected.
+"""
+
+from repro.experiments import fig2b_interconnect
+from repro.hardware import presets
+
+from conftest import print_table
+
+
+def test_fig2b_host_uplink_contention(once):
+    rows = once(fig2b_interconnect.run)
+    print_table(fig2b_interconnect.table(rows))
+    assert rows[0].oversubscription == 4.0
+    # 4 concurrent swappers each get ~1/4 of the uplink.
+    ratio = rows[3].per_gpu_host_bandwidth / rows[0].per_gpu_host_bandwidth
+    assert abs(ratio - 0.25) < 0.02
+    # p2p does not degrade.
+    assert rows[3].p2p_bandwidth == rows[0].p2p_bandwidth
+
+
+def test_fig2b_8to1_oversubscription(once):
+    topo = presets.commodity_server(num_gpus=8, gpus_per_switch=8)
+    rows = once(fig2b_interconnect.run, topo)
+    print_table(fig2b_interconnect.table(rows))
+    assert rows[0].oversubscription == 8.0
+    ratio = rows[-1].per_gpu_host_bandwidth / rows[0].per_gpu_host_bandwidth
+    assert abs(ratio - 1 / 8) < 0.02

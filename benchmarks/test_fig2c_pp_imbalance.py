@@ -1,0 +1,92 @@
+"""Fig. 2(c) — PP with per-GPU tensor swapping: unbalanced footprints.
+
+Paper shape: per-GPU memory usage decreases monotonically across the
+pipeline (head stage "Heavy Swap" above the 11 GB capacity line, tail
+stage "No Swap" well below it).
+"""
+
+from repro.experiments import fig2c_pp_imbalance
+
+from conftest import print_table
+
+
+def test_fig2c_pp_imbalance_1f1b(once):
+    rows = once(fig2c_pp_imbalance.run)
+    print_table(fig2c_pp_imbalance.table(rows))
+    demands = [r.demand_bytes for r in rows]
+    assert all(a > b for a, b in zip(demands, demands[1:]))
+    assert rows[0].demand_bytes > rows[0].capacity_bytes  # head swaps
+    assert rows[-1].pressure == "no swap"                 # tail does not
+    assert rows[0].swap_bytes > rows[-1].swap_bytes
+
+
+def test_fig2c_gpipe_variant(once):
+    """GPipe stashes every microbatch at every stage: footprints are
+    higher overall but the head-heavy shape persists (the head's layers
+    stash larger early-pipeline activations)."""
+    rows = once(fig2c_pp_imbalance.run, schedule="gpipe")
+    print_table(
+        fig2c_pp_imbalance.table(rows)
+    )
+    assert rows[0].demand_bytes >= rows[-1].demand_bytes
+    assert rows[0].demand_bytes > rows[0].capacity_bytes
+
+
+def test_fig2c_harmony_balances_the_pipeline(once):
+    """Paper principle #4 ("Balance load"): Harmony's interleaved late
+    binding spreads the stash load 1F1B concentrates on the head stage.
+
+    Three configurations of the same BERT workload:
+    * baseline 1F1B     — strongly imbalanced (head ~5x the tail);
+    * harmony-pp        — near-perfectly balanced, but grouping holds
+      every microbatch's stash (high total footprint: the memory side
+      of the grouping trade-off);
+    * harmony-pp + recompute — balanced AND small: checkpoints replace
+      stashes, so the balanced footprint also fits in memory.
+    """
+    from repro.hardware import presets
+    from repro.models.transformer import bert_large
+    from repro.schedulers.base import BatchConfig
+    from repro.schedulers.harmony_pp import HarmonyPP
+    from repro.schedulers.options import HarmonyOptions
+    from repro.sim.executor import Executor
+    from repro.units import GB
+    from repro.util.tables import Table
+
+    def run_all():
+        baseline = fig2c_pp_imbalance.run()
+        harmony = fig2c_pp_imbalance.run_harmony()
+        model = bert_large(seq_len=512)
+        topo = presets.gtx1080ti_server(4)
+        plan = HarmonyPP(
+            model, topo, BatchConfig(8, 8),
+            options=HarmonyOptions(recompute=True),
+        ).plan()
+        ckpt = Executor(topo, plan).run()
+        ckpt_demands = [
+            ckpt.devices[d].peak_demand for d in sorted(ckpt.devices)
+        ]
+        return baseline, harmony, ckpt_demands
+
+    baseline, harmony, ckpt_demands = once(run_all)
+    table = Table(
+        ["scheme", "per-GPU footprint (GB)", "max/min"],
+        title="pipeline footprint balance (BERT, 4 GPUs, mb 8x8)",
+    )
+    for label, demands in [
+        ("pp-baseline 1F1B", [r.demand_bytes for r in baseline]),
+        ("harmony-pp", [r.demand_bytes for r in harmony]),
+        ("harmony-pp + recompute", ckpt_demands),
+    ]:
+        table.add_row(
+            [
+                label,
+                " / ".join(f"{d / GB:.1f}" for d in demands),
+                f"{max(demands) / min(demands):.2f}",
+            ]
+        )
+    print_table(table)
+    assert fig2c_pp_imbalance.imbalance_ratio(baseline) > 3.0
+    assert fig2c_pp_imbalance.imbalance_ratio(harmony) < 1.2
+    assert max(ckpt_demands) / min(ckpt_demands) < 1.5
+    assert max(ckpt_demands) < min(r.demand_bytes for r in baseline)

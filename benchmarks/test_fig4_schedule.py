@@ -1,0 +1,35 @@
+"""Fig. 4 — the Harmony-PP schedule on the paper's toy example.
+
+4 uniform layers, 2 GPUs, 2 microbatches, layer granularity: layers
+late-bound round-robin (L1/L3 on GPU 1, L2/L4 on GPU 2), every layer's
+forward/backward grouped over both microbatches, boundary tensors
+moving p2p, updates just-in-time, and weights crossing the host link at
+most three times each (in for forward, in for backward, out after
+update).
+"""
+
+from repro.experiments import fig4_schedule
+from repro.tensors.tensor import TensorKind
+
+from conftest import print_table
+
+
+def test_fig4_harmony_pp_schedule(once):
+    example = once(fig4_schedule.run)
+    print_table(fig4_schedule.describe(example))
+
+    gpu0, gpu1 = example.sequences["gpu0"], example.sequences["gpu1"]
+    # Round-robin late binding: L1, L3 on gpu0; L2, L4 on gpu1.
+    assert [s.split("/")[0] for s in gpu0[:4]] == [
+        "fwd[p0:0-0]", "fwd[p0:0-0]", "fwd[p2:2-2]", "fwd[p2:2-2]"
+    ]
+    assert [s.split("/")[0] for s in gpu1[:4]] == [
+        "fwd[p1:1-1]", "fwd[p1:1-1]", "fwd[p3:3-3]", "fwd[p3:3-3]"
+    ]
+    # JIT updates directly after each backward group.
+    assert gpu0[6] == "upd[p2]/r0" and gpu0[-1] == "upd[p0]/r0"
+    # p2p transfers carry the boundary tensors.
+    assert example.result.stats.p2p_volume() > 0
+    # Weights swap at most three times each over the host link.
+    weight_traffic = example.result.stats.kind_swap_volume(TensorKind.WEIGHT)
+    assert weight_traffic <= 3 * example.session.model.param_bytes + 1e-6

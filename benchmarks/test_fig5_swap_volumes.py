@@ -1,0 +1,68 @@
+"""Fig. 5 + section-3 analysis — per-iteration weight swap volumes.
+
+Paper formulas (R uniform layers, m microbatches/GPU, N GPUs, capacity
+holding one layer-level operation):
+
+    DP baseline   (4m + 2) N |W|      <- must match the simulator exactly
+    Harmony-DP     3 N |W|            <- simulator may come in at/under
+    Harmony-PP     3 |W|              <- simulator may come in at/under
+
+plus the Fig. 5(a) swap-model table and the full per-kind comparison
+the paper omits "for brevity".
+"""
+
+import pytest
+
+from repro.analytic.swap_model import swap_model_table
+from repro.analytic.volumes import comparison_table
+from repro.experiments import fig5_swap_volumes
+from repro.models import zoo
+
+from conftest import print_table
+
+
+def test_fig5_weight_swap_volumes(once):
+    rows = once(fig5_swap_volumes.run)
+    print_table(fig5_swap_volumes.table(rows))
+
+    base, hdp, hpp = rows
+    assert base.simulated_bytes == pytest.approx(base.analytic_bytes)
+    assert hdp.simulated_bytes <= hdp.analytic_bytes + 1e-6
+    assert hpp.simulated_bytes <= hpp.analytic_bytes + 1e-6
+    # Harmony-PP dominates everything (paper: "Harmony-PP dominates
+    # savings compared to all other baselines").
+    assert hpp.simulated_bytes < hdp.simulated_bytes < base.simulated_bytes
+
+
+def test_fig5_scaling_in_m_and_n(once):
+    """Baseline volume grows with m; Harmony-DP is m-independent;
+    Harmony-PP is N-independent."""
+
+    def sweep():
+        return (
+            fig5_swap_volumes.run(num_microbatches=2),
+            fig5_swap_volumes.run(num_microbatches=5),
+        )
+
+    small, large = once(sweep)
+    print_table(fig5_swap_volumes.table(small))
+    print_table(fig5_swap_volumes.table(large))
+    assert large[0].simulated_bytes > small[0].simulated_bytes
+    assert large[1].simulated_bytes == pytest.approx(small[1].simulated_bytes)
+    assert large[2].simulated_bytes == pytest.approx(small[2].simulated_bytes)
+
+
+def test_fig5a_swap_model_table(once):
+    model = zoo.synthetic_uniform(num_layers=1)
+    table = once(swap_model_table, model.layer(0), 1)
+    print_table(table)
+    text = table.render()
+    assert "W" in text and "stash_X" in text and "K" in text
+
+
+def test_fig5_full_tensor_model(once):
+    """The complete analytical model over all Fig. 5(a) tensor kinds."""
+    model = zoo.synthetic_uniform(num_layers=4)
+    table = once(comparison_table, model, 3, 2)
+    print_table(table)
+    assert "harmony-pp" in table.render()

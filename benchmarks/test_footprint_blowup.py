@@ -1,0 +1,71 @@
+"""Section 1's motivating claim: "model parameters are only part of the
+memory footprint of training; gradients, stashed activations, optimizer
+states ... all taken together significantly blow up the memory
+footprint", and the footprint is also a function of sample size and
+batch size.
+
+The bench quantifies the blow-up factor (footprint / parameter bytes)
+for the Fig. 1 models at several batch sizes and checks the paper's
+qualitative claims: the factor is large (>> 1), grows with batch size,
+and grows with sample (sequence) length.
+"""
+
+from repro.models import zoo
+from repro.models.transformer import bert_large
+from repro.units import GB
+
+from conftest import print_table
+from repro.util.tables import Table
+
+
+def test_footprint_blowup(once):
+    def measure():
+        rows = []
+        for name in ("bert-large", "gpt2", "t5"):
+            model = zoo.build(name)
+            for batch in (1, 8, 32):
+                footprint = model.training_footprint_bytes(batch)
+                rows.append(
+                    (name, batch, model.param_bytes, footprint)
+                )
+        return rows
+
+    rows = once(measure)
+    table = Table(
+        ["model", "batch", "params (GB)", "footprint (GB)", "blow-up"],
+        title="training footprint vs parameter size (section 1)",
+    )
+    for name, batch, params, footprint in rows:
+        table.add_row(
+            [name, batch, f"{params / GB:.1f}", f"{footprint / GB:.1f}",
+             f"{footprint / params:.1f}x"]
+        )
+    print_table(table)
+    by_key = {(n, b): f for n, b, _, f in rows}
+    for name, batch, params, footprint in rows:
+        assert footprint > 4 * params  # grads + Adam alone are 4x params...
+        if batch > 1:
+            assert footprint > by_key[(name, 1)]  # ...and activations scale
+
+
+def test_sample_size_scaling(once):
+    """Longer sequences (the paper's 'sample size') inflate the stash
+    even at fixed parameter count."""
+
+    def measure():
+        return [
+            (seq, bert_large(seq_len=seq).training_footprint_bytes(8))
+            for seq in (128, 256, 512)
+        ]
+
+    rows = once(measure)
+    table = Table(
+        ["seq len", "footprint at batch 8 (GB)"],
+        title="sample-size effect on footprint (BERT-large)",
+    )
+    for seq, footprint in rows:
+        table.add_row([seq, f"{footprint / GB:.1f}"])
+    print_table(table)
+    footprints = [f for _, f in rows]
+    assert footprints == sorted(footprints)
+    assert footprints[-1] > 2 * footprints[0]

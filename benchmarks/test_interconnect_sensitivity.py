@@ -1,0 +1,87 @@
+"""Interconnect sensitivity: where swap-bound turns compute-bound.
+
+The paper's bottleneck analysis (§2, Fig. 2(b)) implies that the
+baseline's pain scales with the host link's speed.  This bench sweeps
+the uplink generation (PCIe gen2/gen3/gen4-equivalent bandwidths) for
+the Fig. 2(a) DP workload and locates the crossover: with a fast
+enough fabric, throughput stops tracking bandwidth (compute-bound) and
+the Harmony/baseline gap collapses — the same observation the paper
+makes about NVLink-rich servers.
+"""
+
+from repro.hardware.device import gtx1080ti, host_cpu
+from repro.hardware.links import LinkSpec
+from repro.hardware.topology import Topology
+from repro.models.transformer import bert_large
+from repro.schedulers.base import BatchConfig
+from repro.schedulers.dp_baseline import DataParallelBaseline
+from repro.schedulers.harmony_dp import HarmonyDP
+from repro.sim.executor import Executor
+from repro.units import GB
+
+from conftest import print_table
+from repro.util.tables import Table
+
+
+def _server(uplink_gbps: float, num_gpus: int = 4) -> Topology:
+    topo = Topology(name=f"uplink-{uplink_gbps:.0f}")
+    topo.add_device(host_cpu())
+    switch = topo.add_switch("switch0")
+    topo.add_link(
+        LinkSpec("uplink0", bandwidth_bytes_per_sec=uplink_gbps * GB), switch, "cpu"
+    )
+    for g in range(num_gpus):
+        gpu = topo.add_device(gtx1080ti(f"gpu{g}"))
+        topo.add_link(
+            LinkSpec(f"pcie-gpu{g}", bandwidth_bytes_per_sec=12 * GB),
+            gpu.name, switch,
+        )
+    topo.validate()
+    return topo
+
+
+def test_uplink_bandwidth_sweep(once):
+    model = bert_large(seq_len=512)
+    bandwidths = [3, 6, 12, 24, 48, 96]  # GB/s: ~gen2 x8 through beyond-gen5
+
+    def sweep():
+        rows = []
+        for bw in bandwidths:
+            topo = _server(bw)
+            plan = DataParallelBaseline(
+                model, topo, BatchConfig(5, 1)
+            ).plan()
+            baseline = Executor(topo, plan).run()
+            topo2 = _server(bw)
+            plan2 = HarmonyDP(model, topo2, BatchConfig(1, 5)).plan()
+            harmony = Executor(topo2, plan2).run()
+            rows.append((bw, baseline, harmony))
+        return rows
+
+    rows = once(sweep)
+    table = Table(
+        ["uplink (GB/s)", "baseline seqs/s", "harmony-dp seqs/s",
+         "harmony/baseline", "uplink util (baseline)"],
+        title="host-uplink bandwidth sweep (BERT DP, 4 GPUs, batch 5)",
+    )
+    for bw, baseline, harmony in rows:
+        __, util = baseline.bottleneck_link()
+        table.add_row(
+            [
+                bw,
+                f"{baseline.throughput:.2f}",
+                f"{harmony.throughput:.2f}",
+                f"{harmony.throughput / baseline.throughput:.2f}",
+                f"{100 * util:.0f}%",
+            ]
+        )
+    print_table(table)
+
+    base_rates = [b.throughput for _, b, _ in rows]
+    # Throughput rises with bandwidth while swap-bound...
+    assert base_rates[1] > base_rates[0]
+    # ...then saturates: the last doubling buys < 15%.
+    assert base_rates[-1] < 1.15 * base_rates[-2]
+    # At the slowest fabric the link is the bottleneck.
+    __, util_slow = rows[0][1].bottleneck_link()
+    assert util_slow > 0.9

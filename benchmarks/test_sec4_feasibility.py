@@ -1,0 +1,22 @@
+"""Section 4 — end-to-end training feasibility.
+
+Paper claims: GPT-3 pre-training took 314 ZFLOPs (months on thousands
+of GPUs, *years* on tens); fine-tuning needs < 10s of exaFLOPs (*days*
+on a modest deployment).  The bench recomputes all three from the
+reconstructed GPT-3 and the 6 * params * tokens rule.
+"""
+
+from repro.experiments import sec4_feasibility
+
+from conftest import print_table
+
+
+def test_sec4_feasibility(once):
+    result = once(sec4_feasibility.run)
+    print_table(result.table)
+    # 6 * 175e9 * 300e9 = 3.15e23: within 1% of the paper's 314 ZFLOPs.
+    assert abs(result.flops_relative_error) < 0.01
+    large, tens, finetune = result.cases
+    assert large.days < 365          # months on a large cluster
+    assert tens.years > 5            # years on tens of GPUs
+    assert finetune.days < 10        # days on a modest server

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: a long-tail researcher training a
+1.5 B-parameter GPT-2 XL on a commodity 4x 11 GB server.
+
+GPT-2 XL's training state (weights + gradients + Adam moments) is
+~25 GB — more than two of these GPUs hold together — so every scheme
+must swap.  The script compares all five schedules head-to-head and
+then lets the performance tuner pick Harmony's task granularity.
+
+Run:
+    python examples/large_model_on_commodity.py
+"""
+
+from repro import BatchConfig, HarmonyConfig, HarmonySession, compare_runs
+from repro.hardware import presets
+from repro.models.transformer import gpt2_xl
+from repro.tuner.search import tune
+from repro.units import GB
+
+SCHEMES = ["single", "dp-baseline", "harmony-dp", "pp-baseline", "harmony-pp"]
+
+
+def main() -> None:
+    model = gpt2_xl(seq_len=1024)
+    server = presets.gtx1080ti_server(num_gpus=4)
+    state = model.param_bytes + model.grad_bytes + model.optimizer_bytes
+    print(model.describe())
+    print(
+        f"training state: {state / GB:.1f} GB vs "
+        f"{len(server.gpus())} x {server.gpus()[0].memory_bytes / GB:.1f} GB GPUs"
+    )
+    print()
+
+    batch = BatchConfig(microbatch_size=1, num_microbatches=4)
+    results = []
+    for scheme in SCHEMES:
+        session = HarmonySession(model, server, HarmonyConfig(scheme, batch=batch))
+        results.append(session.run())
+    print(compare_runs(results))
+    print()
+
+    print("tuning Harmony-PP task granularity (pack x microbatch search)...")
+    outcome = tune(model, server, minibatch_per_replica=4, refine=True)
+    print(outcome.table())
+    best = outcome.best
+    print()
+    print(
+        f"tuner pick: {best.label} -> {best.throughput:.3f} samples/s "
+        f"({best.swap_out_bytes / GB:.1f} GB swapped out per iteration)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: train BERT-large on a simulated 4-GPU commodity server.
+
+The paper's ideal is that "users could write DNN training programs that
+target a single virtual accelerator device with practically unbounded
+memory".  This script is that experience: pick a model and a server,
+choose a parallelization scheme, and run one training iteration — the
+task decomposer, scheduler, and memory manager handle the rest.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import BatchConfig, HarmonyConfig, HarmonySession
+from repro.hardware import presets
+from repro.models import zoo
+from repro.units import GB
+
+
+def main() -> None:
+    # The model, written as if for a single device with unbounded memory.
+    model = zoo.build("bert-large")
+    print(model.describe())
+    footprint = model.training_footprint_bytes(microbatch_size=5)
+    print(f"training footprint at batch 5: {footprint / GB:.1f} GB")
+
+    # The paper's testbed: four 11 GB GTX 1080Ti GPUs behind a shared
+    # PCIe uplink (4:1 oversubscription).
+    server = presets.gtx1080ti_server(num_gpus=4)
+    print(server)
+    print()
+
+    # Harmony-PP: layer packs late-bound round-robin across GPUs,
+    # input-batch grouping, jit updates, p2p transfers.
+    config = HarmonyConfig(
+        parallelism="harmony-pp",
+        batch=BatchConfig(microbatch_size=5, num_microbatches=4),
+    )
+    session = HarmonySession(model, server, config)
+    print(session.explain())
+    print()
+    result = session.run()
+
+    print(result.summary())
+    print()
+    print(f"throughput:       {result.throughput:.2f} seqs/s")
+    print(f"swap-out volume:  {result.swap_out_volume / GB:.1f} GB per iteration")
+    print(f"p2p volume:       {result.stats.p2p_volume() / GB:.1f} GB per iteration")
+    link, util = result.bottleneck_link()
+    print(f"bottleneck link:  {link} at {100 * util:.0f}% utilization")
+    print()
+    print("memory usage over the iteration (8 shade levels, full = capacity):")
+    for device in sorted(result.devices):
+        print("  " + result.memory_sparkline(device, width=80))
+
+
+if __name__ == "__main__":
+    main()

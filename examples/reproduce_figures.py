@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Regenerate every figure and quantitative claim in the paper.
+
+Prints, in order: Fig. 1 (model growth), Fig. 2(a) (DP swap bottleneck),
+Fig. 2(b) (interconnect contention), Fig. 2(c) (PP imbalance), Fig. 4
+(the Harmony-PP schedule, as an ASCII timeline), Fig. 5 / section-3
+(weight swap volumes, analytic vs simulated), and the section-4
+feasibility arithmetic.
+
+Run:
+    python examples/reproduce_figures.py
+"""
+
+from repro.experiments import (
+    fig1_growth,
+    fig2a_dp_swap,
+    fig2b_interconnect,
+    fig2c_pp_imbalance,
+    fig4_schedule,
+    fig5_swap_volumes,
+    sec4_feasibility,
+)
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def main() -> None:
+    banner("Fig. 1: model size growth")
+    print(fig1_growth.table())
+
+    banner("Fig. 2(a): DP + per-GPU swapping (BERT, per-GPU batch 5)")
+    print(fig2a_dp_swap.table())
+
+    banner("Fig. 2(b): intra-server interconnects")
+    print(fig2b_interconnect.table())
+
+    banner("Fig. 2(c): PP + per-GPU swapping (BERT, 1F1B)")
+    print(fig2c_pp_imbalance.table())
+
+    banner("Fig. 4: Harmony-PP schedule (4 layers, 2 GPUs, 2 microbatches)")
+    print(fig4_schedule.describe())
+
+    banner("Fig. 5 / section 3: weight swap volumes, analytic vs simulated")
+    print(fig5_swap_volumes.table())
+
+    banner("Section 4: end-to-end training feasibility")
+    print(sec4_feasibility.run().table)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Explore the memory-performance tango (paper section 4).
+
+Maps the full pack-size x microbatch-size surface for a model that does
+not fit, showing the three regions the paper describes: infeasible
+(working set exceeds capacity), transfer-bound (tiny granularity swaps
+constantly), and the sweet spot between them.  Then compares the
+double-buffering (prefetch) trade-off on roomy vs tight memory.
+
+Run:
+    python examples/tune_granularity.py
+"""
+
+from repro.hardware.device import DeviceKind, DeviceSpec
+from repro.hardware.presets import commodity_server
+from repro.models import zoo
+from repro.tuner.search import tune
+from repro.tuner.tango import prefetch_tradeoff, tango_surface, tango_table
+from repro.units import MB, TFLOP
+
+
+def small_server(capacity_mb: float):
+    return commodity_server(
+        num_gpus=2,
+        gpu_factory=lambda n: DeviceSpec(
+            n, DeviceKind.GPU, capacity_mb * MB, 4.5 * TFLOP
+        ),
+        name=f"server-{capacity_mb:.0f}MB",
+    )
+
+
+def main() -> None:
+    model = zoo.synthetic_uniform(
+        num_layers=8, param_bytes_per_layer=50 * MB, activation_bytes=10 * MB
+    )
+    server = small_server(400)
+    print(model.describe())
+    print(server)
+    print()
+
+    print("-- tango surface (pack size x microbatch split) --")
+    points = tango_surface(model, server, minibatch_per_replica=8)
+    print(tango_table(points))
+    print()
+
+    print("-- tuner search --")
+    result = tune(model, server, minibatch_per_replica=8)
+    print(result.table())
+    print()
+    print(f"best configuration: {result.best.label}")
+    print()
+
+    print("-- double-buffering (prefetch) trade-off --")
+    for capacity in (1200, 400):
+        base, prefetched = prefetch_tradeoff(
+            model, small_server(capacity), microbatch_size=1, num_microbatches=4
+        )
+        gain = (base.makespan - prefetched.makespan) / base.makespan * 100
+        print(
+            f"capacity {capacity:>5} MB: serial {base.makespan:.3f}s, "
+            f"prefetch {prefetched.makespan:.3f}s ({gain:+.1f}%)"
+        )
+    print(
+        "\nWith headroom the prefetch hides swap latency behind compute;\n"
+        "under tight memory it degrades gracefully to serial execution\n"
+        "(the working sets of two tasks cannot be resident together)."
+    )
+
+
+if __name__ == "__main__":
+    main()

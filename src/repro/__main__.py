@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+figures
+    Regenerate every paper figure/table as text (Fig. 1-5, §4).
+zoo
+    List the model zoo with published vs reconstructed parameter counts.
+compare MODEL
+    Run all training schemes for MODEL on the 4x 1080Ti server and
+    print the comparison table.
+tune MODEL
+    Run the performance tuner for MODEL (harmony-pp granularity search).
+timeline MODEL SCHEME
+    Print the ASCII schedule timeline for one scheme.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import BatchConfig, HarmonyConfig, HarmonySession, compare_runs
+from repro.errors import ReproError
+from repro.hardware import presets
+from repro.models import zoo
+from repro.tuner.search import tune
+from repro.units import GB
+
+SCHEMES = [
+    "single", "dp-baseline", "harmony-dp", "pp-baseline", "harmony-pp",
+    "harmony-tp",
+]
+
+
+def cmd_figures(_: argparse.Namespace) -> int:
+    from repro.experiments import (
+        fig1_growth,
+        fig2a_dp_swap,
+        fig2b_interconnect,
+        fig2c_pp_imbalance,
+        fig4_schedule,
+        fig5_swap_volumes,
+        sec4_feasibility,
+    )
+
+    sections = [
+        ("Fig. 1", lambda: fig1_growth.table().render()),
+        ("Fig. 2(a)", lambda: fig2a_dp_swap.table().render()),
+        ("Fig. 2(b)", lambda: fig2b_interconnect.table().render()),
+        ("Fig. 2(c)", lambda: fig2c_pp_imbalance.table().render()),
+        ("Fig. 4", fig4_schedule.describe),
+        ("Fig. 5", lambda: fig5_swap_volumes.table().render()),
+        ("Section 4", lambda: sec4_feasibility.run().table.render()),
+    ]
+    for title, render in sections:
+        print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
+        print(render())
+    return 0
+
+
+def cmd_zoo(_: argparse.Namespace) -> int:
+    from repro.experiments import fig1_growth
+
+    print(fig1_growth.table().render())
+    return 0
+
+
+def _build(args: argparse.Namespace):
+    model = zoo.build(args.model)
+    server = presets.gtx1080ti_server(num_gpus=args.gpus)
+    batch = BatchConfig(args.microbatch_size, args.microbatches)
+    return model, server, batch
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    model, server, batch = _build(args)
+    print(model.describe())
+    state = model.param_bytes + model.grad_bytes + model.optimizer_bytes
+    print(f"training state: {state / GB:.1f} GB; {args.gpus} GPUs x 11 GB\n")
+    results = []
+    for scheme in SCHEMES:
+        session = HarmonySession(model, server, HarmonyConfig(scheme, batch=batch))
+        try:
+            results.append(session.run())
+        except ReproError as exc:
+            print(f"{scheme}: infeasible ({exc})")
+    print(compare_runs(results).render())
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    model, server, batch = _build(args)
+    outcome = tune(model, server, batch.per_replica_batch)
+    print(outcome.table().render())
+    print(f"\nbest: {outcome.best.label} at {outcome.best.throughput:.3f} samples/s")
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    model, server, batch = _build(args)
+    session = HarmonySession(model, server, HarmonyConfig(args.scheme, batch=batch))
+    print(session.summary())
+    print()
+    print(session.timeline(width=110))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Harmony (HotOS '21) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figures", help="regenerate every paper figure")
+    sub.add_parser("zoo", help="list the model zoo (Fig. 1 data)")
+
+    def add_workload(p: argparse.ArgumentParser) -> None:
+        p.add_argument("model", choices=zoo.names(), help="model zoo entry")
+        p.add_argument("--gpus", type=int, default=4)
+        p.add_argument("--microbatch-size", type=int, default=1)
+        p.add_argument("--microbatches", type=int, default=4)
+
+    compare_p = sub.add_parser("compare", help="run all schemes head-to-head")
+    add_workload(compare_p)
+
+    tune_p = sub.add_parser("tune", help="search task granularity")
+    add_workload(tune_p)
+
+    timeline_p = sub.add_parser("timeline", help="print a schedule timeline")
+    add_workload(timeline_p)
+    timeline_p.add_argument("--scheme", choices=SCHEMES, default="harmony-pp")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "figures": cmd_figures,
+        "zoo": cmd_zoo,
+        "compare": cmd_compare,
+        "tune": cmd_tune,
+        "timeline": cmd_timeline,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Closed-form analytical models from the paper's §3 and §4.
+
+Implemented independently of the simulator so the two can cross-check
+each other: the Fig. 5 benchmark asserts that the simulator, configured
+with the paper's idealized assumptions, reproduces these formulas
+byte-for-byte.
+"""
+
+from repro.analytic.swap_model import phase_swap_in, phase_swap_out, swap_model_table
+from repro.analytic.volumes import (
+    SchemeVolumes,
+    baseline_dp_volumes,
+    harmony_dp_volumes,
+    harmony_pp_volumes,
+    harmony_tp_volumes,
+    weight_volume_baseline_dp,
+    weight_volume_harmony_dp,
+    weight_volume_harmony_pp,
+)
+from repro.analytic.feasibility import (
+    pretraining_flops,
+    training_days,
+    feasibility_report,
+)
+
+__all__ = [
+    "phase_swap_in",
+    "phase_swap_out",
+    "swap_model_table",
+    "SchemeVolumes",
+    "baseline_dp_volumes",
+    "harmony_dp_volumes",
+    "harmony_pp_volumes",
+    "harmony_tp_volumes",
+    "weight_volume_baseline_dp",
+    "weight_volume_harmony_dp",
+    "weight_volume_harmony_pp",
+    "pretraining_flops",
+    "training_days",
+    "feasibility_report",
+]

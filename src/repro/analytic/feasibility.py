@@ -1,0 +1,111 @@
+"""End-to-end training feasibility (paper §4, "Feasibility of
+end-to-end training").
+
+The paper's quantitative claims:
+
+* pre-training GPT-3 took 314 ZettaFLOPs (3.14e23 FLOPs) — months on
+  thousands of cutting-edge GPUs, *years* on tens of GPUs;
+* fine-tuning large models needs < 10s of exaFLOPs (1e19), which clocks
+  in at *days* on modest small-scale deployments.
+
+This module computes both from first principles (the standard
+``6 * parameters * tokens`` training-FLOPs rule) so the benchmark can
+check the paper's arithmetic rather than restate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import EFLOP, TFLOP, ZFLOP, fmt_flops
+from repro.util.tables import Table
+
+#: Training cost per parameter per token: 2 FLOPs/MAC x (1 fwd + 2 bwd).
+FLOPS_PER_PARAM_PER_TOKEN = 6.0
+
+#: GPT-3's training corpus (Brown et al. '20): ~300 B tokens.
+GPT3_TRAINING_TOKENS = 300e9
+
+
+def pretraining_flops(params: float, tokens: float) -> float:
+    """Total training FLOPs by the 6 * params * tokens rule."""
+    if params <= 0 or tokens <= 0:
+        raise ConfigError("params and tokens must be positive")
+    return FLOPS_PER_PARAM_PER_TOKEN * params * tokens
+
+
+def training_days(
+    total_flops: float,
+    num_gpus: int,
+    flops_per_gpu: float = 50 * TFLOP,
+    efficiency: float = 0.5,
+) -> float:
+    """Wall-clock days to retire ``total_flops`` on ``num_gpus`` devices
+    sustaining ``efficiency`` of ``flops_per_gpu``."""
+    if num_gpus < 1:
+        raise ConfigError("need at least one GPU")
+    if not 0 < efficiency <= 1:
+        raise ConfigError("efficiency must be in (0, 1]")
+    per_second = num_gpus * flops_per_gpu * efficiency
+    return total_flops / per_second / 86_400
+
+
+@dataclass(frozen=True)
+class FeasibilityCase:
+    label: str
+    total_flops: float
+    num_gpus: int
+    days: float
+
+    @property
+    def years(self) -> float:
+        return self.days / 365.25
+
+
+def feasibility_report(
+    gpt3_params: float = 175e9,
+    finetune_flops: float = 10 * EFLOP,
+    flops_per_gpu: float = 50 * TFLOP,
+    efficiency: float = 0.5,
+) -> tuple[list[FeasibilityCase], Table]:
+    """Reproduce the paper's §4 feasibility arithmetic.
+
+    Returns the cases and a printable table: GPT-3 pre-training on a
+    large cluster vs. tens of GPUs, and fine-tuning on a modest server.
+    """
+    pretrain = pretraining_flops(gpt3_params, GPT3_TRAINING_TOKENS)
+    cases = [
+        FeasibilityCase(
+            "GPT-3 pre-train, 1000 GPUs",
+            pretrain,
+            1000,
+            training_days(pretrain, 1000, flops_per_gpu, efficiency),
+        ),
+        FeasibilityCase(
+            "GPT-3 pre-train, 32 GPUs (tens)",
+            pretrain,
+            32,
+            training_days(pretrain, 32, flops_per_gpu, efficiency),
+        ),
+        FeasibilityCase(
+            "fine-tune (10 EFLOPs), 4 GPUs",
+            finetune_flops,
+            4,
+            training_days(finetune_flops, 4, flops_per_gpu, efficiency),
+        ),
+    ]
+    table = Table(
+        ["case", "FLOPs", "GPUs", "days", "years"],
+        title=(
+            f"paper-section-4 feasibility (GPT-3 pre-train = "
+            f"{fmt_flops(pretrain)}; paper cites 314 ZFLOPs = "
+            f"{fmt_flops(314 * ZFLOP)})"
+        ),
+    )
+    for case in cases:
+        table.add_row(
+            [case.label, fmt_flops(case.total_flops), case.num_gpus,
+             f"{case.days:.1f}", f"{case.years:.2f}"]
+        )
+    return cases, table

@@ -1,0 +1,97 @@
+"""The per-phase swap model of the paper's Fig. 5(a).
+
+Each training phase of a layer swaps in a fixed set of tensors and
+swaps out another:
+
+=========  ==============================  ===============================
+phase      swap-in                         swap-out
+=========  ==============================  ===============================
+forward    input X, weight W               output Y, stashed X, weight W
+backward   output grad dY, weight grad     input grad dX, accumulated dW,
+           dW, stashed input X, weight W   weight W
+update     weight grad dW, weight W,       reset dW', updated W',
+           optimizer state K               updated K'
+=========  ==============================  ===============================
+
+(The paper's footnote: running-state tensors such as batch-norm
+mean/std are omitted.)
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.models.layer import LayerSpec
+from repro.models.phases import Phase
+from repro.util.tables import Table
+
+
+def phase_swap_in(layer: LayerSpec, phase: Phase, microbatch_size: int) -> dict[str, float]:
+    """Bytes swapped in per Fig. 5(a), keyed by tensor role."""
+    m = microbatch_size
+    if phase is Phase.FORWARD:
+        return {"X": layer.in_bytes(m), "W": layer.param_bytes}
+    if phase is Phase.BACKWARD:
+        return {
+            "dY": layer.out_bytes(m),
+            "dW": layer.grad_bytes,
+            "stash_X": layer.stash_bytes(m),
+            "W": layer.param_bytes,
+        }
+    if phase is Phase.UPDATE:
+        return {
+            "dW": layer.grad_bytes,
+            "W": layer.param_bytes,
+            "K": layer.optimizer_bytes,
+        }
+    raise ModelError(f"unknown phase {phase!r}")
+
+
+def phase_swap_out(layer: LayerSpec, phase: Phase, microbatch_size: int) -> dict[str, float]:
+    """Bytes swapped out per Fig. 5(a), keyed by tensor role."""
+    m = microbatch_size
+    if phase is Phase.FORWARD:
+        return {
+            "Y": layer.out_bytes(m),
+            "stash_X": layer.stash_bytes(m),
+            "W": layer.param_bytes,
+        }
+    if phase is Phase.BACKWARD:
+        return {
+            "dX": layer.in_bytes(m),
+            "acc_dW": layer.grad_bytes,
+            "W": layer.param_bytes,
+        }
+    if phase is Phase.UPDATE:
+        return {
+            "reset_dW": layer.grad_bytes,
+            "W'": layer.param_bytes,
+            "K'": layer.optimizer_bytes,
+        }
+    raise ModelError(f"unknown phase {phase!r}")
+
+
+def phase_total(layer: LayerSpec, phase: Phase, microbatch_size: int) -> float:
+    """Total bytes moved (both directions) for one phase of one layer on
+    one microbatch under the idealized no-reuse swapper."""
+    return sum(phase_swap_in(layer, phase, microbatch_size).values()) + sum(
+        phase_swap_out(layer, phase, microbatch_size).values()
+    )
+
+
+def swap_model_table(layer: LayerSpec, microbatch_size: int) -> Table:
+    """Render Fig. 5(a) for a concrete layer."""
+    table = Table(
+        ["phase", "swap-in", "swap-out"],
+        title=f"Fig. 5(a) swap model for {layer.name} (microbatch={microbatch_size})",
+    )
+    for phase in Phase:
+        ins = phase_swap_in(layer, phase, microbatch_size)
+        outs = phase_swap_out(layer, phase, microbatch_size)
+        table.add_row(
+            [
+                phase.value,
+                ", ".join(ins),
+                ", ".join(outs),
+            ]
+        )
+    return table

@@ -1,0 +1,207 @@
+"""Closed-form per-iteration swap volumes (paper §3).
+
+The headline result the paper derives for model weights, training an
+R-layer model with ``m`` microbatches per GPU on ``N`` GPUs:
+
+* DP with per-GPU virtualization:  ``(4m + 2) * N * |W|``
+* Harmony-DP:                      ``3 * N * |W|``
+* Harmony-PP:                      ``3 * |W|``
+
+This module implements those formulas plus the "complete analytical
+model that covers all tensors shown in Fig. 5(a)" that the paper omits
+for brevity: per-kind volumes under the same idealized assumptions
+(uniform layers, capacity = one layer-level operation's working set,
+no reuse window in the baseline swapper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.models.graph import ModelGraph
+from repro.units import fmt_bytes
+from repro.util.tables import Table
+
+
+def _check(m: int, n: int) -> None:
+    if m < 1:
+        raise ConfigError("need at least one microbatch")
+    if n < 1:
+        raise ConfigError("need at least one GPU")
+
+
+# -- headline weight formulas -----------------------------------------------
+
+
+def weight_volume_baseline_dp(model: ModelGraph, m: int, n: int) -> float:
+    """``(4m + 2) N |W|``: per microbatch, each GPU swaps W in and out
+    for forward and again for backward (4m), plus in/out once for the
+    update (2)."""
+    _check(m, n)
+    return (4 * m + 2) * n * model.param_bytes
+
+
+def weight_volume_harmony_dp(model: ModelGraph, m: int, n: int) -> float:
+    """``3 N |W|``: input-batch grouping means one swap-in per pass
+    (forward + backward = 2), and jit update writes W back once."""
+    _check(m, n)
+    return 3 * n * model.param_bytes
+
+
+def weight_volume_harmony_pp(model: ModelGraph, m: int, n: int) -> float:
+    """``3 |W|``: as Harmony-DP, but weights are partitioned (not
+    replicated), so the volume does not scale with N."""
+    _check(m, n)
+    return 3 * model.param_bytes
+
+
+# -- the complete per-kind model ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SchemeVolumes:
+    """Per-tensor-kind host-crossing volume for one scheme, one
+    iteration.  ``p2p`` is device-to-device volume (free of the host
+    uplink); everything else crosses the host link."""
+
+    scheme: str
+    weights: float
+    weight_grads: float
+    optimizer: float
+    stash: float
+    activations: float
+    p2p: float = 0.0
+
+    @property
+    def host_total(self) -> float:
+        return (
+            self.weights
+            + self.weight_grads
+            + self.optimizer
+            + self.stash
+            + self.activations
+        )
+
+    def as_row(self) -> list[str]:
+        return [
+            self.scheme,
+            fmt_bytes(self.weights),
+            fmt_bytes(self.weight_grads),
+            fmt_bytes(self.optimizer),
+            fmt_bytes(self.stash),
+            fmt_bytes(self.activations),
+            fmt_bytes(self.p2p),
+            fmt_bytes(self.host_total),
+        ]
+
+
+def _boundary_bytes(model: ModelGraph, microbatch_size: int) -> float:
+    """Sum over layers of (|X_l| + |Y_l|) for one microbatch: every
+    activation boundary is counted once as a consumer input and once as
+    a producer output, which is how the per-task swap model charges it."""
+    return sum(
+        layer.in_bytes(microbatch_size) + layer.out_bytes(microbatch_size)
+        for layer in model
+    )
+
+
+def baseline_dp_volumes(
+    model: ModelGraph, m: int, n: int, microbatch_size: int = 1
+) -> SchemeVolumes:
+    """Idealized per-GPU-virtualization DP: every task swaps its full
+    Fig. 5(a) in-set in and out-set out."""
+    _check(m, n)
+    stash = model.stash_bytes(microbatch_size)
+    return SchemeVolumes(
+        scheme="dp-baseline",
+        weights=(4 * m + 2) * n * model.param_bytes,
+        weight_grads=(2 * m + 2) * n * model.grad_bytes,
+        optimizer=2 * n * model.optimizer_bytes,
+        stash=2 * m * n * stash,
+        activations=2 * m * n * _boundary_bytes(model, microbatch_size),
+    )
+
+
+def harmony_dp_volumes(
+    model: ModelGraph, m: int, n: int, microbatch_size: int = 1
+) -> SchemeVolumes:
+    """Harmony-DP: grouping collapses per-microbatch weight/grad swaps
+    into per-pass swaps; jit update reuses resident W/dW; clean weights
+    drop for free after the forward pass."""
+    _check(m, n)
+    stash = model.stash_bytes(microbatch_size)
+    return SchemeVolumes(
+        scheme="harmony-dp",
+        weights=3 * n * model.param_bytes,
+        weight_grads=2 * n * model.grad_bytes,
+        optimizer=2 * n * model.optimizer_bytes,
+        stash=2 * m * n * stash,
+        activations=2 * m * n * _boundary_bytes(model, microbatch_size),
+    )
+
+
+def harmony_pp_volumes(
+    model: ModelGraph, m: int, n: int, microbatch_size: int = 1
+) -> SchemeVolumes:
+    """Harmony-PP: weights partitioned across GPUs (volume independent
+    of N) and boundary activations travel peer-to-peer instead of over
+    the host link."""
+    _check(m, n)
+    stash = model.stash_bytes(microbatch_size)
+    boundary = _boundary_bytes(model, microbatch_size)
+    return SchemeVolumes(
+        scheme="harmony-pp",
+        weights=3 * model.param_bytes,
+        weight_grads=2 * model.grad_bytes,
+        optimizer=2 * model.optimizer_bytes,
+        stash=2 * m * stash,
+        activations=0.0,
+        p2p=2 * m * boundary,
+    )
+
+
+def harmony_tp_volumes(
+    model: ModelGraph, m: int, n: int, microbatch_size: int = 1
+) -> SchemeVolumes:
+    """Harmony with operation decomposition (sharded matmuls): weights,
+    gradients, optimizer state, and stashes are partitioned N ways, so
+    their host-crossing volumes match Harmony-PP's (3|W|, 2|dW|, 2|K|,
+    2m|S| in total across shards).  Activations never ride the host
+    link: partial outputs are combined on-device by collectives whose
+    total wire volume is ``m * sum_b 3(N-1)|Y_b|`` (an all-gather at
+    (N-1)/N x |Y| per participant plus a gradient all-reduce at
+    2(N-1)/N x |Y| per participant, times N participants)."""
+    _check(m, n)
+    stash = model.stash_bytes(microbatch_size)
+    boundary_out = sum(layer.out_bytes(microbatch_size) for layer in model)
+    return SchemeVolumes(
+        scheme="harmony-tp",
+        weights=3 * model.param_bytes,
+        weight_grads=2 * model.grad_bytes,
+        optimizer=2 * model.optimizer_bytes,
+        stash=2 * m * stash,
+        activations=0.0,
+        p2p=3 * (n - 1) * m * boundary_out,
+    )
+
+
+def comparison_table(
+    model: ModelGraph, m: int, n: int, microbatch_size: int = 1
+) -> Table:
+    """The complete analytical comparison the paper summarizes in §3."""
+    table = Table(
+        ["scheme", "W", "dW", "K", "stash", "acts", "p2p", "host total"],
+        title=(
+            f"per-iteration swap volume, {model.name}: R={len(model)} layers, "
+            f"m={m} microbatches x {microbatch_size} samples, N={n} GPUs"
+        ),
+    )
+    for volumes in (
+        baseline_dp_volumes(model, m, n, microbatch_size),
+        harmony_dp_volumes(model, m, n, microbatch_size),
+        harmony_pp_volumes(model, m, n, microbatch_size),
+        harmony_tp_volumes(model, m, n, microbatch_size),
+    ):
+        table.add_row(volumes.as_row())
+    return table

@@ -1,0 +1,67 @@
+"""Session configuration."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.models.costmodel import CostModel
+from repro.schedulers.base import BatchConfig
+from repro.schedulers.options import HarmonyOptions
+
+
+class Parallelism(enum.Enum):
+    """Which schedule drives the iteration.
+
+    ``HARMONY_DP`` / ``HARMONY_PP`` are the paper's proposal; the
+    ``*_BASELINE`` values are today's frameworks with per-GPU memory
+    virtualization bolted on, and ``SINGLE`` is one virtualized GPU.
+    """
+
+    SINGLE = "single"
+    DP_BASELINE = "dp-baseline"
+    PP_BASELINE = "pp-baseline"
+    HARMONY_DP = "harmony-dp"
+    HARMONY_PP = "harmony-pp"
+    HARMONY_TP = "harmony-tp"
+
+    @staticmethod
+    def parse(value: "Parallelism | str") -> "Parallelism":
+        if isinstance(value, Parallelism):
+            return value
+        try:
+            return Parallelism(value)
+        except ValueError:
+            raise ConfigError(
+                f"unknown parallelism {value!r}; choose from "
+                f"{[p.value for p in Parallelism]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class HarmonyConfig:
+    """Everything a :class:`HarmonySession` needs besides model+server.
+
+    Attributes
+    ----------
+    parallelism:
+        Scheme (see :class:`Parallelism`); accepts the string form.
+    batch:
+        Microbatch shape (``m`` microbatches of ``microbatch_size``).
+    options:
+        Harmony optimization toggles (ignored by baseline schemes).
+    prefetch:
+        Double-buffer next-task swap-ins behind current compute.
+    cost_model:
+        FLOPs -> time conversion knobs.
+    """
+
+    parallelism: Parallelism | str = Parallelism.HARMONY_PP
+    batch: BatchConfig = field(default_factory=BatchConfig)
+    options: HarmonyOptions = field(default_factory=HarmonyOptions)
+    prefetch: bool = False
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    def resolved_parallelism(self) -> Parallelism:
+        return Parallelism.parse(self.parallelism)

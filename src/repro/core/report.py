@@ -1,0 +1,33 @@
+"""Cross-run comparison reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.result import RunResult
+from repro.units import GB
+from repro.util.tables import Table
+
+
+def compare_runs(results: Sequence[RunResult]) -> Table:
+    """One row per scheme: the quantities the paper's figures compare."""
+    table = Table(
+        ["scheme", "iter (s)", "samples/s", "swap-out (GB)", "host traffic (GB)",
+         "p2p (GB)", "bottleneck link", "util%"],
+        title="scheme comparison",
+    )
+    for result in results:
+        link, util = result.bottleneck_link()
+        table.add_row(
+            [
+                result.label,
+                f"{result.makespan:.3f}",
+                f"{result.throughput:.3f}",
+                f"{result.swap_out_volume / GB:.2f}",
+                f"{result.host_traffic / GB:.2f}",
+                f"{result.stats.p2p_volume() / GB:.2f}",
+                link,
+                f"{100 * util:.0f}",
+            ]
+        )
+    return table

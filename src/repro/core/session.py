@@ -1,0 +1,120 @@
+"""HarmonySession: model + server + config -> plan -> simulated run."""
+
+from __future__ import annotations
+
+from repro.core.config import HarmonyConfig, Parallelism
+from repro.hardware.topology import Topology
+from repro.models.graph import ModelGraph
+from repro.schedulers.base import Scheduler
+from repro.schedulers.dp_baseline import DataParallelBaseline
+from repro.schedulers.harmony_dp import HarmonyDP
+from repro.schedulers.harmony_pp import HarmonyPP
+from repro.schedulers.harmony_tp import HarmonyTP
+from repro.schedulers.pp_baseline import PipelineBaseline
+from repro.schedulers.single import SingleGpuScheduler
+from repro.sim.executor import ExecOptions, Executor
+from repro.sim.plan import Plan
+from repro.sim.result import RunResult
+from repro.sim.trace import render_timeline
+
+
+class HarmonySession:
+    """One training setup: build the plan once, simulate on demand.
+
+    >>> from repro.models import zoo
+    >>> from repro.hardware import presets
+    >>> model = zoo.synthetic_uniform(num_layers=4)
+    >>> server = presets.gtx1080ti_server(num_gpus=2)
+    >>> session = HarmonySession(model, server, HarmonyConfig("harmony-pp"))
+    >>> result = session.run()
+    >>> result.samples
+    1
+    """
+
+    def __init__(
+        self, model: ModelGraph, topology: Topology, config: HarmonyConfig | None = None
+    ):
+        self.model = model
+        self.topology = topology
+        self.config = config if config is not None else HarmonyConfig()
+        self._plan: Plan | None = None
+        self._result: RunResult | None = None
+
+    # -- scheduling ----------------------------------------------------------
+
+    def scheduler(self) -> Scheduler:
+        cfg = self.config
+        mode = cfg.resolved_parallelism()
+        if mode is Parallelism.SINGLE:
+            return SingleGpuScheduler(
+                self.model, self.topology, cfg.batch, pack_size=cfg.options.pack_size
+            )
+        if mode is Parallelism.DP_BASELINE:
+            return DataParallelBaseline(
+                self.model, self.topology, cfg.batch, pack_size=cfg.options.pack_size
+            )
+        if mode is Parallelism.PP_BASELINE:
+            return PipelineBaseline(self.model, self.topology, cfg.batch)
+        if mode is Parallelism.HARMONY_DP:
+            return HarmonyDP(self.model, self.topology, cfg.batch, options=cfg.options)
+        if mode is Parallelism.HARMONY_TP:
+            return HarmonyTP(self.model, self.topology, cfg.batch, options=cfg.options)
+        return HarmonyPP(self.model, self.topology, cfg.batch, options=cfg.options)
+
+    def plan(self) -> Plan:
+        if self._plan is None:
+            self._plan = self.scheduler().plan()
+        return self._plan
+
+    # -- simulation --------------------------------------------------------------
+
+    def run(self, fresh: bool = False) -> RunResult:
+        """Simulate one training iteration (cached unless ``fresh``)."""
+        if self._result is None or fresh:
+            executor = Executor(
+                self.topology,
+                self.plan(),
+                cost_model=self.config.cost_model,
+                options=ExecOptions(prefetch=self.config.prefetch),
+            )
+            self._result = executor.run()
+        return self._result
+
+    def timeline(self, width: int = 100) -> str:
+        """ASCII Gantt chart of the simulated iteration (Fig. 4 style)."""
+        return render_timeline(self.run().trace, width=width)
+
+    def summary(self) -> str:
+        return self.run().summary()
+
+    def explain(self) -> str:
+        """Narrate the Fig. 3 pipeline for this setup — what the
+        decomposer produced, how the scheduler bound it to devices, and
+        how the model's footprint compares to the hardware — without
+        running the simulation."""
+        from repro.units import GB
+
+        model, topo = self.model, self.topology
+        plan = self.plan()
+        state = model.param_bytes + model.grad_bytes + model.optimizer_bytes
+        gpus = topo.gpus()
+        aggregate = sum(g.memory_bytes for g in gpus)
+        stash = model.stash_bytes(self.config.batch.microbatch_size)
+        lines = [
+            f"model: {model.describe()}",
+            (
+                f"training state {state / GB:.1f} GB + "
+                f"{stash / GB:.2f} GB stash/microbatch vs "
+                f"{len(gpus)} GPUs x {gpus[0].memory_bytes / GB:.1f} GB "
+                f"(aggregate {aggregate / GB:.1f} GB)"
+                + (" -- must swap" if state > aggregate else "")
+            ),
+            f"hardware: {topo}",
+            plan.describe(),
+        ]
+        collective = plan.total_collective_bytes()
+        if collective:
+            lines.append(
+                f"  collectives: {collective / GB:.2f} GB per-participant wire volume"
+            )
+        return "\n".join(lines)

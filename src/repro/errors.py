@@ -1,0 +1,49 @@
+"""Exception hierarchy for the Harmony reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime
+invariant violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A user-supplied configuration is invalid or inconsistent."""
+
+
+class TopologyError(ConfigError):
+    """A hardware topology is malformed (unknown device, no route, ...)."""
+
+
+class ModelError(ConfigError):
+    """A model graph is malformed (empty, negative sizes, bad layer refs)."""
+
+
+class CapacityError(ReproError):
+    """A task's working set cannot fit in device memory even after
+    evicting everything evictable.
+
+    This is the simulated analogue of a CUDA out-of-memory error: the
+    memory manager raises it when a single task's pinned working set
+    exceeds the device's capacity, which no amount of swapping can fix.
+    """
+
+
+class SchedulingError(ReproError):
+    """The scheduler produced an inconsistent plan (cycle, unplaced task,
+    dependency on a task that never runs)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an internal invariant violation
+    (e.g. deadlock: tasks remain but nothing can make progress)."""
+
+
+class TensorStateError(ReproError):
+    """An illegal tensor lifetime transition was attempted."""

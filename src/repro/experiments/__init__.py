@@ -1,0 +1,27 @@
+"""Experiment drivers: one module per paper figure/claim.
+
+Each driver returns structured rows (for tests and benchmarks to
+assert against) plus a printable table mirroring what the paper's
+figure reports.  Benchmarks in ``benchmarks/`` call these; the
+``examples/`` scripts print them.
+"""
+
+from repro.experiments import fig1_growth
+from repro.experiments import fig2a_dp_swap
+from repro.experiments import fig2b_interconnect
+from repro.experiments import fig2c_pp_imbalance
+from repro.experiments import fig4_schedule
+from repro.experiments import fig5_swap_volumes
+from repro.experiments import sec4_feasibility
+from repro.experiments import ablations
+
+__all__ = [
+    "fig1_growth",
+    "fig2a_dp_swap",
+    "fig2b_interconnect",
+    "fig2c_pp_imbalance",
+    "fig4_schedule",
+    "fig5_swap_volumes",
+    "sec4_feasibility",
+    "ablations",
+]

@@ -1,0 +1,64 @@
+"""Fig. 1: DNN model size growth, LeNet (1998) through GPT-3 (2020).
+
+The paper plots published parameter counts on a log scale.  We
+reconstruct each model from its architecture and report both the
+published figure and our reconstruction, so the reproduction checks
+the data rather than copying it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models import zoo
+from repro.units import fmt_count
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class GrowthRow:
+    name: str
+    year: int
+    task: str
+    published_params: float
+    built_params: float
+
+    @property
+    def relative_error(self) -> float:
+        return (self.built_params - self.published_params) / self.published_params
+
+
+def run() -> list[GrowthRow]:
+    rows = []
+    for entry in zoo.growth_series():
+        model = entry.builder()
+        rows.append(
+            GrowthRow(
+                name=entry.name,
+                year=entry.year,
+                task=entry.task,
+                published_params=entry.published_params,
+                built_params=model.param_count,
+            )
+        )
+    return rows
+
+
+def table(rows: list[GrowthRow] | None = None) -> Table:
+    rows = rows if rows is not None else run()
+    out = Table(
+        ["model", "year", "task", "published", "reconstructed", "error"],
+        title="Fig. 1: model size growth (parameters, log scale in the paper)",
+    )
+    for row in rows:
+        out.add_row(
+            [
+                row.name,
+                row.year,
+                row.task,
+                fmt_count(row.published_params),
+                fmt_count(row.built_params),
+                f"{100 * row.relative_error:+.1f}%",
+            ]
+        )
+    return out

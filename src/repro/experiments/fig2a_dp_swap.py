@@ -1,0 +1,76 @@
+"""Fig. 2(a): data-parallel training with per-GPU tensor swapping.
+
+The paper trains BERT (per-GPU batch 5, PyTorch-1.5 + IBM-LMS) on a
+4x 1080Ti server and shows that (i) global swap-out volume grows
+linearly with the number of GPUs and (ii) throughput is throttled by
+the shared host link (strongly sublinear scaling).  This driver runs
+the same sweep on the simulated server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware import presets
+from repro.models.graph import ModelGraph
+from repro.models.transformer import bert_large
+from repro.schedulers.base import BatchConfig
+from repro.schedulers.dp_baseline import DataParallelBaseline
+from repro.sim.executor import Executor
+from repro.units import GB
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class DpSwapRow:
+    num_gpus: int
+    throughput: float          # seqs/sec (global)
+    swap_out_bytes: float      # global swap-out volume per iteration
+    host_traffic_bytes: float
+    uplink_utilization: float
+
+
+def run(
+    model: ModelGraph | None = None,
+    per_gpu_batch: int = 5,
+    max_gpus: int = 4,
+) -> list[DpSwapRow]:
+    model = model if model is not None else bert_large(seq_len=512)
+    rows = []
+    for n in range(1, max_gpus + 1):
+        topology = presets.gtx1080ti_server(num_gpus=n)
+        plan = DataParallelBaseline(
+            model, topology, BatchConfig(per_gpu_batch, 1), num_replicas=n
+        ).plan()
+        result = Executor(topology, plan).run()
+        __, utilization = result.bottleneck_link()
+        rows.append(
+            DpSwapRow(
+                num_gpus=n,
+                throughput=result.throughput,
+                swap_out_bytes=result.swap_out_volume,
+                host_traffic_bytes=result.host_traffic,
+                uplink_utilization=utilization,
+            )
+        )
+    return rows
+
+
+def table(rows: list[DpSwapRow] | None = None) -> Table:
+    rows = rows if rows is not None else run()
+    out = Table(
+        ["# GPUs", "throughput (seqs/s)", "swap-out vol (GB)",
+         "host traffic (GB)", "uplink util %"],
+        title="Fig. 2(a): DP + per-GPU swapping, BERT, per-GPU batch 5",
+    )
+    for row in rows:
+        out.add_row(
+            [
+                row.num_gpus,
+                f"{row.throughput:.2f}",
+                f"{row.swap_out_bytes / GB:.1f}",
+                f"{row.host_traffic_bytes / GB:.1f}",
+                f"{100 * row.uplink_utilization:.0f}",
+            ]
+        )
+    return out

@@ -1,0 +1,88 @@
+"""Fig. 2(b): intra-server interconnects.
+
+The paper's diagram shows GPUs behind PCIe switches funnelling into a
+single host link (4:1/8:1 oversubscription), motivating why host-only
+swapping bottlenecks and p2p transfers do not.  This driver turns the
+diagram into a measurable microbenchmark: the effective per-GPU swap
+bandwidth as concurrent swappers are added, versus the p2p bandwidth
+between switch-local GPUs (which does not degrade).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware import presets
+from repro.hardware.topology import Topology
+from repro.sim.engine import ResourceTimeline
+from repro.units import GB
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class ContentionRow:
+    concurrent_swappers: int
+    per_gpu_host_bandwidth: float  # bytes/sec achieved per GPU
+    p2p_bandwidth: float           # switch-local GPU-to-GPU, uncontended
+    oversubscription: float
+
+
+def _measure_host_bandwidth(
+    topology: Topology, num_swappers: int, volume_bytes: float
+) -> float:
+    """Simulate ``num_swappers`` GPUs each pushing ``volume_bytes`` to
+    host concurrently; return achieved per-GPU bandwidth."""
+    links = {name: ResourceTimeline(name) for name in topology.links}
+    gpus = topology.gpus()[:num_swappers]
+    finish = 0.0
+    for gpu in gpus:
+        route = topology.host_route(gpu.name)
+        duration = route.transfer_time(volume_bytes)
+        timelines = [links[link.name] for link in route.links]
+        __, end = ResourceTimeline.acquire_all(timelines, 0.0, duration)
+        finish = max(finish, end)
+    return volume_bytes * num_swappers / finish / num_swappers
+
+
+def run(
+    topology: Topology | None = None, volume_bytes: float = 1 * GB
+) -> list[ContentionRow]:
+    topology = topology if topology is not None else presets.gtx1080ti_server(4)
+    gpus = topology.gpus()
+    p2p_bw = 0.0
+    if len(gpus) >= 2:
+        route = topology.route(gpus[0].name, gpus[1].name)
+        p2p_bw = volume_bytes / route.transfer_time(volume_bytes)
+    rows = []
+    for k in range(1, len(gpus) + 1):
+        rows.append(
+            ContentionRow(
+                concurrent_swappers=k,
+                per_gpu_host_bandwidth=_measure_host_bandwidth(
+                    topology, k, volume_bytes
+                ),
+                p2p_bandwidth=p2p_bw,
+                oversubscription=topology.host_uplink_oversubscription(),
+            )
+        )
+    return rows
+
+
+def table(rows: list[ContentionRow] | None = None) -> Table:
+    rows = rows if rows is not None else run()
+    out = Table(
+        ["concurrent swappers", "per-GPU host BW (GB/s)", "p2p BW (GB/s)"],
+        title=(
+            "Fig. 2(b): host-uplink contention "
+            f"({rows[0].oversubscription:.0f}:1 oversubscription)"
+        ),
+    )
+    for row in rows:
+        out.add_row(
+            [
+                row.concurrent_swappers,
+                f"{row.per_gpu_host_bandwidth / GB:.2f}",
+                f"{row.p2p_bandwidth / GB:.2f}",
+            ]
+        )
+    return out

@@ -1,0 +1,50 @@
+"""Paper §4: end-to-end training feasibility arithmetic.
+
+Checks the paper's numbers from first principles:
+
+* GPT-3 pre-training = 314 ZFLOPs (we compute 6 * params * tokens from
+  the reconstructed 175 B-parameter model and the published 300 B
+  training tokens);
+* pre-training on "tens of GPUs" takes years;
+* fine-tuning (< 10s of exaFLOPs) takes days on a modest server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytic.feasibility import (
+    GPT3_TRAINING_TOKENS,
+    FeasibilityCase,
+    feasibility_report,
+    pretraining_flops,
+)
+from repro.models.transformer import gpt3_175b
+from repro.units import ZFLOP
+from repro.util.tables import Table
+
+
+@dataclass
+class FeasibilityResult:
+    computed_pretrain_flops: float
+    paper_pretrain_flops: float
+    cases: list[FeasibilityCase]
+    table: Table
+
+    @property
+    def flops_relative_error(self) -> float:
+        return (
+            self.computed_pretrain_flops - self.paper_pretrain_flops
+        ) / self.paper_pretrain_flops
+
+
+def run() -> FeasibilityResult:
+    model = gpt3_175b()
+    computed = pretraining_flops(model.param_count, GPT3_TRAINING_TOKENS)
+    cases, tbl = feasibility_report(gpt3_params=model.param_count)
+    return FeasibilityResult(
+        computed_pretrain_flops=computed,
+        paper_pretrain_flops=314 * ZFLOP,
+        cases=cases,
+        table=tbl,
+    )

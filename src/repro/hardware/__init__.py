@@ -1,0 +1,49 @@
+"""Hardware model: devices, interconnect links, and server topologies.
+
+This package is the stand-in for the paper's physical testbed (a
+commodity server with four NVIDIA 1080Ti GPUs behind PCIe switches,
+Fig. 2(b)).  It models exactly the properties the paper's arguments rest
+on:
+
+* per-GPU **memory capacity** (the scarce resource),
+* per-GPU **compute throughput** (to turn FLOPs into time),
+* **link bandwidth** between endpoints, with the device-to-host PCIe
+  link *shared* by all GPUs behind a switch (4:1 / 8:1 oversubscription),
+* fast **peer-to-peer** GPU-to-GPU paths that bypass host memory.
+"""
+
+from repro.hardware.device import DeviceKind, DeviceSpec
+from repro.hardware.links import (
+    LinkSpec,
+    ethernet,
+    infiniband,
+    nvlink2,
+    pcie_gen3,
+    pcie_gen4,
+)
+from repro.hardware.topology import Topology, Route
+from repro.hardware.presets import (
+    commodity_server,
+    dgx1_like_server,
+    gtx1080ti_server,
+    multi_server_cluster,
+    single_gpu_server,
+)
+
+__all__ = [
+    "DeviceKind",
+    "DeviceSpec",
+    "LinkSpec",
+    "pcie_gen3",
+    "pcie_gen4",
+    "nvlink2",
+    "ethernet",
+    "infiniband",
+    "Topology",
+    "Route",
+    "commodity_server",
+    "gtx1080ti_server",
+    "dgx1_like_server",
+    "single_gpu_server",
+    "multi_server_cluster",
+]

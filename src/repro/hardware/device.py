@@ -1,0 +1,102 @@
+"""Device specifications.
+
+A :class:`DeviceSpec` captures the only two properties of an accelerator
+that the paper's analysis depends on: how much state it can hold
+(memory capacity) and how fast it retires work (effective FLOP/s).  The
+CPU/host is modelled as a device too — it is the swap target with
+"practically unbounded" memory from the GPU's point of view.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import GIB, TFLOP, fmt_bytes
+
+
+class DeviceKind(enum.Enum):
+    """What sort of device this is; routing and swap policy distinguish
+    the host (swap target, effectively infinite memory) from GPUs."""
+
+    GPU = "gpu"
+    CPU = "cpu"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """An accelerator or host endpoint in the server topology.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within a topology (e.g. ``"gpu0"``, ``"cpu"``).
+    kind:
+        GPU or CPU (host).
+    memory_bytes:
+        Usable memory capacity.  For GPUs this is the constraint that
+        forces swapping; for the host it is large enough to never bind.
+    flops_per_sec:
+        Effective sustained throughput used by the cost model to convert
+        a task's FLOPs into simulated execution time.  GPUs get a
+        realistic sustained fraction of peak; the host gets a much lower
+        figure (it only runs framework bookkeeping in this model).
+    """
+
+    name: str
+    kind: DeviceKind
+    memory_bytes: float
+    flops_per_sec: float
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ConfigError(f"device {self.name!r}: memory must be positive")
+        if self.flops_per_sec <= 0:
+            raise ConfigError(f"device {self.name!r}: flops must be positive")
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind is DeviceKind.GPU
+
+    @property
+    def is_host(self) -> bool:
+        return self.kind is DeviceKind.CPU
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}({self.kind.value}, {fmt_bytes(self.memory_bytes)}, "
+            f"{self.flops_per_sec / TFLOP:.1f} TFLOP/s)"
+        )
+
+
+def gtx1080ti(name: str) -> DeviceSpec:
+    """An NVIDIA GeForce GTX 1080 Ti: 11 GB GDDR5X, ~11.3 TFLOP/s peak
+    fp32; we model ~40% sustained utilization for transformer layers."""
+    return DeviceSpec(
+        name=name,
+        kind=DeviceKind.GPU,
+        memory_bytes=11 * GIB,
+        flops_per_sec=4.5 * TFLOP,
+    )
+
+
+def v100(name: str) -> DeviceSpec:
+    """An NVIDIA V100 (DGX-1 generation): 16 GB HBM2, ~125 TFLOP/s tensor
+    peak; we model ~50 TFLOP/s sustained mixed precision."""
+    return DeviceSpec(
+        name=name,
+        kind=DeviceKind.GPU,
+        memory_bytes=16 * GIB,
+        flops_per_sec=50 * TFLOP,
+    )
+
+
+def host_cpu(name: str = "cpu", memory_bytes: float = 512 * GIB) -> DeviceSpec:
+    """The host endpoint: swap target with large DRAM."""
+    return DeviceSpec(
+        name=name,
+        kind=DeviceKind.CPU,
+        memory_bytes=memory_bytes,
+        flops_per_sec=1 * TFLOP,
+    )

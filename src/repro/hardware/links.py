@@ -1,0 +1,87 @@
+"""Interconnect link specifications.
+
+Links are directedly usable but physically bidirectional; the simulator
+treats each :class:`LinkSpec` as a serially-shared resource (a FIFO
+queue), which is how the shared device-to-host PCIe link becomes the
+bottleneck in Fig. 2(a): every GPU's swap traffic lands in the same
+queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import GB, USEC
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point transfer resource between two endpoints.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within a topology (e.g. ``"pcie-host"``).
+    bandwidth_bytes_per_sec:
+        Sustained effective bandwidth.  PCIe gen3 x16 is ~15.75 GB/s
+        raw; we use ~12 GB/s effective, matching measured cudaMemcpy
+        rates.
+    latency_sec:
+        Fixed per-transfer latency (DMA setup, driver overhead).
+    """
+
+    name: str
+    bandwidth_bytes_per_sec: float
+    latency_sec: float = 10 * USEC
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_sec <= 0:
+            raise ConfigError(f"link {self.name!r}: bandwidth must be positive")
+        if self.latency_sec < 0:
+            raise ConfigError(f"link {self.name!r}: latency must be non-negative")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` over this link when uncontended."""
+        if nbytes < 0:
+            raise ConfigError("transfer size must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_sec + nbytes / self.bandwidth_bytes_per_sec
+
+
+def pcie_gen3(name: str, lanes: int = 16) -> LinkSpec:
+    """PCIe gen3: ~0.985 GB/s per lane raw, ~75% effective."""
+    return LinkSpec(name, bandwidth_bytes_per_sec=0.75 * 0.985 * GB * lanes)
+
+
+def pcie_gen4(name: str, lanes: int = 16) -> LinkSpec:
+    """PCIe gen4: double gen3 per-lane rate."""
+    return LinkSpec(name, bandwidth_bytes_per_sec=0.75 * 1.969 * GB * lanes)
+
+
+def nvlink2(name: str, bricks: int = 1) -> LinkSpec:
+    """NVLink 2.0: 25 GB/s per brick per direction, ~90% effective."""
+    return LinkSpec(name, bandwidth_bytes_per_sec=0.9 * 25 * GB * bricks)
+
+
+def ethernet(name: str, gbits: int = 100) -> LinkSpec:
+    """Datacenter Ethernet (default 100 GbE): ~85% effective goodput,
+    tens-of-microseconds latency — an order of magnitude slower and
+    laggier than intra-server PCIe, which is why the paper's §4 notes
+    multi-server runtimes must account for 'heterogeneous and
+    hierarchical interconnects'."""
+    return LinkSpec(
+        name,
+        bandwidth_bytes_per_sec=0.85 * gbits / 8 * GB,
+        latency_sec=50 * USEC,
+    )
+
+
+def infiniband(name: str, gbits: int = 200) -> LinkSpec:
+    """InfiniBand HDR-class fabric: higher goodput, lower latency."""
+    return LinkSpec(
+        name,
+        bandwidth_bytes_per_sec=0.9 * gbits / 8 * GB,
+        latency_sec=5 * USEC,
+    )

@@ -1,0 +1,139 @@
+"""Prebuilt server topologies matching the paper's hardware context.
+
+The paper's measurements (Fig. 2) use a commodity server with four
+NVIDIA 1080Ti GPUs behind PCIe switches, where the device-to-host link
+is oversubscribed 4:1 (all GPU swap traffic funnels through one uplink
+to host memory).  :func:`gtx1080ti_server` reproduces that machine;
+:func:`dgx1_like_server` provides an NVLink-rich contrast used by the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.hardware.device import gtx1080ti, host_cpu, v100
+from repro.hardware.links import ethernet, infiniband, nvlink2, pcie_gen3
+from repro.hardware.topology import Topology
+
+
+def commodity_server(
+    num_gpus: int = 4,
+    gpu_factory=gtx1080ti,
+    gpus_per_switch: int = 4,
+    name: str = "commodity",
+) -> Topology:
+    """A commodity multi-GPU box: GPUs behind PCIe switches, all switches
+    sharing a single PCIe uplink to host memory.
+
+    With the defaults (4 GPUs, one switch, one uplink) the host link is
+    4:1 oversubscribed — the configuration in the paper's Fig. 2(b).
+    GPU-to-GPU transfers under the same switch never touch the uplink,
+    which is what Harmony's p2p optimization exploits.
+    """
+    if num_gpus < 1:
+        raise ConfigError("need at least one GPU")
+    if gpus_per_switch < 1:
+        raise ConfigError("need at least one GPU per switch")
+    topo = Topology(name=name)
+    topo.add_device(host_cpu())
+    num_switches = (num_gpus + gpus_per_switch - 1) // gpus_per_switch
+    for s in range(num_switches):
+        switch = topo.add_switch(f"switch{s}")
+        topo.add_link(pcie_gen3(f"uplink{s}"), switch, "cpu")
+    for g in range(num_gpus):
+        gpu = topo.add_device(gpu_factory(f"gpu{g}"))
+        switch = f"switch{g // gpus_per_switch}"
+        topo.add_link(pcie_gen3(f"pcie-gpu{g}"), gpu.name, switch)
+    topo.validate()
+    return topo
+
+
+def gtx1080ti_server(num_gpus: int = 4) -> Topology:
+    """The paper's testbed: four 11 GB GTX 1080Ti GPUs, one shared host
+    uplink (4:1 oversubscription)."""
+    return commodity_server(
+        num_gpus=num_gpus, gpu_factory=gtx1080ti, gpus_per_switch=4, name="gtx1080ti"
+    )
+
+
+def single_gpu_server(gpu_factory=gtx1080ti) -> Topology:
+    """A single-GPU workstation: the setting prior GPU-memory-
+    virtualization work (vDNN, LMS, SwapAdvisor, Capuchin) targets."""
+    return commodity_server(num_gpus=1, gpu_factory=gpu_factory, name="single-gpu")
+
+
+def dgx1_like_server(num_gpus: int = 4) -> Topology:
+    """A DGX-1-style server: V100 GPUs with a direct NVLink mesh in
+    addition to the PCIe tree.  Used by ablations to show how faster p2p
+    links change the Harmony/baseline gap.
+
+    The NVLink mesh here is all-to-all among the modelled GPUs (the real
+    DGX-1 hybrid cube-mesh is denser than needed for <=4 GPUs).
+    """
+    if num_gpus < 1:
+        raise ConfigError("need at least one GPU")
+    topo = Topology(name="dgx1-like")
+    topo.add_device(host_cpu())
+    switch = topo.add_switch("switch0")
+    topo.add_link(pcie_gen3("uplink0"), switch, "cpu")
+    gpus = []
+    for g in range(num_gpus):
+        gpu = topo.add_device(v100(f"gpu{g}"))
+        topo.add_link(pcie_gen3(f"pcie-gpu{g}"), gpu.name, switch)
+        gpus.append(gpu)
+    for i in range(num_gpus):
+        for j in range(i + 1, num_gpus):
+            topo.add_link(
+                nvlink2(f"nvlink-{i}-{j}", bricks=2), gpus[i].name, gpus[j].name
+            )
+    topo.validate()
+    return topo
+
+
+def multi_server_cluster(
+    num_servers: int = 2,
+    gpus_per_server: int = 4,
+    gpu_factory=gtx1080ti,
+    network: str = "100gbe",
+    name: str = "cluster",
+) -> Topology:
+    """Several commodity servers joined by a datacenter network — the
+    paper's §4 multi-machine extension.
+
+    Each server is a :func:`commodity_server` clone (its GPUs behind a
+    PCIe switch with one host uplink, swapping only to the *local*
+    host's DRAM); hosts connect pairwise through a network switch
+    modelled as one shared link per server.  Device names sort by
+    server (``s0g0`` < ``s0g1`` < ``s1g0``), so schedulers that place
+    round-robin over the sorted GPU list keep consecutive layer packs
+    server-local most of the time.
+
+    ``network``: ``"100gbe"`` / ``"25gbe"`` / ``"ib"``.
+    """
+    if num_servers < 1:
+        raise ConfigError("need at least one server")
+    if gpus_per_server < 1:
+        raise ConfigError("need at least one GPU per server")
+    factories = {
+        "100gbe": lambda n: ethernet(n, gbits=100),
+        "25gbe": lambda n: ethernet(n, gbits=25),
+        "ib": lambda n: infiniband(n, gbits=200),
+    }
+    try:
+        net_factory = factories[network]
+    except KeyError:
+        raise ConfigError(
+            f"unknown network {network!r}; choose from {sorted(factories)}"
+        ) from None
+    topo = Topology(name=f"{name}-{num_servers}x{gpus_per_server}")
+    net_switch = topo.add_switch("netswitch")
+    for s in range(num_servers):
+        topo.add_device(host_cpu(f"cpu{s}"))
+        switch = topo.add_switch(f"s{s}switch")
+        topo.add_link(pcie_gen3(f"uplink{s}"), switch, f"cpu{s}")
+        topo.add_link(net_factory(f"net{s}"), f"cpu{s}", net_switch)
+        for g in range(gpus_per_server):
+            gpu = topo.add_device(gpu_factory(f"s{s}g{g}"))
+            topo.add_link(pcie_gen3(f"pcie-s{s}g{g}"), gpu.name, switch)
+    topo.validate()
+    return topo

@@ -1,0 +1,236 @@
+"""Server interconnect topology: devices, switches, links, and routing.
+
+The topology is an undirected graph whose nodes are devices (GPUs, the
+host CPU) and PCIe switches, and whose edges are :class:`LinkSpec`
+resources.  A transfer between two devices occupies every link on its
+route, so when four GPUs hang off switches that funnel into a single
+host uplink (Fig. 2(b)), all host-bound swap traffic serializes on that
+uplink — this is the mechanism behind the paper's Fig. 2(a) bottleneck.
+
+Peer-to-peer GPU transfers route through switches without touching the
+host uplink when both GPUs share a switch, which is what makes
+Harmony's p2p optimization profitable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+from repro.hardware.device import DeviceKind, DeviceSpec
+from repro.hardware.links import LinkSpec
+
+
+@dataclass(frozen=True)
+class Route:
+    """An ordered sequence of links a transfer must traverse.
+
+    The simulator reserves each link in order; the transfer's duration is
+    determined by the slowest link plus accumulated latencies (a
+    store-and-forward approximation is deliberately avoided — PCIe
+    fabrics cut through — so duration uses the bottleneck bandwidth).
+    """
+
+    src: str
+    dst: str
+    links: tuple[LinkSpec, ...]
+
+    @property
+    def bottleneck_bandwidth(self) -> float:
+        if not self.links:
+            return float("inf")
+        return min(link.bandwidth_bytes_per_sec for link in self.links)
+
+    @property
+    def total_latency(self) -> float:
+        return sum(link.latency_sec for link in self.links)
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Uncontended end-to-end time to move ``nbytes`` along the route."""
+        if nbytes == 0 or not self.links:
+            return 0.0
+        return self.total_latency + nbytes / self.bottleneck_bandwidth
+
+    @property
+    def crosses_host_uplink(self) -> bool:
+        """Whether this route traverses a link marked as a host uplink."""
+        return any(link.name.startswith("uplink") for link in self.links)
+
+
+@dataclass
+class Topology:
+    """A single server's device + interconnect graph.
+
+    Build one with :meth:`add_device`, :meth:`add_switch` and
+    :meth:`add_link`, or use a preset from :mod:`repro.hardware.presets`.
+    Routing is shortest-path by hop count (PCIe fabrics route
+    deterministically up/down the tree); results are cached.
+    """
+
+    name: str
+    devices: dict[str, DeviceSpec] = field(default_factory=dict)
+    switches: set[str] = field(default_factory=set)
+    links: dict[str, LinkSpec] = field(default_factory=dict)
+    _adjacency: dict[str, list[tuple[str, str]]] = field(default_factory=dict)
+    _route_cache: dict[tuple[str, str], Route] = field(default_factory=dict)
+    _host_of_cache: dict[str, DeviceSpec] = field(default_factory=dict)
+
+    # -- construction ----------------------------------------------------
+
+    def add_device(self, spec: DeviceSpec) -> DeviceSpec:
+        if spec.name in self.devices or spec.name in self.switches:
+            raise TopologyError(f"duplicate node name {spec.name!r}")
+        self.devices[spec.name] = spec
+        self._adjacency.setdefault(spec.name, [])
+        return spec
+
+    def add_switch(self, name: str) -> str:
+        if name in self.devices or name in self.switches:
+            raise TopologyError(f"duplicate node name {name!r}")
+        self.switches.add(name)
+        self._adjacency.setdefault(name, [])
+        return name
+
+    def add_link(self, link: LinkSpec, a: str, b: str) -> LinkSpec:
+        for node in (a, b):
+            if node not in self._adjacency:
+                raise TopologyError(f"unknown node {node!r} for link {link.name!r}")
+        if link.name in self.links:
+            raise TopologyError(f"duplicate link name {link.name!r}")
+        if a == b:
+            raise TopologyError(f"link {link.name!r} connects node {a!r} to itself")
+        self.links[link.name] = link
+        self._adjacency[a].append((b, link.name))
+        self._adjacency[b].append((a, link.name))
+        self._route_cache.clear()
+        return link
+
+    # -- queries ---------------------------------------------------------
+
+    def gpus(self) -> list[DeviceSpec]:
+        """All GPU devices, ordered by name for determinism."""
+        return sorted(
+            (d for d in self.devices.values() if d.kind is DeviceKind.GPU),
+            key=lambda d: d.name,
+        )
+
+    def host(self) -> DeviceSpec:
+        """The unique host (CPU) device of a single-server topology.
+        Multi-server topologies have several; use :meth:`host_of`."""
+        hosts = self.hosts()
+        if len(hosts) != 1:
+            raise TopologyError(
+                f"topology {self.name!r} must have exactly one host, found {len(hosts)}"
+            )
+        return hosts[0]
+
+    def hosts(self) -> list[DeviceSpec]:
+        """All host (CPU) devices, ordered by name."""
+        return sorted(
+            (d for d in self.devices.values() if d.kind is DeviceKind.CPU),
+            key=lambda d: d.name,
+        )
+
+    def host_of(self, device: str) -> DeviceSpec:
+        """The nearest host to ``device`` by hop count — the swap target
+        for that GPU (its own server's DRAM, never a remote host)."""
+        cached = self._host_of_cache.get(device)
+        if cached is not None:
+            return cached
+        candidates: list[tuple[int, str, DeviceSpec]] = []
+        for h in self.hosts():
+            try:
+                hops = len(self.route(device, h.name).links)
+            except TopologyError:
+                continue
+            candidates.append((hops, h.name, h))
+        if not candidates:
+            raise TopologyError(f"no host reachable from {device!r}")
+        best = min(candidates)[2]
+        self._host_of_cache[device] = best
+        return best
+
+    def device(self, name: str) -> DeviceSpec:
+        try:
+            return self.devices[name]
+        except KeyError:
+            raise TopologyError(f"unknown device {name!r}") from None
+
+    def route(self, src: str, dst: str) -> Route:
+        """Shortest-hop route between two devices (BFS, deterministic
+        neighbor order).  Raises :class:`TopologyError` if disconnected."""
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        for node in (src, dst):
+            if node not in self.devices:
+                raise TopologyError(f"route endpoint {node!r} is not a device")
+        if src == dst:
+            route = Route(src, dst, ())
+            self._route_cache[key] = route
+            return route
+        # BFS over nodes, remembering the link taken to reach each node.
+        frontier = [src]
+        parents: dict[str, tuple[str, str]] = {}  # node -> (prev node, link name)
+        visited = {src}
+        while frontier:
+            nxt: list[str] = []
+            for node in frontier:
+                for neighbor, link_name in sorted(self._adjacency[node]):
+                    if neighbor in visited:
+                        continue
+                    visited.add(neighbor)
+                    parents[neighbor] = (node, link_name)
+                    if neighbor == dst:
+                        route = self._trace_route(src, dst, parents)
+                        self._route_cache[key] = route
+                        return route
+                    nxt.append(neighbor)
+            frontier = nxt
+        raise TopologyError(f"no route from {src!r} to {dst!r} in {self.name!r}")
+
+    def _trace_route(
+        self, src: str, dst: str, parents: dict[str, tuple[str, str]]
+    ) -> Route:
+        links: list[LinkSpec] = []
+        node = dst
+        while node != src:
+            prev, link_name = parents[node]
+            links.append(self.links[link_name])
+            node = prev
+        links.reverse()
+        return Route(src, dst, tuple(links))
+
+    def host_route(self, gpu: str) -> Route:
+        """Route used for swapping between ``gpu`` and its local host
+        memory."""
+        return self.route(gpu, self.host_of(gpu).name)
+
+    def host_uplink_oversubscription(self) -> float:
+        """Ratio of GPUs to host uplinks — the 4:1 / 8:1 figure the paper
+        cites for commodity servers."""
+        uplinks = [name for name in self.links if name.startswith("uplink")]
+        if not uplinks:
+            return 1.0
+        return len(self.gpus()) / len(uplinks)
+
+    def shares_switch(self, gpu_a: str, gpu_b: str) -> bool:
+        """Whether two GPUs can reach each other without the host uplink."""
+        return not self.route(gpu_a, gpu_b).crosses_host_uplink
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`TopologyError`."""
+        if not self.hosts():
+            raise TopologyError(f"topology {self.name!r} has no host")
+        if not self.gpus():
+            raise TopologyError(f"topology {self.name!r} has no GPUs")
+        for gpu in self.gpus():
+            self.host_of(gpu.name)  # every GPU can reach a host
+
+    def __str__(self) -> str:
+        return (
+            f"Topology({self.name!r}: {len(self.gpus())} GPUs, "
+            f"{len(self.switches)} switches, {len(self.links)} links, "
+            f"{self.host_uplink_oversubscription():.0f}:1 host oversubscription)"
+        )

@@ -1,0 +1,30 @@
+"""Memory management: device pools, swap decisions, and accounting.
+
+This package implements both sides of the paper's comparison:
+
+* **per-GPU memory virtualization** (the baseline: every eviction is a
+  write-back over the host link, no peer-to-peer, no cleanliness
+  tracking — the behaviour of vDNN/IBM-LMS-style swappers the paper's
+  Fig. 2 measures), and
+* **Harmony's coherent virtual memory** across all CPU and GPU memory
+  (dirty-bit tracking so clean tensors drop for free, p2p moves between
+  GPUs, swap accounting shared with the scheduler).
+
+The difference is entirely in :class:`MemoryPolicy` flags, so ablation
+benchmarks can isolate each mechanism.
+"""
+
+from repro.memory.policy import MemoryPolicy
+from repro.memory.allocator import DevicePool
+from repro.memory.stats import SwapStats, Direction
+from repro.memory.manager import MemoryManager, MemOp, MemOpKind
+
+__all__ = [
+    "MemoryPolicy",
+    "DevicePool",
+    "SwapStats",
+    "Direction",
+    "MemoryManager",
+    "MemOp",
+    "MemOpKind",
+]

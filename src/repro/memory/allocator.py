@@ -1,0 +1,75 @@
+"""Per-device memory pools.
+
+A :class:`DevicePool` does byte-level accounting for one device:
+
+* ``used`` — bytes physically resident (or reserved for an in-flight
+  swap-in); bounded by ``capacity``.
+* ``demand`` — bytes of *live* state assigned to this device whether
+  resident or swapped out.  This is the "Mem Usage" quantity of the
+  paper's Fig. 2(c): a pipeline stage's footprint can exceed its GPU's
+  capacity, and the excess is exactly what must swap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CapacityError, SimulationError
+
+
+@dataclass
+class DevicePool:
+    name: str
+    capacity: float
+    used: float = 0.0
+    peak_used: float = 0.0
+    demand: float = 0.0
+    peak_demand: float = 0.0
+    _reservations: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def free(self) -> float:
+        return self.capacity - self.used
+
+    def reserve(self, tid: int, nbytes: float) -> None:
+        """Claim bytes for a tensor (on alloc or at swap-in start)."""
+        if nbytes < 0:
+            raise SimulationError(f"{self.name}: negative reservation")
+        if tid in self._reservations:
+            raise SimulationError(f"{self.name}: tensor {tid} already reserved")
+        if self.used + nbytes > self.capacity * (1 + 1e-9):
+            raise CapacityError(
+                f"{self.name}: reserving {nbytes:.3g} B would exceed capacity "
+                f"({self.used:.3g}/{self.capacity:.3g} B used)"
+            )
+        self._reservations[tid] = nbytes
+        self.used += nbytes
+        self.peak_used = max(self.peak_used, self.used)
+
+    def release(self, tid: int) -> float:
+        """Return a tensor's bytes to the pool (eviction done or freed)."""
+        try:
+            nbytes = self._reservations.pop(tid)
+        except KeyError:
+            raise SimulationError(
+                f"{self.name}: releasing tensor {tid} that holds no reservation"
+            ) from None
+        self.used -= nbytes
+        return nbytes
+
+    def holds(self, tid: int) -> bool:
+        return tid in self._reservations
+
+    def resident_tensors(self) -> list[int]:
+        return list(self._reservations)
+
+    # -- demand (footprint) accounting ------------------------------------
+
+    def assign_demand(self, nbytes: float) -> None:
+        self.demand += nbytes
+        self.peak_demand = max(self.peak_demand, self.demand)
+
+    def unassign_demand(self, nbytes: float) -> None:
+        self.demand -= nbytes
+        if self.demand < -1e-6:
+            raise SimulationError(f"{self.name}: negative demand")

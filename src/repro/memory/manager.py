@@ -1,0 +1,621 @@
+"""The memory manager: residency planning, eviction, and coherence.
+
+This is the component the paper describes in §3: "Harmony's memory
+manager ... is responsible for swapping in input data and state, either
+from host (CPU) to device (GPU) memory or directly between device
+memories; it is also responsible for swapping out tensors from device
+to host memory based on their usage status and memory pressure [and]
+maintains a state machine tracking the lifetime of all tensors used."
+
+The same class also implements the *baseline* per-GPU virtualization
+when given :meth:`MemoryPolicy.baseline` — write-back on every
+eviction, no peer-to-peer — so baseline and Harmony runs differ only in
+policy and schedule, never in accounting.
+
+The manager is passive: it *plans* memory operations
+(:class:`MemOp` lists) and applies their state effects; the simulation
+engine decides when each operation's transfer occupies which links.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import CapacityError, SimulationError
+from repro.hardware.topology import Topology
+from repro.memory.allocator import DevicePool
+from repro.memory.policy import MemoryPolicy
+from repro.memory.stats import Direction, SwapStats
+from repro.tasks.task import Task
+from repro.tensors.registry import TensorRegistry
+from repro.tensors.state import TensorRuntime, TensorState
+from repro.tensors.tensor import TensorKind, TensorMeta
+from repro.units import fmt_bytes
+
+
+class MemOpKind(enum.Enum):
+    SWAP_OUT = "swap_out"   # device -> host transfer
+    SWAP_IN = "swap_in"     # host -> device transfer
+    P2P = "p2p"             # device -> device transfer
+    DROP = "drop"           # instant clean eviction
+    ALLOC = "alloc"         # instant on-device materialization
+    WAIT = "wait"           # barrier on an in-flight transfer elsewhere
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class MemOp:
+    """One planned memory operation on one tensor.
+
+    ``forced`` marks an eviction the owning task planned against its own
+    (pinned) inputs — the idealized no-reuse accounting swaps a task's
+    inputs out and back in, which the pin would otherwise veto.
+    """
+
+    kind: MemOpKind
+    tensor: TensorMeta
+    src: str | None = None
+    dst: str | None = None
+    forced: bool = False
+
+    @property
+    def is_transfer(self) -> bool:
+        return self.kind in (MemOpKind.SWAP_OUT, MemOpKind.SWAP_IN, MemOpKind.P2P)
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.tensor.label}, {self.src}->{self.dst})"
+
+
+class MemoryManager:
+    """Tracks every tensor's lifetime and plans residency for tasks."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        registry: TensorRegistry,
+        policy: MemoryPolicy,
+        stats: SwapStats | None = None,
+        clock: Callable[[], float] | None = None,
+    ):
+        self.topology = topology
+        self.registry = registry
+        self.policy = policy
+        self.stats = stats if stats is not None else SwapStats()
+        #: Simulated-time source (the executor wires the engine clock in);
+        #: drives the per-device memory-usage timeline.
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self.pools: dict[str, DevicePool] = {
+            gpu.name: DevicePool(gpu.name, gpu.memory_bytes)
+            for gpu in topology.gpus()
+        }
+        self.usage_log: dict[str, list[tuple[float, float]]] = {
+            gpu.name: [] for gpu in topology.gpus()
+        }
+        # Runtimes are created lazily: the registry keeps growing while
+        # the decomposer (or a test) names tensors, and the manager must
+        # track whatever exists by the time each tensor is first touched.
+        self.runtimes: dict[int, TensorRuntime] = {}
+        self._home: dict[int, str | None] = {}
+        self._use_seq = 0
+        self._waiters: dict[int, list[Callable[[], None]]] = {}
+
+    # -- initial state -------------------------------------------------------
+
+    def materialize_initial(self) -> None:
+        """Place persistent state (W, dW, K) and the input microbatches in
+        host memory, as at the start of a steady-state iteration."""
+        for meta in self.registry.all_tensors():
+            rt = self.runtime(meta.tid)
+            is_input = meta.kind is TensorKind.ACTIVATION and meta.layer == -1
+            if meta.persistent or is_input:
+                rt.materialize_on_host()
+
+
+    def _log_usage(self, device: str | None) -> None:
+        if device is None or device not in self.pools:
+            return
+        self.usage_log[device].append((self.clock(), self.pools[device].used))
+
+    # -- residency planning ----------------------------------------------------
+
+    def _next_use(self) -> int:
+        self._use_seq += 1
+        return self._use_seq
+
+    def runtime(self, tid: int) -> TensorRuntime:
+        rt = self.runtimes.get(tid)
+        if rt is None:
+            rt = TensorRuntime(self.registry.by_id(tid))
+            self.runtimes[tid] = rt
+            self._home[tid] = None
+        return rt
+
+    def pool(self, device: str) -> DevicePool:
+        try:
+            return self.pools[device]
+        except KeyError:
+            raise SimulationError(f"no memory pool for device {device!r}") from None
+
+    def prepare(
+        self, task: Task, device: str, tensors: Sequence[int] | None = None
+    ) -> list[MemOp]:
+        """Plan the memory operations that make ``task``'s tensors
+        resident on ``device``.
+
+        Returns ops in execution order: waits and evictions first, then
+        incoming transfers/allocations.  Pins every touched tensor;
+        :meth:`task_finished` unpins.  Raises :class:`CapacityError`
+        when the working set cannot fit even after evicting everything
+        evictable.
+        """
+        touched = list(dict.fromkeys(tensors)) if tensors is not None else list(
+            task.touched
+        )
+        writes = set(task.writes)
+        if device not in self.pools:
+            # The task runs on a host (e.g. a CPU-offloaded optimizer
+            # step, the ZeRO-Offload design the paper cites): host
+            # memory is unbounded, so preparation reduces to writing
+            # back any device-resident inputs.
+            return self._prepare_on_host(task, touched, writes)
+
+        # Idealized no-reuse swapper (paper §3 accounting, keep_resident
+        # off): every unpinned tensor leaves the device before the task,
+        # including this task's own inputs — they are swapped out and
+        # back in, exactly as the closed-form volume model counts.
+        evict_all: list[MemOp] = []
+        evicted_ids: set[int] = set()
+        if not self.policy.keep_resident:
+            touched_set = set(touched)
+            for rt in self._victim_order(device):
+                op = self._eviction_op(rt, device)
+                op.forced = rt.meta.tid in touched_set
+                evict_all.append(op)
+                evicted_ids.add(rt.meta.tid)
+
+        waits: list[MemOp] = []
+        incoming: list[MemOp] = []
+        incoming_bytes = 0.0
+        seq = self._next_use()
+        for tid in touched:
+            rt = self.runtime(tid)
+            rt.last_use = seq
+            meta = rt.meta
+            if tid in evicted_ids:
+                incoming.append(MemOp(MemOpKind.SWAP_IN, meta, None, device))
+                incoming_bytes += meta.size_bytes
+            elif rt.state is TensorState.ON_DEVICE and rt.device == device:
+                pass  # already resident
+            elif rt.state is TensorState.ON_DEVICE:
+                # Resident on a peer device: move it here.
+                if self.policy.p2p_enabled:
+                    incoming.append(MemOp(MemOpKind.P2P, meta, rt.device, device))
+                else:
+                    # Bounce through host memory: two host-link transfers.
+                    # The outbound half is forced: the planning task has
+                    # pinned the tensor (it is its own input in motion).
+                    incoming.append(
+                        MemOp(MemOpKind.SWAP_OUT, meta, rt.device, None, forced=True)
+                    )
+                    incoming.append(MemOp(MemOpKind.SWAP_IN, meta, None, device))
+                incoming_bytes += meta.size_bytes
+            elif rt.state is TensorState.ON_HOST:
+                incoming.append(MemOp(MemOpKind.SWAP_IN, meta, None, device))
+                incoming_bytes += meta.size_bytes
+            elif rt.state is TensorState.SWAPPING_OUT:
+                waits.append(MemOp(MemOpKind.WAIT, meta))
+                incoming.append(MemOp(MemOpKind.SWAP_IN, meta, None, device))
+                incoming_bytes += meta.size_bytes
+            elif rt.state is TensorState.SWAPPING_IN:
+                if rt.device != device:
+                    raise SimulationError(
+                        f"{meta.label}: concurrently swapped into {rt.device} "
+                        f"while task {task.label} needs it on {device}"
+                    )
+                waits.append(MemOp(MemOpKind.WAIT, meta))
+            elif rt.state is TensorState.UNMATERIALIZED:
+                if tid not in writes:
+                    raise SimulationError(
+                        f"task {task.label} reads unmaterialized tensor {meta.label}"
+                    )
+                incoming.append(MemOp(MemOpKind.ALLOC, meta, None, device))
+                incoming_bytes += meta.size_bytes
+            else:  # FREED
+                raise SimulationError(
+                    f"task {task.label} touches freed tensor {meta.label}"
+                )
+
+        # Pin before selecting victims so this task's tensors survive.
+        for tid in touched:
+            self.runtime(tid).pinned += 1
+
+        try:
+            if self.policy.keep_resident:
+                evictions = self._plan_evictions(task, device, incoming_bytes)
+            else:
+                evictions = evict_all
+                inflight_waits, inflight = self._inflight_departures(device)
+                evictions = inflight_waits + evictions
+                freed = sum(
+                    op.tensor.size_bytes for op in evict_all if op.tensor
+                )
+                if incoming_bytes > self.pool(device).free + freed + inflight + 1e-6:
+                    raise CapacityError(
+                        f"task {task.label} needs {fmt_bytes(incoming_bytes)} "
+                        f"incoming on {device} "
+                        f"(capacity {fmt_bytes(self.pool(device).capacity)})"
+                    )
+        except CapacityError:
+            for tid in touched:
+                self.runtime(tid).pinned -= 1
+            raise
+        return waits + evictions + incoming
+
+    def _prepare_on_host(
+        self, task: Task, touched: list[int], writes: set[int]
+    ) -> list[MemOp]:
+        """Residency plan for a host-placed task: device-resident inputs
+        are written back (their swap-out is this task's data movement);
+        host-resident tensors are free to use; written tensors that do
+        not exist yet materialize directly in host memory."""
+        ops: list[MemOp] = []
+        seq = self._next_use()
+        for tid in touched:
+            rt = self.runtime(tid)
+            rt.last_use = seq
+            if rt.state is TensorState.ON_DEVICE:
+                ops.append(
+                    MemOp(MemOpKind.SWAP_OUT, rt.meta, rt.device, None, forced=True)
+                )
+            elif rt.in_flight:
+                ops.append(MemOp(MemOpKind.WAIT, rt.meta))
+                # If it lands on a device, the defensive re-check in the
+                # transfer engine converts the wait into a write-back.
+                ops.append(
+                    MemOp(MemOpKind.SWAP_OUT, rt.meta, rt.device, None, forced=True)
+                )
+            elif rt.state is TensorState.UNMATERIALIZED:
+                if tid not in writes:
+                    raise SimulationError(
+                        f"host task {task.label} reads unmaterialized tensor "
+                        f"{rt.meta.label}"
+                    )
+                rt.materialize_on_host()
+            elif rt.state is TensorState.FREED:
+                raise SimulationError(
+                    f"host task {task.label} touches freed tensor {rt.meta.label}"
+                )
+        for tid in touched:
+            self.runtime(tid).pinned += 1
+        return ops
+
+    def _plan_evictions(
+        self, task: Task, device: str, incoming_bytes: float
+    ) -> list[MemOp]:
+        pool = self.pool(device)
+        deficit = incoming_bytes - pool.free
+        if deficit <= 0:
+            return []
+        ops: list[MemOp] = []
+        freed = 0.0
+        # Bytes already on their way out (a peer fetched a tensor away,
+        # or an earlier eviction's write-back is still in flight) will
+        # free themselves; wait for them instead of evicting more.
+        waits, inflight = self._inflight_departures(device)
+        if inflight:
+            ops += waits
+            freed += inflight
+        for rt in self._victim_order(device):
+            if freed >= deficit:
+                break
+            ops.append(self._eviction_op(rt, device))
+            freed += rt.meta.size_bytes
+        if freed < deficit - 1e-6:
+            # Last resort: unpinned tensors still arriving (a peer parked
+            # a cross-device swap here) become evictable once they land.
+            for tid in self.pool(device).resident_tensors():
+                if freed >= deficit:
+                    break
+                rt = self.runtime(tid)
+                if (
+                    rt.state is TensorState.SWAPPING_IN
+                    and rt.device == device
+                    and rt.pinned == 0
+                ):
+                    ops.append(MemOp(MemOpKind.WAIT, rt.meta))
+                    ops.append(MemOp(MemOpKind.SWAP_OUT, rt.meta, device, None))
+                    freed += rt.meta.size_bytes
+        if freed < deficit - 1e-6:
+            raise CapacityError(
+                f"task {task.label} needs {fmt_bytes(incoming_bytes)} incoming on "
+                f"{device} but only {fmt_bytes(pool.free + freed)} can be made free "
+                f"(capacity {fmt_bytes(pool.capacity)}); reduce pack or microbatch size"
+            )
+        return ops
+
+    def _inflight_departures(self, device: str) -> tuple[list[MemOp], float]:
+        """WAIT ops (and their byte total) for tensors currently leaving
+        ``device`` — in-flight swap-outs and p2p moves away."""
+        waits: list[MemOp] = []
+        total = 0.0
+        for tid in self.pool(device).resident_tensors():
+            rt = self.runtime(tid)
+            leaving = rt.state is TensorState.SWAPPING_OUT or (
+                rt.state is TensorState.SWAPPING_IN and rt.device != device
+            )
+            if leaving:
+                waits.append(MemOp(MemOpKind.WAIT, rt.meta))
+                total += rt.meta.size_bytes
+        return waits, total
+
+    def _victim_order(self, device: str) -> list[TensorRuntime]:
+        pool = self.pool(device)
+        candidates = [
+            rt
+            for rt in (self.runtime(tid) for tid in pool.resident_tensors())
+            if rt.state is TensorState.ON_DEVICE and rt.pinned == 0
+        ]
+        if self.policy.eviction == "largest_first":
+            candidates.sort(key=lambda rt: (-rt.meta.size_bytes, rt.last_use))
+        elif self.policy.eviction == "activations_first":
+            # vDNN-style: offload per-microbatch tensors before touching
+            # persistent state, LRU within each class.
+            candidates.sort(
+                key=lambda rt: (rt.meta.persistent, rt.last_use, rt.meta.tid)
+            )
+        else:  # lru
+            candidates.sort(key=lambda rt: (rt.last_use, rt.meta.tid))
+        return candidates
+
+    def _eviction_op(self, rt: TensorRuntime, device: str) -> MemOp:
+        if self.policy.track_clean and not rt.dirty:
+            return MemOp(MemOpKind.DROP, rt.meta, device, None)
+        if self.policy.swap_to_peer and self.policy.p2p_enabled:
+            peer = self._peer_with_room(device, rt.meta.size_bytes)
+            if peer is not None:
+                return MemOp(MemOpKind.P2P, rt.meta, device, peer)
+        return MemOp(MemOpKind.SWAP_OUT, rt.meta, device, None)
+
+    def _peer_with_room(self, device: str, nbytes: float) -> str | None:
+        """Cross-device swap target (paper §2 inefficiency #3: baselines
+        'miss the opportunity to use fast device-to-device links for
+        cross-device swaps').  Only peers reachable without the host
+        uplink and with comfortable headroom qualify."""
+        best: str | None = None
+        best_free = 0.0
+        for name, pool in self.pools.items():
+            if name == device:
+                continue
+            headroom = pool.free - 0.25 * pool.capacity
+            if headroom < nbytes:
+                continue
+            if not self.topology.shares_switch(device, name):
+                continue
+            if pool.free > best_free:
+                best, best_free = name, pool.free
+        return best
+
+    # -- op lifecycle (called by the engine) -------------------------------------
+
+    def op_begin(self, op: MemOp) -> bool:
+        """Apply an op's start-of-transfer effects.  Returns False when
+        the op has become a no-op (state already satisfied)."""
+        rt = self.runtime(op.tensor.tid)
+        kind = op.kind
+        if kind is MemOpKind.SWAP_OUT:
+            if rt.state is not TensorState.ON_DEVICE:
+                return False
+            if op.src is not None and rt.device != op.src:
+                return False  # moved elsewhere since planning; not ours to evict
+            op.src = rt.device
+            rt.begin_swap_out(force=op.forced)
+            return True
+        if kind is MemOpKind.SWAP_IN:
+            if rt.state is TensorState.ON_DEVICE and rt.device == op.dst:
+                return False
+            self.pool(op.dst).reserve(rt.meta.tid, rt.meta.size_bytes)
+            rt.begin_swap_in(op.dst)
+            self._log_usage(op.dst)
+            return True
+        if kind is MemOpKind.P2P:
+            if rt.state is TensorState.ON_DEVICE and rt.device == op.dst:
+                return False
+            if rt.state is TensorState.ON_HOST:
+                # The source copy was evicted in the meantime; degrade
+                # to a host fetch.
+                op.kind = MemOpKind.SWAP_IN
+                op.src = None
+                self.pool(op.dst).reserve(rt.meta.tid, rt.meta.size_bytes)
+                rt.begin_swap_in(op.dst)
+                self._log_usage(op.dst)
+                return True
+            op.src = rt.device
+            self.pool(op.dst).reserve(rt.meta.tid, rt.meta.size_bytes)
+            rt.begin_move(op.dst)
+            self._log_usage(op.dst)
+            return True
+        if kind is MemOpKind.DROP:
+            if rt.state is not TensorState.ON_DEVICE:
+                return False
+            if op.src is not None and rt.device != op.src:
+                return False
+            if rt.dirty:
+                # Written since the drop was planned; degrade to a
+                # write-back so the update is not lost.
+                op.kind = MemOpKind.SWAP_OUT
+                op.src = rt.device
+                rt.begin_swap_out()
+                return True
+            device = rt.device
+            rt.drop()
+            self.pool(device).release(rt.meta.tid)
+            self._log_usage(device)
+            self.stats.record(device, rt.meta.kind, Direction.DROP, rt.meta.size_bytes)
+            return True
+        if kind is MemOpKind.ALLOC:
+            self.pool(op.dst).reserve(rt.meta.tid, rt.meta.size_bytes)
+            rt.materialize_on_device(op.dst)
+            self._log_usage(op.dst)
+            self._assign_home(rt.meta.tid, op.dst)
+            return True
+        raise SimulationError(f"op_begin on unexpected op {op}")
+
+    def op_finish(self, op: MemOp) -> None:
+        """Apply an op's end-of-transfer effects and wake waiters."""
+        rt = self.runtime(op.tensor.tid)
+        meta = rt.meta
+        if op.kind is MemOpKind.SWAP_OUT:
+            rt.finish_swap_out()
+            rt.host_device = self.topology.host_of(op.src).name
+            self.pool(op.src).release(meta.tid)
+            self._log_usage(op.src)
+            self.stats.record(op.src, meta.kind, Direction.SWAP_OUT, meta.size_bytes)
+        elif op.kind is MemOpKind.SWAP_IN:
+            rt.finish_swap_in()
+            rt.dirty = False  # host copy is current right after a swap-in
+            self.stats.record(op.dst, meta.kind, Direction.SWAP_IN, meta.size_bytes)
+            self._assign_home(meta.tid, op.dst)
+        elif op.kind is MemOpKind.P2P:
+            rt.finish_swap_in()
+            self.pool(op.src).release(meta.tid)
+            self._log_usage(op.src)
+            self.stats.record(op.dst, meta.kind, Direction.P2P_IN, meta.size_bytes)
+            self.stats.record(op.src, meta.kind, Direction.P2P_OUT, meta.size_bytes)
+            self._assign_home(meta.tid, op.dst)
+        else:
+            raise SimulationError(f"op_finish on non-transfer op {op}")
+        self._fire_waiters(meta.tid)
+
+    def _assign_home(self, tid: int, device: str) -> None:
+        old = self._home[tid]
+        if old == device:
+            return
+        size = self.runtime(tid).meta.size_bytes
+        if old is not None:
+            self.pool(old).unassign_demand(size)
+        self.pool(device).assign_demand(size)
+        self._home[tid] = device
+
+    def _unassign_home(self, tid: int) -> None:
+        old = self._home[tid]
+        if old is not None:
+            self.pool(old).unassign_demand(self.runtime(tid).meta.size_bytes)
+            self._home[tid] = None
+
+    # -- execution-time victim substitution ----------------------------------------
+
+    def substitute_victims(self, op: MemOp) -> list[MemOp] | None:
+        """A planned eviction found its victim pinned at execution time
+        (a concurrent task on another device claimed it).  Pick other
+        victims covering at least the same byte count, or ``None`` if
+        nothing is evictable right now."""
+        device = op.src
+        if device is None:
+            return None
+        needed = op.tensor.size_bytes
+        ops: list[MemOp] = []
+        freed = 0.0
+        for rt in self._victim_order(device):
+            if rt.meta.tid == op.tensor.tid:
+                continue
+            ops.append(self._eviction_op(rt, device))
+            freed += rt.meta.size_bytes
+            if freed >= needed:
+                return ops
+        return None
+
+    # -- waiters ------------------------------------------------------------------
+
+    def add_waiter(self, tid: int, callback: Callable[[], None]) -> None:
+        """Register a callback fired when the tensor's in-flight transfer
+        completes or its pin count drops to zero (whichever happens
+        next); callbacks must re-check state and re-register if their
+        condition is still unmet."""
+        self._waiters.setdefault(tid, []).append(callback)
+
+    def _fire_waiters(self, tid: int) -> None:
+        for callback in self._waiters.pop(tid, []):
+            callback()
+
+    def in_flight(self, tid: int) -> bool:
+        return self.runtime(tid).in_flight
+
+    # -- task completion --------------------------------------------------------------
+
+    def task_finished(self, task: Task, tensors: Sequence[int] | None = None) -> None:
+        """Unpin the task's tensors, mark its writes dirty, and free its
+        dead tensors."""
+        touched = list(tensors) if tensors is not None else list(task.touched)
+        touched_set = set(touched)
+        seq = self._next_use()
+        for tid in touched:
+            rt = self.runtime(tid)
+            if rt.pinned <= 0:
+                raise SimulationError(
+                    f"task {task.label}: unpinning unpinned tensor {rt.meta.label}"
+                )
+            rt.pinned -= 1
+            rt.last_use = seq
+            if rt.pinned == 0:
+                self._fire_waiters(tid)
+        for tid in task.writes:
+            if tid not in touched_set:
+                continue
+            rt = self.runtime(tid)
+            if rt.state is TensorState.ON_DEVICE:
+                rt.mark_written()
+        for tid in task.frees:
+            if tid not in touched_set and tensors is not None:
+                continue
+            self._free(tid)
+
+    def _free(self, tid: int) -> None:
+        rt = self.runtime(tid)
+        if rt.state is TensorState.FREED:
+            return
+        device = rt.resident_on
+        if rt.in_flight:
+            raise SimulationError(f"freeing in-flight tensor {rt.meta.label}")
+        rt.free()
+        if device is not None:
+            self.pool(device).release(tid)
+            self._log_usage(device)
+        self._unassign_home(tid)
+
+    # -- end-of-iteration flush ------------------------------------------------------
+
+    def plan_flush(self) -> list[MemOp]:
+        """Write back all dirty device-resident state — the evictions the
+        *next* iteration's traffic would inevitably contain, so that a
+        one-iteration simulation reports steady-state swap volume."""
+        ops: list[MemOp] = []
+        for device in sorted(self.pools):
+            pool = self.pools[device]
+            for tid in sorted(pool.resident_tensors()):
+                rt = self.runtime(tid)
+                if rt.state is not TensorState.ON_DEVICE:
+                    continue
+                if rt.dirty:
+                    ops.append(MemOp(MemOpKind.SWAP_OUT, rt.meta, device, None))
+                else:
+                    ops.append(MemOp(MemOpKind.DROP, rt.meta, device, None))
+        return ops
+
+    # -- diagnostics ---------------------------------------------------------------------
+
+    def resident_bytes(self, device: str) -> float:
+        return self.pool(device).used
+
+    def describe(self) -> str:
+        lines = [f"memory manager ({self.policy})"]
+        for name in sorted(self.pools):
+            pool = self.pools[name]
+            lines.append(
+                f"  {name}: used {fmt_bytes(pool.used)} / {fmt_bytes(pool.capacity)}, "
+                f"peak {fmt_bytes(pool.peak_used)}, demand peak {fmt_bytes(pool.peak_demand)}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Swap-volume accounting, broken down the way the paper reasons.
+
+The analytical comparison in §3 talks about per-tensor-kind volumes
+("here we focus on model weights W"); Fig. 2(a) plots *global swap-out
+volume*; Fig. 2(c) needs per-device views.  :class:`SwapStats` records
+every byte moved, keyed by (device, tensor kind, direction), so all
+three views — and the exact weight-only cross-check against the
+closed-form model — fall out of one ledger.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.tensors.tensor import TensorKind
+from repro.units import GB
+
+
+class Direction(enum.Enum):
+    SWAP_IN = "swap_in"        # host -> device over the host link
+    SWAP_OUT = "swap_out"      # device -> host over the host link
+    P2P_IN = "p2p_in"          # device -> device (receiving side)
+    P2P_OUT = "p2p_out"        # device -> device (sending side)
+    DROP = "drop"              # clean eviction, no traffic
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_HOST_DIRECTIONS = (Direction.SWAP_IN, Direction.SWAP_OUT)
+
+
+@dataclass
+class SwapStats:
+    """Ledger of all data movement in one simulated run."""
+
+    _volume: dict[tuple[str, TensorKind, Direction], float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    _events: dict[tuple[str, TensorKind, Direction], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+
+    def record(
+        self, device: str, kind: TensorKind, direction: Direction, nbytes: float
+    ) -> None:
+        self._volume[(device, kind, direction)] += nbytes
+        self._events[(device, kind, direction)] += 1
+
+    # -- aggregated views --------------------------------------------------
+
+    def volume(
+        self,
+        device: str | None = None,
+        kind: TensorKind | None = None,
+        direction: Direction | None = None,
+    ) -> float:
+        """Total bytes matching the given filters (None = any)."""
+        return sum(
+            v
+            for (d, k, dr), v in self._volume.items()
+            if (device is None or d == device)
+            and (kind is None or k == kind)
+            and (direction is None or dr == direction)
+        )
+
+    def events(
+        self,
+        device: str | None = None,
+        kind: TensorKind | None = None,
+        direction: Direction | None = None,
+    ) -> int:
+        return sum(
+            c
+            for (d, k, dr), c in self._events.items()
+            if (device is None or d == device)
+            and (kind is None or k == kind)
+            and (direction is None or dr == direction)
+        )
+
+    def host_traffic(self, device: str | None = None) -> float:
+        """Bytes crossing the device<->host boundary (both directions) —
+        the traffic that rides the oversubscribed uplink."""
+        return sum(self.volume(device, None, d) for d in _HOST_DIRECTIONS)
+
+    def swap_out_volume(self, device: str | None = None) -> float:
+        """The paper's Fig. 2(a) metric: global swap-out volume."""
+        return self.volume(device, None, Direction.SWAP_OUT)
+
+    def swap_in_volume(self, device: str | None = None) -> float:
+        return self.volume(device, None, Direction.SWAP_IN)
+
+    def p2p_volume(self) -> float:
+        """Bytes moved device-to-device (counted once, receiver side)."""
+        return self.volume(None, None, Direction.P2P_IN)
+
+    def kind_swap_volume(self, kind: TensorKind) -> float:
+        """Host-crossing volume for one tensor kind (e.g. weights only —
+        the quantity in the paper's (4m+2)N|W| analysis)."""
+        return self.volume(None, kind, Direction.SWAP_IN) + self.volume(
+            None, kind, Direction.SWAP_OUT
+        )
+
+    def devices(self) -> list[str]:
+        return sorted({d for (d, _, _) in self._volume})
+
+    def summary(self) -> str:
+        lines = ["swap stats (GB):"]
+        for device in self.devices():
+            parts = []
+            for direction in Direction:
+                vol = self.volume(device, None, direction)
+                if vol:
+                    parts.append(f"{direction.value}={vol / GB:.2f}")
+            lines.append(f"  {device}: " + (", ".join(parts) or "none"))
+        return "\n".join(lines)

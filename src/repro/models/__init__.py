@@ -1,0 +1,18 @@
+"""DNN model descriptions and training cost models.
+
+Models in this library are *metadata-level*: a :class:`ModelGraph` is an
+ordered chain of :class:`LayerSpec` records carrying parameter counts,
+activation sizes, and FLOP counts — everything the scheduler, memory
+manager, and analytical model need, and nothing they don't (no actual
+arithmetic is performed).  Builders reconstruct the published models the
+paper plots in Fig. 1 (LeNet through GPT-3) plus the BERT workload used
+in Fig. 2.
+"""
+
+from repro.models.layer import LayerSpec
+from repro.models.phases import Phase
+from repro.models.graph import ModelGraph
+from repro.models.costmodel import CostModel
+from repro.models import zoo
+
+__all__ = ["LayerSpec", "Phase", "ModelGraph", "CostModel", "zoo"]

@@ -1,0 +1,82 @@
+"""Runtime cost model: FLOPs -> seconds, bytes -> seconds.
+
+The simulator needs a clock value for every compute task and transfer.
+This model converts a task's FLOPs to time using the executing device's
+sustained throughput, with a floor representing per-kernel launch
+overhead — the paper notes fine-grained tasks "may be as short as a few
+microseconds", and the launch floor is what makes over-decomposition
+costly (exercised by the task-packing ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hardware.device import DeviceSpec
+from repro.models.layer import LayerSpec
+from repro.models.phases import Phase
+from repro.units import USEC
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Converts work metadata to simulated durations.
+
+    Attributes
+    ----------
+    kernel_launch_sec:
+        Fixed per-task overhead (CUDA kernel launch + framework
+        dispatch).  ~10 us is typical for PyTorch eager mode.
+    memory_bound_fraction:
+        A de-rating applied to layers whose arithmetic intensity is low;
+        1.0 means pure FLOP-bound execution.  Kept as a single knob —
+        a full roofline model is beyond what the paper's claims need.
+    """
+
+    kernel_launch_sec: float = 10 * USEC
+    memory_bound_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kernel_launch_sec < 0:
+            raise ConfigError("kernel_launch_sec must be >= 0")
+        if not 0 < self.memory_bound_fraction <= 1.0:
+            raise ConfigError("memory_bound_fraction must be in (0, 1]")
+
+    def compute_time(
+        self,
+        layer: LayerSpec,
+        phase: Phase,
+        microbatch_size: int,
+        device: DeviceSpec,
+    ) -> float:
+        """Simulated duration of one (layer, phase) task on one microbatch."""
+        if microbatch_size < 1:
+            raise ConfigError("microbatch_size must be >= 1")
+        flops = layer.flops(phase, microbatch_size)
+        effective = device.flops_per_sec * self.memory_bound_fraction
+        return self.kernel_launch_sec + flops / effective
+
+    def task_time(self, flops: float, device: DeviceSpec) -> float:
+        """Duration of a task given its total FLOPs (used by the
+        executor, whose tasks carry precomputed FLOP counts)."""
+        if flops < 0:
+            raise ConfigError("flops must be >= 0")
+        effective = device.flops_per_sec * self.memory_bound_fraction
+        return self.kernel_launch_sec + flops / effective
+
+    def pack_time(
+        self,
+        layers: list[LayerSpec],
+        phase: Phase,
+        microbatch_size: int,
+        device: DeviceSpec,
+    ) -> float:
+        """Duration of a *packed* task executing several layers
+        back-to-back: one launch overhead, summed FLOPs.  This is the
+        benefit side of the paper's task-packing optimization."""
+        if not layers:
+            return 0.0
+        flops = sum(layer.flops(phase, microbatch_size) for layer in layers)
+        effective = device.flops_per_sec * self.memory_bound_fraction
+        return self.kernel_launch_sec + flops / effective

@@ -1,0 +1,152 @@
+"""Model graphs: ordered chains of layers.
+
+DNN training pipelines (and the paper's analysis) treat the model as a
+sequence of layer-level operations; :class:`ModelGraph` is that chain
+plus whole-model footprint accounting used to decide when a model
+"fits" and by how much it overflows aggregate GPU memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+from repro.models.layer import LayerSpec
+from repro.models.phases import Phase
+from repro.units import fmt_bytes, fmt_count
+
+
+@dataclass
+class ModelGraph:
+    """An ordered chain of layers with training-footprint accounting.
+
+    Attributes
+    ----------
+    name:
+        Model identifier (e.g. ``"bert-large"``).
+    layers:
+        The chain, in forward order.
+    """
+
+    name: str
+    layers: list[LayerSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("model name must be non-empty")
+        seen: set[str] = set()
+        for layer in self.layers:
+            if layer.name in seen:
+                raise ModelError(f"duplicate layer name {layer.name!r} in {self.name!r}")
+            seen.add(layer.name)
+
+    # -- basic shape ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def layer(self, index: int) -> LayerSpec:
+        return self.layers[index]
+
+    def index_of(self, name: str) -> int:
+        for i, layer in enumerate(self.layers):
+            if layer.name == name:
+                return i
+        raise ModelError(f"no layer named {name!r} in model {self.name!r}")
+
+    def validate(self) -> None:
+        """Structural checks: non-empty, activation chain is consistent
+        (each layer's input size equals its predecessor's output size)."""
+        if not self.layers:
+            raise ModelError(f"model {self.name!r} has no layers")
+        for prev, cur in zip(self.layers, self.layers[1:]):
+            if abs(prev.out_bytes_per_sample - cur.in_bytes_per_sample) > 1e-6:
+                raise ModelError(
+                    f"model {self.name!r}: activation size mismatch between "
+                    f"{prev.name!r} (out {prev.out_bytes_per_sample}) and "
+                    f"{cur.name!r} (in {cur.in_bytes_per_sample})"
+                )
+
+    # -- aggregate sizes -------------------------------------------------
+
+    @property
+    def param_count(self) -> float:
+        return sum(layer.param_count for layer in self.layers)
+
+    @property
+    def param_bytes(self) -> float:
+        return sum(layer.param_bytes for layer in self.layers)
+
+    @property
+    def grad_bytes(self) -> float:
+        return sum(layer.grad_bytes for layer in self.layers)
+
+    @property
+    def optimizer_bytes(self) -> float:
+        return sum(layer.optimizer_bytes for layer in self.layers)
+
+    def stash_bytes(self, microbatch_size: int) -> float:
+        """Activation stash for one microbatch across the whole model."""
+        return sum(layer.stash_bytes(microbatch_size) for layer in self.layers)
+
+    def flops(self, phase: Phase, microbatch_size: int) -> float:
+        return sum(layer.flops(phase, microbatch_size) for layer in self.layers)
+
+    def iteration_flops(self, batch_size: int) -> float:
+        """FLOPs of a full training iteration on ``batch_size`` samples."""
+        return (
+            self.flops(Phase.FORWARD, batch_size)
+            + self.flops(Phase.BACKWARD, batch_size)
+            + self.flops(Phase.UPDATE, 1)
+        )
+
+    def training_footprint_bytes(
+        self, microbatch_size: int, num_live_microbatches: int = 1
+    ) -> float:
+        """Total bytes of training state for one model replica: weights,
+        gradients, optimizer state, and stashed activations for the given
+        number of simultaneously-live microbatches.
+
+        This is the footprint the paper describes as "significantly
+        blowing up" beyond the parameter size — the quantity compared
+        against GPU memory capacity to decide whether swapping is needed.
+        """
+        return (
+            self.param_bytes
+            + self.grad_bytes
+            + self.optimizer_bytes
+            + num_live_microbatches * self.stash_bytes(microbatch_size)
+        )
+
+    def max_layer_working_set(self, microbatch_size: int) -> float:
+        """The largest single-task working set across layers and phases —
+        the hard lower bound on device capacity (a device that cannot
+        hold one task's working set cannot train the model at all)."""
+        return max(
+            layer.working_set_bytes(phase, microbatch_size)
+            for layer in self.layers
+            for phase in Phase
+        )
+
+    def slice(self, start: int, stop: int, name: str | None = None) -> "ModelGraph":
+        """A contiguous sub-chain (used to form pipeline stages)."""
+        if not 0 <= start < stop <= len(self.layers):
+            raise ModelError(
+                f"invalid slice [{start}:{stop}] of model with {len(self.layers)} layers"
+            )
+        return ModelGraph(
+            name=name or f"{self.name}[{start}:{stop}]",
+            layers=list(self.layers[start:stop]),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {len(self.layers)} layers, "
+            f"{fmt_count(self.param_count)} params ({fmt_bytes(self.param_bytes)})"
+        )
+
+    def __str__(self) -> str:
+        return self.describe()

@@ -1,0 +1,151 @@
+"""Layer specifications: the unit of task decomposition.
+
+A :class:`LayerSpec` carries the sizes and FLOP counts of one layer.
+The paper's analytical model (§3, Fig. 5(a)) reasons about exactly
+these tensors per layer:
+
+===========================  =====================================
+tensor                       size source
+===========================  =====================================
+weights ``W``                ``param_bytes``
+weight gradients ``dW``      ``param_bytes`` (same shape as W)
+optimizer state ``K``        ``optimizer_multiplier * param_bytes``
+input activation ``X``       ``in_bytes_per_sample * microbatch``
+output activation ``Y``      ``out_bytes_per_sample * microbatch``
+stashed tensors for BWD      ``stash_bytes_per_sample * microbatch``
+input gradient ``dX``        same size as ``X``
+output gradient ``dY``       same size as ``Y``
+===========================  =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.models.phases import Phase
+from repro.units import FP32_BYTES
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Size/cost metadata for one layer of a DNN.
+
+    Attributes
+    ----------
+    name:
+        Unique name within its model (e.g. ``"block12"``).
+    param_count:
+        Number of trainable parameters.
+    dtype_bytes:
+        Bytes per parameter / activation element (fp32 by default).
+    in_bytes_per_sample / out_bytes_per_sample:
+        Input / output activation bytes for a single sample.
+    stash_bytes_per_sample:
+        Activation bytes that must be *stashed* between this layer's
+        forward and backward passes (includes the input plus any
+        internal activations the backward pass re-reads).
+    flops_fwd_per_sample:
+        Forward-pass FLOPs for one sample.
+    flops_bwd_per_sample:
+        Backward-pass FLOPs for one sample (typically ~2x forward,
+        per the paper's note that backward has 2-3x the runtime).
+    optimizer_multiplier:
+        Optimizer state bytes as a multiple of ``param_bytes``
+        (2.0 for Adam's two fp32 moments, 0.0 for vanilla SGD).
+    """
+
+    name: str
+    param_count: float
+    in_bytes_per_sample: float
+    out_bytes_per_sample: float
+    stash_bytes_per_sample: float
+    flops_fwd_per_sample: float
+    flops_bwd_per_sample: float
+    dtype_bytes: int = FP32_BYTES
+    optimizer_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("layer name must be non-empty")
+        for field_name in (
+            "param_count",
+            "in_bytes_per_sample",
+            "out_bytes_per_sample",
+            "stash_bytes_per_sample",
+            "flops_fwd_per_sample",
+            "flops_bwd_per_sample",
+            "optimizer_multiplier",
+        ):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise ModelError(f"layer {self.name!r}: {field_name} must be >= 0")
+        if self.dtype_bytes <= 0:
+            raise ModelError(f"layer {self.name!r}: dtype_bytes must be positive")
+
+    # -- derived sizes -----------------------------------------------------
+
+    @property
+    def param_bytes(self) -> float:
+        """Bytes of the weight tensor W."""
+        return self.param_count * self.dtype_bytes
+
+    @property
+    def grad_bytes(self) -> float:
+        """Bytes of the weight-gradient buffer dW (same shape as W)."""
+        return self.param_bytes
+
+    @property
+    def optimizer_bytes(self) -> float:
+        """Bytes of optimizer state K (e.g. Adam moments)."""
+        return self.optimizer_multiplier * self.param_bytes
+
+    def in_bytes(self, microbatch_size: int) -> float:
+        return self.in_bytes_per_sample * microbatch_size
+
+    def out_bytes(self, microbatch_size: int) -> float:
+        return self.out_bytes_per_sample * microbatch_size
+
+    def stash_bytes(self, microbatch_size: int) -> float:
+        return self.stash_bytes_per_sample * microbatch_size
+
+    def flops(self, phase: Phase, microbatch_size: int) -> float:
+        """Total FLOPs for one phase over a microbatch.
+
+        The update phase costs a small per-parameter constant (fused
+        Adam: ~6 FLOPs/param) and does not scale with batch size.
+        """
+        if phase is Phase.FORWARD:
+            return self.flops_fwd_per_sample * microbatch_size
+        if phase is Phase.BACKWARD:
+            return self.flops_bwd_per_sample * microbatch_size
+        if phase is Phase.UPDATE:
+            return 6.0 * self.param_count
+        raise ModelError(f"unknown phase {phase!r}")
+
+    def working_set_bytes(self, phase: Phase, microbatch_size: int) -> float:
+        """Peak device-resident bytes needed to execute one phase on one
+        microbatch — the union of the swap-in and swap-out sets of the
+        paper's Fig. 5(a) swap model."""
+        m = microbatch_size
+        if phase is Phase.FORWARD:
+            # in: X, W; out: Y, stashed X (stash is held alongside)
+            return self.in_bytes(m) + self.param_bytes + self.out_bytes(m) + max(
+                0.0, self.stash_bytes(m) - self.in_bytes(m)
+            )
+        if phase is Phase.BACKWARD:
+            # in: dY, stash, W, dW buffer; out: dX, accumulated dW
+            return (
+                self.out_bytes(m)
+                + self.stash_bytes(m)
+                + self.param_bytes
+                + self.grad_bytes
+                + self.in_bytes(m)
+            )
+        if phase is Phase.UPDATE:
+            # in: dW, W, K; out: W', K', reset dW'
+            return self.param_bytes + self.grad_bytes + self.optimizer_bytes
+        raise ModelError(f"unknown phase {phase!r}")
+
+    def __str__(self) -> str:
+        return f"LayerSpec({self.name}, {self.param_count:.3g} params)"

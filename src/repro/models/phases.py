@@ -1,0 +1,19 @@
+"""Training phases of a layer within one iteration.
+
+The paper decomposes a training script into forward, backward, and
+weight-update tasks per layer (Fig. 3's Task Decomposer); this enum
+names those phases for the cost model, swap model, and task system.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Phase(enum.Enum):
+    FORWARD = "fwd"
+    BACKWARD = "bwd"
+    UPDATE = "upd"
+
+    def __str__(self) -> str:
+        return self.value

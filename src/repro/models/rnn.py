@@ -1,0 +1,122 @@
+"""Recurrent model builders (GNMT).
+
+GNMT (Wu et al. '16) is the 278 M-parameter translation model in the
+paper's Fig. 1.  The builder reconstructs its published structure —
+8-layer encoder (first layer bidirectional), 8-layer decoder with
+attention fed to every layer, tied 32 K wordpiece vocabulary — from the
+standard LSTM parameter formula ``4 * ((input + hidden) * hidden +
+hidden)`` per direction.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.models.graph import ModelGraph
+from repro.models.layer import LayerSpec
+from repro.units import FP32_BYTES
+
+
+def lstm_layer(
+    name: str,
+    input_size: int,
+    hidden: int,
+    seq_len: int,
+    bidirectional: bool = False,
+    dtype_bytes: int = FP32_BYTES,
+) -> LayerSpec:
+    """One (possibly bidirectional) LSTM layer."""
+    if min(input_size, hidden, seq_len) < 1:
+        raise ModelError(f"lstm layer {name!r}: dimensions must be >= 1")
+    directions = 2 if bidirectional else 1
+    params = directions * 4 * ((input_size + hidden) * hidden + hidden)
+    out_width = directions * hidden
+    in_bytes = float(seq_len * input_size * dtype_bytes)
+    out_bytes = float(seq_len * out_width * dtype_bytes)
+    # Recurrent matmuls: 8 h (input + hidden) MACs per timestep per direction.
+    fwd = float(directions * 2 * seq_len * 4 * (input_size + hidden) * hidden)
+    return LayerSpec(
+        name=name,
+        param_count=float(params),
+        in_bytes_per_sample=in_bytes,
+        out_bytes_per_sample=out_bytes,
+        # LSTMs stash per-timestep gates: ~4 gate activations + cell state.
+        stash_bytes_per_sample=float(5 * seq_len * out_width * dtype_bytes),
+        flops_fwd_per_sample=fwd,
+        flops_bwd_per_sample=2 * fwd,
+        dtype_bytes=dtype_bytes,
+    )
+
+
+def embedding_layer(
+    name: str,
+    vocab: int,
+    width: int,
+    seq_len: int,
+    dtype_bytes: int = FP32_BYTES,
+) -> LayerSpec:
+    out_bytes = float(seq_len * width * dtype_bytes)
+    return LayerSpec(
+        name=name,
+        param_count=float(vocab * width),
+        in_bytes_per_sample=float(seq_len * 4),
+        out_bytes_per_sample=out_bytes,
+        stash_bytes_per_sample=out_bytes,
+        flops_fwd_per_sample=float(2 * seq_len * width),
+        flops_bwd_per_sample=float(4 * seq_len * width),
+        dtype_bytes=dtype_bytes,
+    )
+
+
+def projection_layer(
+    name: str,
+    in_width: int,
+    vocab: int,
+    seq_len: int,
+    dtype_bytes: int = FP32_BYTES,
+) -> LayerSpec:
+    fwd = float(2 * seq_len * in_width * vocab)
+    in_bytes = float(seq_len * in_width * dtype_bytes)
+    return LayerSpec(
+        name=name,
+        param_count=float(in_width * vocab + vocab),
+        in_bytes_per_sample=in_bytes,
+        out_bytes_per_sample=float(seq_len * vocab * dtype_bytes),
+        stash_bytes_per_sample=in_bytes,
+        flops_fwd_per_sample=fwd,
+        flops_bwd_per_sample=2 * fwd,
+        dtype_bytes=dtype_bytes,
+    )
+
+
+def gnmt(
+    vocab: int = 32000,
+    hidden: int = 1024,
+    enc_layers: int = 8,
+    dec_layers: int = 8,
+    seq_len: int = 50,
+    dtype_bytes: int = FP32_BYTES,
+) -> ModelGraph:
+    """GNMT: ~278 M parameters with the published defaults."""
+    if enc_layers < 2 or dec_layers < 1:
+        raise ModelError("gnmt: need >= 2 encoder layers and >= 1 decoder layer")
+    layers: list[LayerSpec] = [
+        embedding_layer("src_embed", vocab, hidden, seq_len, dtype_bytes),
+        lstm_layer("enc0", hidden, hidden, seq_len, bidirectional=True,
+                   dtype_bytes=dtype_bytes),
+        lstm_layer("enc1", 2 * hidden, hidden, seq_len, dtype_bytes=dtype_bytes),
+    ]
+    for i in range(2, enc_layers):
+        layers.append(
+            lstm_layer(f"enc{i}", hidden, hidden, seq_len, dtype_bytes=dtype_bytes)
+        )
+    layers.append(embedding_layer("tgt_embed", vocab, hidden, seq_len, dtype_bytes))
+    # Every decoder layer receives the attention context concatenated to
+    # its input (the GNMT "attention is fed to all layers" design).
+    for i in range(dec_layers):
+        layers.append(
+            lstm_layer(
+                f"dec{i}", 2 * hidden, hidden, seq_len, dtype_bytes=dtype_bytes
+            )
+        )
+    layers.append(projection_layer("softmax", hidden, vocab, seq_len, dtype_bytes))
+    return ModelGraph(name="gnmt", layers=layers)

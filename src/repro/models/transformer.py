@@ -1,0 +1,295 @@
+"""Transformer model builders (BERT, GPT-2, GPT-3, T5).
+
+Parameter counts follow the standard per-block formula (``12 h^2 + 13 h``
+for an encoder block with biases and 4h feed-forward), generalized to
+arbitrary feed-forward width, key/value dimension, and decoder
+cross-attention so that the published totals the paper plots in Fig. 1
+(GPT-2 1.5 B, T5 11 B, GPT-3 175 B) are reproduced from first principles
+rather than hard-coded.
+
+FLOP counts use the matmul rule (2 FLOPs per multiply-accumulate) plus
+the quadratic attention terms; activation stash sizes follow the usual
+"keep everything the backward pass re-reads" accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.models.graph import ModelGraph
+from repro.models.layer import LayerSpec
+from repro.units import FP32_BYTES
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture hyperparameters for a transformer LM.
+
+    ``d_ff`` defaults to ``4 * hidden`` and ``d_kv`` to
+    ``hidden / heads`` when left as ``None`` (the GPT/BERT convention);
+    T5-style models override both.
+    """
+
+    name: str
+    num_blocks: int
+    hidden: int
+    heads: int
+    seq_len: int
+    vocab: int
+    max_pos: int | None = None
+    d_ff: int | None = None
+    d_kv: int | None = None
+    bias: bool = True
+    tied_head: bool = True
+    cross_attention: bool = False
+    dtype_bytes: int = FP32_BYTES
+    optimizer_multiplier: float = 2.0
+    stash_factor: float = 24.0
+    attn_stash_factor: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 1:
+            raise ModelError(f"{self.name}: need at least one block")
+        for field_name in ("hidden", "heads", "seq_len", "vocab"):
+            if getattr(self, field_name) < 1:
+                raise ModelError(f"{self.name}: {field_name} must be >= 1")
+        if self.hidden % self.heads != 0 and self.d_kv is None:
+            raise ModelError(f"{self.name}: hidden must be divisible by heads")
+
+    @property
+    def ff_width(self) -> int:
+        return self.d_ff if self.d_ff is not None else 4 * self.hidden
+
+    @property
+    def kv_width(self) -> int:
+        return self.d_kv if self.d_kv is not None else self.hidden // self.heads
+
+    @property
+    def attn_inner(self) -> int:
+        """Total width of the attention projection (heads * d_kv)."""
+        return self.heads * self.kv_width
+
+    @property
+    def positions(self) -> int:
+        return self.max_pos if self.max_pos is not None else self.seq_len
+
+
+def _block_params(cfg: TransformerConfig) -> float:
+    """Trainable parameters of one transformer block."""
+    h, inner, ff = cfg.hidden, cfg.attn_inner, cfg.ff_width
+    attn = 3 * h * inner + inner * h  # q, k, v projections + output projection
+    if cfg.bias:
+        attn += 3 * inner + h
+    if cfg.cross_attention:
+        attn *= 2  # decoder blocks carry a second (cross) attention
+    mlp = h * ff + ff * h
+    if cfg.bias:
+        mlp += ff + h
+    num_norms = 3 if cfg.cross_attention else 2
+    norms = num_norms * (2 * h if cfg.bias else h)
+    return float(attn + mlp + norms)
+
+
+def _block_flops_fwd(cfg: TransformerConfig) -> float:
+    """Forward FLOPs per sample for one block: 2 FLOPs per MAC on the
+    projections and feed-forward, plus the seq^2 attention matmuls."""
+    s, h, inner, ff = cfg.seq_len, cfg.hidden, cfg.attn_inner, cfg.ff_width
+    proj = 2 * s * (3 * h * inner + inner * h)
+    if cfg.cross_attention:
+        proj *= 2
+    attn_quadratic = 4 * s * s * inner  # QK^T and attn @ V
+    if cfg.cross_attention:
+        attn_quadratic *= 2
+    mlp = 2 * s * (2 * h * ff)
+    return float(proj + attn_quadratic + mlp)
+
+
+def _block_stash_bytes(cfg: TransformerConfig) -> float:
+    """Per-sample activation bytes stashed between forward and backward."""
+    s, h = cfg.seq_len, cfg.hidden
+    dense = cfg.stash_factor * s * h
+    attn = cfg.attn_stash_factor * cfg.heads * s * s
+    if cfg.cross_attention:
+        attn *= 2
+    return float((dense + attn) * cfg.dtype_bytes)
+
+
+def build_transformer(cfg: TransformerConfig) -> ModelGraph:
+    """Materialize a :class:`ModelGraph`: embedding, N blocks, LM head."""
+    act = float(cfg.seq_len * cfg.hidden * cfg.dtype_bytes)
+    token_ids = float(cfg.seq_len * 4)  # int32 token ids
+    layers: list[LayerSpec] = []
+
+    embed_params = float(cfg.vocab * cfg.hidden + cfg.positions * cfg.hidden)
+    if cfg.bias:
+        embed_params += 2 * cfg.hidden  # embedding layernorm
+    layers.append(
+        LayerSpec(
+            name="embed",
+            param_count=embed_params,
+            in_bytes_per_sample=token_ids,
+            out_bytes_per_sample=act,
+            stash_bytes_per_sample=act,
+            flops_fwd_per_sample=float(2 * cfg.seq_len * cfg.hidden),
+            flops_bwd_per_sample=float(4 * cfg.seq_len * cfg.hidden),
+            dtype_bytes=cfg.dtype_bytes,
+            optimizer_multiplier=cfg.optimizer_multiplier,
+        )
+    )
+
+    block_params = _block_params(cfg)
+    fwd = _block_flops_fwd(cfg)
+    stash = _block_stash_bytes(cfg)
+    for i in range(cfg.num_blocks):
+        layers.append(
+            LayerSpec(
+                name=f"block{i}",
+                param_count=block_params,
+                in_bytes_per_sample=act,
+                out_bytes_per_sample=act,
+                stash_bytes_per_sample=stash,
+                flops_fwd_per_sample=fwd,
+                flops_bwd_per_sample=2 * fwd,
+                dtype_bytes=cfg.dtype_bytes,
+                optimizer_multiplier=cfg.optimizer_multiplier,
+            )
+        )
+
+    head_params = 0.0 if cfg.tied_head else float(cfg.hidden * cfg.vocab)
+    head_flops = float(2 * cfg.seq_len * cfg.hidden * cfg.vocab)
+    layers.append(
+        LayerSpec(
+            name="lm_head",
+            param_count=head_params,
+            in_bytes_per_sample=act,
+            out_bytes_per_sample=float(cfg.seq_len * cfg.vocab * cfg.dtype_bytes),
+            stash_bytes_per_sample=act,
+            flops_fwd_per_sample=head_flops,
+            flops_bwd_per_sample=2 * head_flops,
+            dtype_bytes=cfg.dtype_bytes,
+            optimizer_multiplier=cfg.optimizer_multiplier,
+        )
+    )
+    model = ModelGraph(name=cfg.name, layers=layers)
+    model.validate()
+    return model
+
+
+# -- published configurations ------------------------------------------
+
+
+def bert_large(seq_len: int = 512, dtype_bytes: int = FP32_BYTES) -> ModelGraph:
+    """BERT-large (Devlin et al. '18): 24 blocks, hidden 1024 — the
+    workload of the paper's Fig. 2 measurements (~340 M params)."""
+    return build_transformer(
+        TransformerConfig(
+            name="bert-large",
+            num_blocks=24,
+            hidden=1024,
+            heads=16,
+            seq_len=seq_len,
+            vocab=30522,
+            max_pos=512,
+            dtype_bytes=dtype_bytes,
+        )
+    )
+
+
+def gpt2_xl(seq_len: int = 1024, dtype_bytes: int = FP32_BYTES) -> ModelGraph:
+    """GPT-2 XL (Radford et al. '19): 48 blocks, hidden 1600, ~1.5 B."""
+    return build_transformer(
+        TransformerConfig(
+            name="gpt2-xl",
+            num_blocks=48,
+            hidden=1600,
+            heads=25,
+            seq_len=seq_len,
+            vocab=50257,
+            max_pos=1024,
+            dtype_bytes=dtype_bytes,
+        )
+    )
+
+
+def gpt3_175b(seq_len: int = 2048, dtype_bytes: int = FP32_BYTES) -> ModelGraph:
+    """GPT-3 (Brown et al. '20): 96 blocks, hidden 12288, ~175 B."""
+    return build_transformer(
+        TransformerConfig(
+            name="gpt3-175b",
+            num_blocks=96,
+            hidden=12288,
+            heads=96,
+            seq_len=seq_len,
+            vocab=50257,
+            max_pos=2048,
+            dtype_bytes=dtype_bytes,
+        )
+    )
+
+
+def megatron_8b(seq_len: int = 1024, dtype_bytes: int = FP32_BYTES) -> ModelGraph:
+    """Megatron-LM 8.3B (Shoeybi et al. '19, cited by the paper as the
+    canonical model-parallel system): 72 blocks, hidden 3072."""
+    return build_transformer(
+        TransformerConfig(
+            name="megatron-8b",
+            num_blocks=72,
+            hidden=3072,
+            heads=24,
+            seq_len=seq_len,
+            vocab=51200,
+            max_pos=1024,
+            dtype_bytes=dtype_bytes,
+        )
+    )
+
+
+def t5_11b(seq_len: int = 512, dtype_bytes: int = FP32_BYTES) -> ModelGraph:
+    """T5-11B (Raffel et al. '19): 24 encoder + 24 decoder blocks with
+    d_ff=65536, d_kv=128, no biases — ~11 B parameters.
+
+    Encoder and decoder halves are built separately (decoder blocks
+    carry cross-attention) and concatenated into one chain, which is how
+    seq2seq training pipelines schedule them.
+    """
+    common = dict(
+        hidden=1024,
+        heads=128,
+        seq_len=seq_len,
+        vocab=32128,
+        max_pos=0,  # T5 uses relative position biases (negligible params)
+        d_ff=65536,
+        d_kv=128,
+        bias=False,
+        dtype_bytes=dtype_bytes,
+    )
+    encoder = build_transformer(
+        TransformerConfig(name="t5-enc", num_blocks=24, **common)
+    )
+    decoder = build_transformer(
+        TransformerConfig(
+            name="t5-dec", num_blocks=24, cross_attention=True, **common
+        )
+    )
+    # Fuse: encoder embed + enc blocks + dec blocks + head.  The decoder
+    # embedding is tied to the encoder's, so it is dropped.
+    layers = list(encoder.layers[:-1])  # embed + enc blocks
+    for layer in decoder.layers[1:-1]:  # dec blocks (skip embed)
+        layers.append(
+            LayerSpec(
+                name=f"dec_{layer.name}",
+                param_count=layer.param_count,
+                in_bytes_per_sample=layer.in_bytes_per_sample,
+                out_bytes_per_sample=layer.out_bytes_per_sample,
+                stash_bytes_per_sample=layer.stash_bytes_per_sample,
+                flops_fwd_per_sample=layer.flops_fwd_per_sample,
+                flops_bwd_per_sample=layer.flops_bwd_per_sample,
+                dtype_bytes=layer.dtype_bytes,
+                optimizer_multiplier=layer.optimizer_multiplier,
+            )
+        )
+    layers.append(decoder.layers[-1])  # lm head (tied: zero params)
+    model = ModelGraph(name="t5-11b", layers=layers)
+    model.validate()
+    return model

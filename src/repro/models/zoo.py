@@ -1,0 +1,126 @@
+"""Model zoo: the registry behind the paper's Fig. 1 growth series.
+
+Each entry pairs a published parameter count (as plotted in Fig. 1)
+with a builder that reconstructs the model from its architecture, so
+tests can verify that the reconstruction lands on the published figure
+rather than simply echoing it.
+
+Also exposes ``synthetic_uniform`` — the idealized model of the paper's
+§3 analytical comparison (one layer type, identical runtimes and
+footprints, "like Transformers").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ModelError
+from repro.models.cnn import alexnet, amoebanet_proxy, lenet5
+from repro.models.graph import ModelGraph
+from repro.models.layer import LayerSpec
+from repro.models.rnn import gnmt
+from repro.models.transformer import (
+    bert_large,
+    gpt2_xl,
+    gpt3_175b,
+    megatron_8b,
+    t5_11b,
+)
+from repro.units import FP32_BYTES, MB
+
+
+@dataclass(frozen=True)
+class ZooEntry:
+    """One point in the Fig. 1 growth series."""
+
+    name: str
+    year: int
+    task: str
+    published_params: float
+    builder: Callable[[], ModelGraph]
+
+
+_REGISTRY: dict[str, ZooEntry] = {}
+
+
+def _register(entry: ZooEntry) -> None:
+    _REGISTRY[entry.name] = entry
+
+
+_register(ZooEntry("lenet", 1998, "image classification", 60e3, lenet5))
+_register(ZooEntry("alexnet", 2012, "image classification", 61e6, alexnet))
+_register(ZooEntry("gnmt", 2016, "translation", 278e6, gnmt))
+_register(
+    ZooEntry("amoebanet", 2018, "image classification", 557e6, amoebanet_proxy)
+)
+_register(ZooEntry("gpt2", 2019, "language modeling", 1.5e9, gpt2_xl))
+_register(ZooEntry("t5", 2019, "language modeling", 11e9, t5_11b))
+_register(ZooEntry("gpt3", 2020, "language modeling", 175e9, gpt3_175b))
+_register(
+    ZooEntry("bert-large", 2018, "language modeling", 340e6, bert_large)
+)
+_register(
+    ZooEntry("megatron", 2019, "language modeling", 8.3e9, megatron_8b)
+)
+
+
+def names() -> list[str]:
+    """Registered model names, ordered by publication year."""
+    return [e.name for e in sorted(_REGISTRY.values(), key=lambda e: (e.year, e.name))]
+
+
+def entry(name: str) -> ZooEntry:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown model {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def build(name: str) -> ModelGraph:
+    """Build a registered model by name."""
+    return entry(name).builder()
+
+
+def growth_series() -> list[ZooEntry]:
+    """The exact series the paper's Fig. 1 plots, in order."""
+    order = ["lenet", "alexnet", "gnmt", "amoebanet", "gpt2", "t5", "gpt3"]
+    return [entry(n) for n in order]
+
+
+def synthetic_uniform(
+    num_layers: int = 4,
+    param_bytes_per_layer: float = 100 * MB,
+    activation_bytes: float = 25 * MB,
+    flops_fwd: float = 1e12,
+    stash_multiplier: float = 1.0,
+    optimizer_multiplier: float = 2.0,
+    dtype_bytes: int = FP32_BYTES,
+    name: str | None = None,
+) -> ModelGraph:
+    """The paper's §3 idealized model: ``num_layers`` identical layers
+    ("one type of layer, like Transformers, same runtime and memory
+    footprint for forward/backward/update").
+
+    ``activation_bytes`` is per *sample*; the analytical swap-volume
+    comparison and the Fig. 4 schedule example both use this model.
+    """
+    if num_layers < 1:
+        raise ModelError("synthetic model needs at least one layer")
+    layers = [
+        LayerSpec(
+            name=f"L{i + 1}",
+            param_count=param_bytes_per_layer / dtype_bytes,
+            in_bytes_per_sample=activation_bytes,
+            out_bytes_per_sample=activation_bytes,
+            stash_bytes_per_sample=stash_multiplier * activation_bytes,
+            flops_fwd_per_sample=flops_fwd,
+            flops_bwd_per_sample=2 * flops_fwd,
+            dtype_bytes=dtype_bytes,
+            optimizer_multiplier=optimizer_multiplier,
+        )
+        for i in range(num_layers)
+    ]
+    return ModelGraph(name=name or f"uniform-{num_layers}", layers=layers)

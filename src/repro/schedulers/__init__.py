@@ -1,0 +1,31 @@
+"""Schedulers: baseline and Harmony training schedules.
+
+Every scheduler turns a model + topology + batching configuration into
+a :class:`~repro.sim.Plan`.  The baselines reproduce how today's
+frameworks behave with per-GPU memory virtualization bolted on
+(the paper's Fig. 2 measurements); the Harmony schedulers implement the
+paper's four optimizations — input-batch grouping, just-in-time
+update scheduling, p2p transfers, and task packing — as individually
+toggleable options, so the ablation benchmarks can attribute the win.
+"""
+
+from repro.schedulers.base import Scheduler, BatchConfig
+from repro.schedulers.single import SingleGpuScheduler
+from repro.schedulers.dp_baseline import DataParallelBaseline
+from repro.schedulers.pp_baseline import PipelineBaseline
+from repro.schedulers.harmony_dp import HarmonyDP
+from repro.schedulers.harmony_pp import HarmonyPP
+from repro.schedulers.harmony_tp import HarmonyTP
+from repro.schedulers.options import HarmonyOptions
+
+__all__ = [
+    "Scheduler",
+    "BatchConfig",
+    "SingleGpuScheduler",
+    "DataParallelBaseline",
+    "PipelineBaseline",
+    "HarmonyDP",
+    "HarmonyPP",
+    "HarmonyTP",
+    "HarmonyOptions",
+]

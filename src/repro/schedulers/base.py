@@ -1,0 +1,105 @@
+"""Scheduler base class and shared plumbing.
+
+A scheduler's job (paper Fig. 3, "Task and Swap Scheduler") is to turn
+the decomposed task graph into a :class:`Plan`: bind every task to a
+device (late binding happens *here*, not in the model definition),
+fix each device's execution order, and choose the memory policy.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, SchedulingError
+from repro.hardware.topology import Topology
+from repro.memory.policy import MemoryPolicy
+from repro.models.graph import ModelGraph
+from repro.sim.plan import Plan
+from repro.tasks.decomposer import IterationTasks
+from repro.tasks.task import TaskKind
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """How one mini-batch is split.
+
+    ``num_microbatches`` is per replica (the paper's ``m``); the global
+    mini-batch is ``num_replicas * num_microbatches * microbatch_size``
+    samples.
+    """
+
+    microbatch_size: int = 1
+    num_microbatches: int = 1
+
+    def __post_init__(self) -> None:
+        if self.microbatch_size < 1:
+            raise ConfigError("microbatch_size must be >= 1")
+        if self.num_microbatches < 1:
+            raise ConfigError("num_microbatches must be >= 1")
+
+    @property
+    def per_replica_batch(self) -> int:
+        return self.microbatch_size * self.num_microbatches
+
+
+class Scheduler(abc.ABC):
+    """Builds an execution plan for one training iteration."""
+
+    name: str = "scheduler"
+
+    def __init__(self, model: ModelGraph, topology: Topology, batch: BatchConfig):
+        if not len(model):
+            raise ConfigError("model has no layers")
+        topology.validate()
+        self.model = model
+        self.topology = topology
+        self.batch = batch
+        self.gpus = [gpu.name for gpu in topology.gpus()]
+
+    @abc.abstractmethod
+    def plan(self) -> Plan:
+        """Produce the placed, ordered plan."""
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _finish_plan(
+        self,
+        itasks: IterationTasks,
+        device_order: dict[str, list[int]],
+        replica_device: dict[int, str],
+        policy: MemoryPolicy,
+        notes: dict | None = None,
+    ) -> Plan:
+        """Wire allreduce participants, check placement, and assemble."""
+        for task in itasks.graph:
+            if task.kind is TaskKind.ALLREDUCE:
+                task.participants = tuple(
+                    sorted(replica_device[r] for r in range(itasks.num_replicas))
+                )
+        for task in itasks.graph:
+            if task.kind is TaskKind.COMPUTE and task.device is None:
+                raise SchedulingError(f"task {task.label} left unplaced by {self.name}")
+        plan = Plan(
+            label=self.name,
+            graph=itasks.graph,
+            registry=itasks.registry,
+            device_order=device_order,
+            replica_device=replica_device,
+            policy=policy,
+            samples_per_iteration=itasks.samples_per_iteration,
+            microbatch_size=itasks.microbatch_size,
+            notes=notes or {},
+        )
+        plan.validate()
+        return plan
+
+    @staticmethod
+    def _place_replica_tasks(
+        itasks: IterationTasks, replica: int, device: str
+    ) -> None:
+        """Bind every compute task of one replica to one device (the
+        data-parallel placement rule)."""
+        for task in itasks.graph:
+            if task.kind is TaskKind.COMPUTE and task.replica == replica:
+                task.place(device)

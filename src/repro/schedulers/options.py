@@ -1,0 +1,101 @@
+"""Harmony optimization toggles.
+
+Each flag maps to one of the paper's four optimizations (§3), plus the
+pack-size knob of the "memory-performance tango" (§4).  All default to
+the full Harmony configuration; ablation benchmarks flip one at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.memory.policy import MemoryPolicy
+
+
+@dataclass(frozen=True)
+class HarmonyOptions:
+    """Toggles for Harmony's optimizations.
+
+    grouping:
+        Input-batch grouping — run each task across all microbatches
+        back-to-back so its state is swapped once, not per microbatch.
+    jit_update:
+        Just-in-time scheduling — run each layer pack's weight update
+        immediately after its backward group, while W/dW are resident.
+    p2p:
+        Peer-to-peer transfers — move shared tensors directly between
+        GPUs instead of bouncing through host memory, and allow
+        cross-device swap targets.
+    pack_size:
+        Layers fused per task (task packing); 1 = layer granularity.
+    pack_size_bwd:
+        Optional distinct backward-pass pack size (the paper notes
+        backward has 2-3x forward's footprint, motivating different
+        granularities per pass).  ``None`` = same as ``pack_size``.
+    track_clean:
+        Dirty-bit tracking in the memory manager (part of Harmony's
+        coherent virtual memory; exposed for ablation).
+    recompute:
+        Activation checkpointing (Chen et al. '16, cited by the paper):
+        stash only each pack's input and re-run the pack's forward
+        during backward.  Trades ~33% extra compute for an
+        activation-stash footprint independent of pack depth — the §4
+        note that "increasing the pack size can reduce p2p transfer and
+        swap volume (when using recompute)".  Requires equal forward
+        and backward pack sizes.
+    """
+
+    grouping: bool = True
+    jit_update: bool = True
+    p2p: bool = True
+    pack_size: int = 1
+    pack_size_bwd: int | None = None
+    track_clean: bool = True
+    recompute: bool = False
+    #: Run weight updates on the host CPU against host-resident
+    #: optimizer state (the ZeRO-Offload design the paper cites):
+    #: Adam moments never occupy GPU memory or the swap link, at the
+    #: cost of slower update arithmetic and a forced dW write-back.
+    cpu_optimizer: bool = False
+    #: Shard optimizer state across data-parallel replicas (ZeRO
+    #: stage-1, the paper-cited optimizer-state sharding): each replica
+    #: keeps 1/N of K and updates its weight slice; an all-gather
+    #: rebuilds full weights.  Data-parallel schedules only.
+    zero_optimizer: bool = False
+    #: Let evictions target a switch-local peer GPU's spare memory over
+    #: p2p links instead of host DRAM (paper §2: baselines "can only
+    #: swap to host memory ... missing the opportunity to use fast
+    #: device-to-device links for cross-device swaps").  Profitable only
+    #: when load is uneven enough that some GPU has slack.
+    swap_to_peer: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pack_size < 1:
+            raise ConfigError("pack_size must be >= 1")
+        if self.pack_size_bwd is not None and self.pack_size_bwd < 1:
+            raise ConfigError("pack_size_bwd must be >= 1")
+        if (
+            self.recompute
+            and self.pack_size_bwd is not None
+            and self.pack_size_bwd != self.pack_size
+        ):
+            raise ConfigError(
+                "recompute requires equal forward and backward pack sizes"
+            )
+        if self.cpu_optimizer and self.zero_optimizer:
+            raise ConfigError(
+                "cpu_optimizer and zero_optimizer are alternative optimizer "
+                "placements; enable at most one"
+            )
+
+    @property
+    def bwd_pack_size(self) -> int:
+        return self.pack_size_bwd if self.pack_size_bwd is not None else self.pack_size
+
+    def memory_policy(self) -> MemoryPolicy:
+        return MemoryPolicy(
+            track_clean=self.track_clean,
+            p2p_enabled=self.p2p,
+            swap_to_peer=self.swap_to_peer,
+        )

@@ -1,0 +1,28 @@
+"""Deterministic discrete-event simulator.
+
+The engine executes a *placed, ordered* task plan (the scheduler's
+output) over a hardware topology, with every byte of data movement
+brokered by the memory manager and every transfer occupying the links
+on its route.  Determinism is absolute: the event heap breaks time ties
+by insertion sequence and nothing consults a clock or RNG, so every
+run of the same plan produces byte-identical results.
+"""
+
+from repro.sim.engine import Engine, ResourceTimeline
+from repro.sim.plan import Plan
+from repro.sim.trace import Trace, TraceEvent, render_timeline
+from repro.sim.result import RunResult, DeviceReport
+from repro.sim.executor import Executor, ExecOptions
+
+__all__ = [
+    "Engine",
+    "ResourceTimeline",
+    "Plan",
+    "Trace",
+    "TraceEvent",
+    "render_timeline",
+    "RunResult",
+    "DeviceReport",
+    "Executor",
+    "ExecOptions",
+]

@@ -1,0 +1,99 @@
+"""Event heap and serially-shared resources.
+
+:class:`Engine` is a minimal discrete-event core: callbacks scheduled
+at absolute times, executed in (time, insertion-sequence) order.
+:class:`ResourceTimeline` models a serially-shared resource — a PCIe
+link or a GPU compute stream — as "next free at" bookkeeping: work
+submitted while the resource is busy queues FIFO behind it.  This
+serialization is deliberately simple and is exactly the mechanism that
+surfaces the paper's Fig. 2(a) bottleneck: all GPUs' swap traffic
+queues on the one host uplink.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+class Engine:
+    """Deterministic event loop."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._now = 0.0
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event in the past ({time} < {self._now})"
+            )
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def after(self, delay: float, callback: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.at(self._now + delay, callback)
+
+    def run(self, max_events: int = 100_000_000) -> None:
+        """Drain the event heap."""
+        events = 0
+        while self._heap:
+            time, __, callback = heapq.heappop(self._heap)
+            self._now = max(self._now, time)
+            callback()
+            events += 1
+            if events > max_events:
+                raise SimulationError(f"exceeded {max_events} events; likely livelock")
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+
+class ResourceTimeline:
+    """A serially-shared resource: FIFO occupancy with busy accounting."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.free_at = 0.0
+        self.busy_seconds = 0.0
+
+    def acquire(self, now: float, duration: float) -> tuple[float, float]:
+        """Queue ``duration`` of exclusive use; returns (start, end)."""
+        if duration < 0:
+            raise SimulationError(f"{self.name}: negative duration")
+        start = max(now, self.free_at)
+        end = start + duration
+        self.free_at = end
+        self.busy_seconds += duration
+        return start, end
+
+    @staticmethod
+    def acquire_all(
+        resources: list["ResourceTimeline"], now: float, duration: float
+    ) -> tuple[float, float]:
+        """Occupy several resources together (a multi-link route or a
+        collective): starts when the last becomes free."""
+        if not resources:
+            return now, now + duration
+        start = max(now, max(r.free_at for r in resources))
+        end = start + duration
+        for r in resources:
+            r.free_at = end
+            r.busy_seconds += duration
+        return start, end
+
+    def utilization(self, horizon: float) -> float:
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / horizon)

@@ -1,0 +1,344 @@
+"""The executor: runs a placed plan to completion on the event engine.
+
+Per-device execution is *strictly ordered*: each device runs its plan's
+task sequence in order, mirroring how CUDA streams execute work in
+issue order.  A task goes through two stages — memory preparation (the
+manager's op chain: evictions, swap-ins, p2p moves) and compute.  With
+``prefetch`` enabled the executor overlaps the *next* task's
+preparation with the current task's compute (double buffering) when
+memory headroom allows, degrading gracefully to serial behaviour when
+it does not — the "memory–performance tango" of the paper's §4.
+
+ALLREDUCE tasks are synchronization points: every participant parks at
+the task, per-replica gradients are made resident on each participant,
+the ring transfer occupies the involved links, and all participants
+resume together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CapacityError, SimulationError
+from repro.hardware.topology import Topology
+from repro.memory.manager import MemoryManager
+from repro.memory.stats import Direction, SwapStats
+from repro.models.costmodel import CostModel
+from repro.sim.engine import Engine, ResourceTimeline
+from repro.sim.plan import Plan
+from repro.sim.result import DeviceReport, RunResult
+from repro.sim.trace import Trace
+from repro.sim.transfer import TransferEngine
+from repro.tasks.task import Task, TaskKind
+
+
+@dataclass(frozen=True)
+class ExecOptions:
+    """Executor knobs.
+
+    prefetch:
+        Overlap next-task memory preparation with current compute
+        (double buffering).  Off by default; the prefetch ablation
+        benchmark measures its effect.
+    flush_at_end:
+        Write back dirty persistent state when all tasks finish, so a
+        one-iteration run reports steady-state swap volume (the
+        write-backs the next iteration would otherwise trigger).
+    iterations:
+        Replay the plan this many times back-to-back.  Persistent state
+        (weights, gradients, optimizer moments) keeps its residency
+        across iterations — the true steady state — while per-microbatch
+        tensors are reborn each iteration.  The flush (if enabled) runs
+        only after the last iteration.
+    """
+
+    prefetch: bool = False
+    flush_at_end: bool = True
+    iterations: int = 1
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise SimulationError("iterations must be >= 1")
+
+
+@dataclass
+class _DeviceState:
+    name: str
+    order: list[int]
+    run_idx: int = 0
+    computing: int | None = None
+    prep_inflight: int | None = None
+    ready: set[int] = field(default_factory=set)
+
+
+class Executor:
+    def __init__(
+        self,
+        topology: Topology,
+        plan: Plan,
+        cost_model: CostModel | None = None,
+        options: ExecOptions | None = None,
+    ):
+        plan.validate()
+        self.topology = topology
+        self.plan = plan
+        self.cost = cost_model if cost_model is not None else CostModel()
+        self.options = options if options is not None else ExecOptions()
+        self.engine = Engine()
+        self.stats = SwapStats()
+        self.trace = Trace()
+        self.manager = MemoryManager(
+            topology, plan.registry, plan.policy, self.stats,
+            clock=lambda: self.engine.now,
+        )
+        self.links = {name: ResourceTimeline(name) for name in topology.links}
+        self.compute_streams = {
+            device.name: ResourceTimeline(f"compute:{device.name}")
+            for device in (*topology.gpus(), *topology.hosts())
+        }
+        self.transfers = TransferEngine(
+            self.engine, topology, self.manager, self.trace, self.links
+        )
+        self.devstates = {
+            dev: _DeviceState(dev, list(order))
+            for dev, order in plan.device_order.items()
+        }
+        self._device_of_replica = dict(plan.replica_device)
+        self.done: set[int] = set()
+        self._arrivals: dict[int, set[str]] = {}
+        self._started_collectives: set[int] = set()
+        self._samples = 0
+
+    # -- public ------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        self.manager.materialize_initial()
+        for iteration in range(self.options.iterations):
+            if iteration > 0:
+                self._reset_iteration()
+            for dev in sorted(self.devstates):
+                self._advance(dev)
+            self.engine.run()
+            self._check_complete()
+        if self.options.flush_at_end:
+            self._flush()
+            self.engine.run()
+        return self._result()
+
+    def _reset_iteration(self) -> None:
+        """Rewind the plan for a replay: every device starts its order
+        over, per-microbatch tensors are reborn (fresh inputs arrive on
+        the host), and persistent state keeps whatever residency the
+        previous iteration left it — the steady-state carry-over."""
+        from repro.tensors.state import TensorRuntime
+        from repro.tensors.tensor import TensorKind
+
+        self.done.clear()
+        self._arrivals.clear()
+        self._started_collectives.clear()
+        self.manager._waiters.clear()  # nothing is in flight between iterations
+        for st in self.devstates.values():
+            st.run_idx = 0
+            st.computing = None
+            st.prep_inflight = None
+            st.ready.clear()
+        for tid, rt in list(self.manager.runtimes.items()):
+            if rt.meta.persistent:
+                continue
+            fresh = TensorRuntime(rt.meta)
+            self.manager.runtimes[tid] = fresh
+            self.manager._home[tid] = None
+            if rt.meta.kind is TensorKind.ACTIVATION and rt.meta.layer == -1:
+                fresh.materialize_on_host()
+
+    # -- scheduling loop ------------------------------------------------------
+
+    def _advance_all(self) -> None:
+        for dev in sorted(self.devstates):
+            self._advance(dev)
+
+    def _advance(self, dev: str) -> None:
+        st = self.devstates[dev]
+        if st.run_idx >= len(st.order):
+            return
+        tid = st.order[st.run_idx]
+        task = self.plan.graph.task(tid)
+        if task.kind is TaskKind.ALLREDUCE:
+            self._advance_allreduce(dev, task)
+            return
+        if tid in st.ready:
+            if st.computing is None:
+                self._start_compute(dev, task)
+            return
+        if st.prep_inflight is not None:
+            return
+        if st.computing is not None and not self.options.prefetch:
+            return
+        if not task.all_deps <= self.done:
+            return
+        self._start_prepare(dev, task)
+
+    # -- compute tasks -----------------------------------------------------------
+
+    def _start_prepare(self, dev: str, task: Task) -> None:
+        st = self.devstates[dev]
+        st.prep_inflight = task.tid
+        prefetching = st.computing is not None
+        try:
+            ops = self.manager.prepare(task, dev)
+        except CapacityError:
+            st.prep_inflight = None
+            if prefetching:
+                return  # retry serially once the current task releases its pins
+            raise
+
+        def prepared() -> None:
+            st.prep_inflight = None
+            st.ready.add(task.tid)
+            self._advance(dev)
+
+        self.transfers.execute_chain(ops, prepared)
+
+    def _start_compute(self, dev: str, task: Task) -> None:
+        st = self.devstates[dev]
+        st.ready.discard(task.tid)
+        st.computing = task.tid
+        st.run_idx += 1
+        device_spec = self.topology.device(dev)
+        duration = self.cost.task_time(task.flops, device_spec)
+        start, end = self.compute_streams[dev].acquire(self.engine.now, duration)
+
+        def complete() -> None:
+            self.trace.add(dev, start, end, "compute", task.label)
+            self.manager.task_finished(task)
+            self.done.add(task.tid)
+            self._samples += task.samples
+            st.computing = None
+            self._advance_all()
+
+        self.engine.at(end, complete)
+        if self.options.prefetch:
+            self._advance(dev)  # start preparing the next task right away
+
+    # -- allreduce ----------------------------------------------------------------
+
+    def _tensors_on_device(self, task: Task, dev: str) -> list[int]:
+        reg = self.plan.registry
+        return [
+            tid
+            for tid in task.touched
+            if self._device_of_replica.get(reg.by_id(tid).replica) == dev
+        ]
+
+    def _advance_allreduce(self, dev: str, task: Task) -> None:
+        st = self.devstates[dev]
+        if st.computing is not None or st.prep_inflight is not None:
+            return
+        if not task.all_deps <= self.done:
+            return
+        arrivals = self._arrivals.setdefault(task.tid, set())
+        arrivals.add(dev)
+        if arrivals != set(task.participants):
+            return
+        if task.tid in self._started_collectives:
+            return
+        self._started_collectives.add(task.tid)
+        self._start_allreduce(task)
+
+    def _start_allreduce(self, task: Task) -> None:
+        participants = sorted(task.participants)
+        for dev in participants:
+            st = self.devstates[dev]
+            st.computing = task.tid
+            st.run_idx += 1
+        pending = {"chains": len(participants)}
+        subsets = {dev: self._tensors_on_device(task, dev) for dev in participants}
+
+        def chain_done() -> None:
+            pending["chains"] -= 1
+            if pending["chains"] == 0:
+                self.transfers.execute_allreduce(
+                    participants, task.comm_bytes, collective_done
+                )
+
+        def collective_done(start: float, end: float) -> None:
+            comm_kind = (
+                self.plan.registry.by_id(task.reads[0]).kind
+                if task.reads
+                else None
+            )
+            for dev in participants:
+                if end > start:
+                    self.trace.add(dev, start, end, "allreduce", task.label)
+                if comm_kind is not None and task.comm_bytes:
+                    # Collectives ride the device-to-device links; account
+                    # their wire volume alongside p2p moves.
+                    self.stats.record(
+                        dev, comm_kind, Direction.P2P_IN, task.comm_bytes
+                    )
+                self.manager.task_finished(task, tensors=subsets[dev])
+                self.devstates[dev].computing = None
+            self.done.add(task.tid)
+            self._advance_all()
+
+        for dev in participants:
+            ops = self.manager.prepare(task, dev, tensors=subsets[dev])
+            self.transfers.execute_chain(ops, chain_done)
+
+    # -- completion --------------------------------------------------------------
+
+    def _check_complete(self) -> None:
+        if len(self.done) == len(self.plan.graph):
+            return
+        diagnostics = []
+        for dev in sorted(self.devstates):
+            st = self.devstates[dev]
+            if st.run_idx < len(st.order):
+                task = self.plan.graph.task(st.order[st.run_idx])
+                missing = sorted(task.all_deps - self.done)
+                diagnostics.append(
+                    f"{dev}: stuck at {task.label} (missing deps {missing[:6]})"
+                )
+        raise SimulationError(
+            "deadlock: "
+            f"{len(self.plan.graph) - len(self.done)} tasks never ran; "
+            + "; ".join(diagnostics)
+        )
+
+    def _flush(self) -> None:
+        ops = self.manager.plan_flush()
+        by_device: dict[str, list] = {}
+        for op in ops:
+            by_device.setdefault(op.src, []).append(op)
+        for device in sorted(by_device):
+            self.transfers.execute_chain(by_device[device], lambda: None)
+
+    # -- results ------------------------------------------------------------------
+
+    def _result(self) -> RunResult:
+        makespan = max(self.trace.makespan(), self.engine.now)
+        devices = {}
+        for gpu in self.topology.gpus():
+            pool = self.manager.pools[gpu.name]
+            devices[gpu.name] = DeviceReport(
+                name=gpu.name,
+                capacity=pool.capacity,
+                peak_used=pool.peak_used,
+                peak_demand=pool.peak_demand,
+                compute_busy=self.trace.busy_seconds(gpu.name, "compute"),
+                swap_in_bytes=self.stats.volume(gpu.name, None, Direction.SWAP_IN),
+                swap_out_bytes=self.stats.volume(gpu.name, None, Direction.SWAP_OUT),
+            )
+        return RunResult(
+            label=self.plan.label,
+            makespan=makespan,
+            samples=self._samples or self.plan.samples_per_iteration,
+            stats=self.stats,
+            trace=self.trace,
+            devices=devices,
+            link_busy={name: tl.busy_seconds for name, tl in self.links.items()},
+            num_tasks=len(self.plan.graph),
+            memory_profile={
+                dev: list(log) for dev, log in self.manager.usage_log.items()
+            },
+        )

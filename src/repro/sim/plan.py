@@ -1,0 +1,118 @@
+"""Execution plans: the scheduler's contract with the executor.
+
+A :class:`Plan` is a fully-placed, per-device-ordered task graph plus
+the memory policy to run it under.  Every scheduler in
+:mod:`repro.schedulers` — baseline or Harmony — produces exactly this
+structure, which is what makes optimizations individually toggleable:
+the executor has no idea which scheme it is running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.memory.policy import MemoryPolicy
+from repro.tasks.graph import TaskGraph
+from repro.tasks.task import TaskKind
+from repro.tensors.registry import TensorRegistry
+
+
+@dataclass
+class Plan:
+    """Scheduler output.
+
+    Attributes
+    ----------
+    label:
+        Human-readable scheme name (e.g. ``"harmony-pp"``).
+    graph / registry:
+        The task graph and its tensor registry.
+    device_order:
+        For each device, the exact order in which it executes its
+        tasks.  ALLREDUCE tasks appear in *every* participant's order
+        (they are synchronization points).
+    replica_device:
+        Which device hosts each data-parallel replica.
+    policy:
+        Memory-management policy for the run.
+    samples_per_iteration:
+        For throughput reporting.
+    """
+
+    label: str
+    graph: TaskGraph
+    registry: TensorRegistry
+    device_order: dict[str, list[int]]
+    replica_device: dict[int, str]
+    policy: MemoryPolicy
+    samples_per_iteration: int
+    microbatch_size: int = 1
+    notes: dict[str, object] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Every task appears in device orders the right number of times
+        and placements are consistent."""
+        seen: dict[int, int] = {}
+        for device, order in self.device_order.items():
+            for tid in order:
+                task = self.graph.task(tid)
+                seen[tid] = seen.get(tid, 0) + 1
+                if task.kind is TaskKind.COMPUTE:
+                    if task.device != device:
+                        raise SchedulingError(
+                            f"task {task.label} ordered on {device} but placed "
+                            f"on {task.device}"
+                        )
+                elif device not in task.participants:
+                    raise SchedulingError(
+                        f"allreduce {task.label} ordered on non-participant {device}"
+                    )
+        for task in self.graph:
+            expected = (
+                1 if task.kind is TaskKind.COMPUTE else len(task.participants)
+            )
+            if seen.get(task.tid, 0) != expected:
+                raise SchedulingError(
+                    f"task {task.label} appears {seen.get(task.tid, 0)} times in "
+                    f"device orders, expected {expected}"
+                )
+        self.graph.validate(require_placement=False)
+
+    def device_of_replica(self, replica: int) -> str:
+        try:
+            return self.replica_device[replica]
+        except KeyError:
+            raise SchedulingError(f"no device for replica {replica}") from None
+
+    def task_counts(self) -> dict[str, int]:
+        """Tasks by phase/kind (fwd/bwd/upd/allreduce) — the shape of
+        the decomposition."""
+        counts: dict[str, int] = {}
+        for task in self.graph:
+            if task.kind is TaskKind.COMPUTE:
+                key = str(task.phase)
+            else:
+                key = "allreduce"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def total_collective_bytes(self) -> float:
+        """Per-participant wire volume summed over all collectives."""
+        return sum(
+            t.comm_bytes for t in self.graph if t.kind is TaskKind.ALLREDUCE
+        )
+
+    def describe(self) -> str:
+        counts = self.task_counts()
+        count_text = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+        lines = [
+            f"plan {self.label!r}: {len(self.graph)} tasks ({count_text}), "
+            f"{len(self.registry)} tensors",
+            f"  policy: {self.policy}",
+        ]
+        for device in sorted(self.device_order):
+            lines.append(
+                f"  {device}: {len(self.device_order[device])} tasks in order"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Run results: the metrics every experiment reads off a simulation.
+
+A :class:`RunResult` carries the three quantities the paper's figures
+plot — throughput (Fig. 2(a)), swap volume (Fig. 2(a), §3 analysis),
+and per-device memory footprint (Fig. 2(c)) — plus the trace and link
+utilizations for diagnosis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.stats import SwapStats
+from repro.sim.trace import Trace
+from repro.units import GB, fmt_bytes, fmt_time
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class DeviceReport:
+    """Per-device outcome of a run."""
+
+    name: str
+    capacity: float
+    peak_used: float
+    peak_demand: float
+    compute_busy: float
+    swap_in_bytes: float
+    swap_out_bytes: float
+
+    @property
+    def overflow_bytes(self) -> float:
+        """How far the device's live footprint exceeded its capacity —
+        the amount that *must* swap (Fig. 2(c)'s above-the-line bars)."""
+        return max(0.0, self.peak_demand - self.capacity)
+
+    @property
+    def swap_pressure(self) -> str:
+        """Qualitative label matching Fig. 2(c)'s annotations."""
+        if self.overflow_bytes <= 0:
+            return "no swap"
+        if self.overflow_bytes < 0.25 * self.capacity:
+            return "light swap"
+        return "heavy swap"
+
+
+@dataclass
+class RunResult:
+    label: str
+    makespan: float
+    samples: int
+    stats: SwapStats
+    trace: Trace
+    devices: dict[str, DeviceReport]
+    link_busy: dict[str, float] = field(default_factory=dict)
+    num_tasks: int = 0
+    #: Per-device (time, bytes-resident) samples taken at every
+    #: allocation/eviction — the memory-usage-over-time curve.
+    memory_profile: dict[str, list[tuple[float, float]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def throughput(self) -> float:
+        """Samples per second (the paper's seqs/sec for BERT)."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.samples / self.makespan
+
+    @property
+    def swap_out_volume(self) -> float:
+        """Global swap-out volume per iteration — Fig. 2(a)'s right axis."""
+        return self.stats.swap_out_volume()
+
+    @property
+    def host_traffic(self) -> float:
+        return self.stats.host_traffic()
+
+    def bottleneck_link(self) -> tuple[str, float]:
+        """The busiest link and its utilization over the makespan."""
+        if not self.link_busy or self.makespan <= 0:
+            return ("none", 0.0)
+        name = max(self.link_busy, key=lambda k: self.link_busy[k])
+        return name, min(1.0, self.link_busy[name] / self.makespan)
+
+    def memory_sparkline(self, device: str, width: int = 80) -> str:
+        """Render one device's memory usage over time as an ASCII
+        sparkline (8 levels, scaled to device capacity)."""
+        samples = self.memory_profile.get(device, [])
+        if not samples or self.makespan <= 0:
+            return "(no memory samples)"
+        capacity = self.devices[device].capacity if device in self.devices else max(
+            used for _, used in samples
+        )
+        glyphs = " .:-=+*#"
+        buckets = [0.0] * width
+        # Carry the last-seen level forward across buckets.
+        level = 0.0
+        idx = 0
+        for i in range(width):
+            t_hi = (i + 1) / width * self.makespan
+            while idx < len(samples) and samples[idx][0] <= t_hi:
+                level = samples[idx][1]
+                idx += 1
+            buckets[i] = level
+        line = "".join(
+            glyphs[min(len(glyphs) - 1, int(b / capacity * (len(glyphs) - 1)))]
+            for b in buckets
+        )
+        return f"{device} mem |{line}| 0..{fmt_bytes(capacity)}"
+
+    def summary(self) -> str:
+        table = Table(
+            ["device", "cap", "peak used", "peak demand", "pressure",
+             "swap in", "swap out", "busy%"],
+            title=(
+                f"{self.label}: {fmt_time(self.makespan)}/iter, "
+                f"{self.throughput:.3g} samples/s, "
+                f"swap-out {self.swap_out_volume / GB:.2f} GB"
+            ),
+        )
+        for name in sorted(self.devices):
+            d = self.devices[name]
+            busy = 100 * d.compute_busy / self.makespan if self.makespan else 0
+            table.add_row(
+                [
+                    name,
+                    fmt_bytes(d.capacity),
+                    fmt_bytes(d.peak_used),
+                    fmt_bytes(d.peak_demand),
+                    d.swap_pressure,
+                    fmt_bytes(d.swap_in_bytes),
+                    fmt_bytes(d.swap_out_bytes),
+                    f"{busy:.0f}",
+                ]
+            )
+        return table.render()

@@ -1,0 +1,170 @@
+"""Transfer execution: memory operations -> timed link occupancy.
+
+Each transfer occupies every link on its route (cut-through, bottleneck
+bandwidth) via :class:`ResourceTimeline` FIFO queues.  Swap-ins ride
+the host->device route, swap-outs the device->host route — both cross
+the shared host uplink — while p2p moves ride switch-local routes and
+therefore bypass the bottleneck, which is the entire point of
+Harmony's optimization #3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import SimulationError
+from repro.hardware.topology import Route, Topology
+from repro.memory.manager import MemOp, MemOpKind, MemoryManager
+from repro.sim.engine import Engine, ResourceTimeline
+from repro.sim.trace import Trace
+
+_CATEGORY = {
+    MemOpKind.SWAP_IN: "swap_in",
+    MemOpKind.SWAP_OUT: "swap_out",
+    MemOpKind.P2P: "p2p",
+}
+
+
+class TransferEngine:
+    """Executes memory-op chains, one op at a time, over shared links."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: Topology,
+        manager: MemoryManager,
+        trace: Trace,
+        links: dict[str, ResourceTimeline],
+    ):
+        self.engine = engine
+        self.topology = topology
+        self.manager = manager
+        self.trace = trace
+        self.links = links
+
+    # -- routes -------------------------------------------------------------
+
+    def _route_for(self, op: MemOp) -> Route:
+        if op.kind is MemOpKind.SWAP_IN:
+            # Fetch from the host that actually holds the copy: on a
+            # multi-server topology a tensor written back on server A
+            # and fetched by server B crosses the inter-server network.
+            rt = self.manager.runtime(op.tensor.tid)
+            src_host = rt.host_device or self.topology.host_of(op.dst).name
+            return self.topology.route(src_host, op.dst)
+        if op.kind is MemOpKind.SWAP_OUT:
+            return self.topology.route(op.src, self.topology.host_of(op.src).name)
+        if op.kind is MemOpKind.P2P:
+            return self.topology.route(op.src, op.dst)
+        raise SimulationError(f"no route for op {op}")
+
+    def _timelines(self, route: Route) -> list[ResourceTimeline]:
+        return [self.links[link.name] for link in route.links]
+
+    # -- execution -------------------------------------------------------------
+
+    def execute_chain(self, ops: Sequence[MemOp], done: Callable[[], None]) -> None:
+        """Run ``ops`` strictly in order, then call ``done``."""
+        remaining = list(ops)
+
+        def step() -> None:
+            if not remaining:
+                done()
+                return
+            self.execute_op(remaining.pop(0), step)
+
+        step()
+
+    def execute_op(self, op: MemOp, done: Callable[[], None]) -> None:
+        if op.kind is MemOpKind.WAIT:
+            if self.manager.in_flight(op.tensor.tid):
+                self.manager.add_waiter(op.tensor.tid, done)
+            else:
+                done()
+            return
+        if op.kind is MemOpKind.ALLOC:
+            self.manager.op_begin(op)
+            done()
+            return
+        # Eviction ops can race with a concurrent task on another device
+        # pinning the victim: substitute another victim, or wait for the
+        # pin to release if nothing else is evictable.
+        if op.kind in (MemOpKind.DROP, MemOpKind.SWAP_OUT) and not op.forced:
+            rt = self.manager.runtime(op.tensor.tid)
+            if rt.pinned > 0 and rt.resident_on == op.src:
+                substitutes = self.manager.substitute_victims(op)
+                if substitutes is None:
+                    self.manager.add_waiter(
+                        op.tensor.tid, lambda: self.execute_op(op, done)
+                    )
+                else:
+                    self.execute_chain(substitutes, done)
+                return
+        if op.kind is MemOpKind.DROP:
+            self.manager.op_begin(op)
+            if op.kind is MemOpKind.DROP:  # not degraded to a write-back
+                done()
+                return
+            # op_begin degraded the drop to a SWAP_OUT (the tensor was
+            # dirtied since planning); fall through to transfer it.
+            self._schedule_transfer(op, done)
+            return
+        # Transfer op: if the tensor is mid-flight elsewhere (e.g. a peer
+        # is still writing it back to host), retry when that completes.
+        if self.manager.in_flight(op.tensor.tid):
+            self.manager.add_waiter(
+                op.tensor.tid, lambda: self.execute_op(op, done)
+            )
+            return
+        if not self.manager.op_begin(op):
+            done()  # state already satisfied; nothing to move
+            return
+        self._schedule_transfer(op, done)
+
+    def _schedule_transfer(self, op: MemOp, done: Callable[[], None]) -> None:
+        # op_begin may have degraded a planned P2P into a SWAP_IN.
+        route = self._route_for(op)
+        duration = route.transfer_time(op.tensor.size_bytes)
+        timelines = self._timelines(route)
+        start, end = ResourceTimeline.acquire_all(timelines, self.engine.now, duration)
+        category = _CATEGORY[op.kind]
+        device = op.src if op.kind is MemOpKind.SWAP_OUT else op.dst
+
+        def finish() -> None:
+            self.manager.op_finish(op)
+            if duration > 0:
+                self.trace.add(device, start, end, category, op.tensor.label)
+            done()
+
+        self.engine.at(end, finish)
+
+    # -- collectives -------------------------------------------------------------
+
+    def execute_allreduce(
+        self,
+        participants: Sequence[str],
+        comm_bytes: float,
+        done: Callable[[float, float], None],
+    ) -> None:
+        """Ring all-reduce across ``participants``: occupies the links of
+        every ring hop for the transfer duration; ``comm_bytes`` is the
+        per-participant wire volume (2(N-1)/N x payload, precomputed by
+        the decomposer)."""
+        if len(participants) < 2:
+            done(self.engine.now, self.engine.now)
+            return
+        routes = [
+            self.topology.route(a, participants[(i + 1) % len(participants)])
+            for i, a in enumerate(participants)
+        ]
+        involved: dict[str, ResourceTimeline] = {}
+        for route in routes:
+            for link in route.links:
+                involved[link.name] = self.links[link.name]
+        bottleneck = min(route.bottleneck_bandwidth for route in routes)
+        latency = max(route.total_latency for route in routes)
+        duration = latency + comm_bytes / bottleneck
+        start, end = ResourceTimeline.acquire_all(
+            list(involved.values()), self.engine.now, duration
+        )
+        self.engine.at(end, lambda: done(start, end))

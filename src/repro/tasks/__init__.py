@@ -1,0 +1,25 @@
+"""Fine-grained task system: the unit of scheduling in Harmony.
+
+The paper's Task Decomposer (Fig. 3) splits a training script into
+per-layer, per-microbatch forward / backward / update tasks with
+explicit tensor dependencies, *unbinding* them from devices so the
+scheduler can late-bind computation to GPUs.  This package implements
+the task record, the dependency graph, the decomposer that derives an
+iteration's task graph from a :class:`~repro.models.ModelGraph`, and
+the task-packing transformation.
+"""
+
+from repro.tasks.task import Task, TaskKind
+from repro.tasks.graph import TaskGraph
+from repro.tasks.decomposer import Decomposer, IterationTasks
+from repro.tasks.packing import pack_layers, partition_layers_balanced
+
+__all__ = [
+    "Task",
+    "TaskKind",
+    "TaskGraph",
+    "Decomposer",
+    "IterationTasks",
+    "pack_layers",
+    "partition_layers_balanced",
+]

@@ -1,0 +1,112 @@
+"""Task records: one schedulable unit of work.
+
+A :class:`Task` is deliberately close to the paper's notion — a
+(phase, layer-pack, microbatch, replica) tuple with explicit tensor
+reads/writes — so the scheduler's decisions (placement, ordering,
+grouping, packing) are all expressible as plain data transformations
+over a list of tasks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.models.phases import Phase
+
+
+class TaskKind(enum.Enum):
+    COMPUTE = "compute"
+    ALLREDUCE = "allreduce"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class Task:
+    """One schedulable unit.
+
+    Attributes
+    ----------
+    tid:
+        Dense id, unique within a :class:`TaskGraph`.
+    kind:
+        COMPUTE (forward / backward / update on a layer pack) or
+        ALLREDUCE (gradient synchronization across replicas).
+    phase:
+        Training phase for COMPUTE tasks; ``None`` for ALLREDUCE.
+    layers:
+        Indices of the layers this task executes (one element unless
+        task packing fused several).
+    microbatch:
+        Microbatch index for FWD/BWD; ``None`` for UPDATE/ALLREDUCE.
+    replica:
+        Data-parallel replica this task belongs to (0 outside DP).
+    reads / writes:
+        Tensor ids that must be device-resident when the task starts.
+        ``writes`` not yet materialized are allocated on the device.
+    frees:
+        Tensor ids that are dead once this task completes.
+    flops:
+        Total compute work (COMPUTE tasks).
+    comm_bytes:
+        Per-participant communication volume (ALLREDUCE tasks).
+    participants:
+        Device names taking part in an ALLREDUCE.
+    deps:
+        Task ids that must complete before this task may start.
+    device:
+        Placement, assigned by the scheduler (late binding: ``None``
+        until then).
+    """
+
+    tid: int
+    kind: TaskKind
+    label: str
+    phase: Phase | None = None
+    layers: tuple[int, ...] = ()
+    microbatch: int | None = None
+    replica: int = 0
+    reads: tuple[int, ...] = ()
+    writes: tuple[int, ...] = ()
+    frees: tuple[int, ...] = ()
+    flops: float = 0.0
+    comm_bytes: float = 0.0
+    participants: tuple[str, ...] = ()
+    deps: frozenset[int] = frozenset()
+    device: str | None = None
+    samples: int = 0
+    _extra_deps: set[int] = field(default_factory=set, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kind is TaskKind.COMPUTE and self.phase is None:
+            raise SchedulingError(f"task {self.label}: compute tasks need a phase")
+        if self.kind is TaskKind.ALLREDUCE and not self.participants:
+            raise SchedulingError(f"task {self.label}: allreduce needs participants")
+        if self.flops < 0 or self.comm_bytes < 0:
+            raise SchedulingError(f"task {self.label}: negative work")
+
+    @property
+    def all_deps(self) -> frozenset[int]:
+        return self.deps | frozenset(self._extra_deps)
+
+    def add_dep(self, tid: int) -> None:
+        """Add a scheduling-induced dependency (e.g. gradient-accumulation
+        ordering) on top of the dataflow dependencies."""
+        if tid == self.tid:
+            raise SchedulingError(f"task {self.label}: self-dependency")
+        self._extra_deps.add(tid)
+
+    @property
+    def touched(self) -> tuple[int, ...]:
+        """All tensors that must be resident for this task."""
+        return tuple(dict.fromkeys(self.reads + self.writes))
+
+    def place(self, device: str) -> None:
+        self.device = device
+
+    def __str__(self) -> str:
+        where = self.device or "?"
+        return f"{self.label}@{where}"

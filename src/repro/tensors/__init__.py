@@ -1,0 +1,22 @@
+"""Tensor substrate: metadata, lifetime state machine, and registry.
+
+Tensors here are *metadata only* — a name, a kind from the paper's
+Fig. 5(a) swap model (weights W, weight gradients dW, optimizer state K,
+activations X/Y, activation gradients dX/dY, stashed tensors), a size,
+and an identity tying it to a (layer, microbatch, replica).  The memory
+manager tracks each tensor's lifetime through the state machine in
+:mod:`repro.tensors.state`, exactly as the paper describes Harmony's
+memory manager doing.
+"""
+
+from repro.tensors.tensor import TensorKind, TensorMeta
+from repro.tensors.state import TensorState, TensorRuntime
+from repro.tensors.registry import TensorRegistry
+
+__all__ = [
+    "TensorKind",
+    "TensorMeta",
+    "TensorState",
+    "TensorRuntime",
+    "TensorRegistry",
+]

@@ -1,0 +1,177 @@
+"""Tensor registry: allocates and indexes every logical tensor of a run.
+
+The task decomposer asks the registry for tensors by role —
+``weight(layer, replica)``, ``activation(boundary, microbatch,
+replica)`` — and the registry creates each logical tensor exactly once,
+so two tasks naming the same role share the same tensor and therefore
+the same residency, which is precisely what makes input-batch grouping
+profitable in the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+from repro.models.graph import ModelGraph
+from repro.tensors.tensor import TensorKind, TensorMeta
+
+_Key = tuple[TensorKind, int, int | None, int]
+
+
+@dataclass
+class TensorRegistry:
+    """Creates and indexes :class:`TensorMeta` records for one model.
+
+    Attributes
+    ----------
+    model:
+        The model whose layer sizes determine tensor sizes.
+    microbatch_size:
+        Samples per microbatch (activation sizes scale with this).
+    weight_shards:
+        When > 1, per-replica weight/gradient/optimizer/stash tensors
+        are 1/shards of the full size: the operation-decomposition
+        (tensor-parallel) mode, where ``replica`` indexes the shard and
+        full activations are replicated per shard after collectives.
+    optimizer_shards:
+        When > 1, only the *optimizer state* is partitioned across
+        replicas (ZeRO stage-1 style, the paper-cited optimizer-state
+        sharding [Rajbhandari et al.]): each replica holds full W/dW
+        but 1/shards of K, updates its slice of the weights, and an
+        all-gather rebuilds full weights afterwards.
+    """
+
+    model: ModelGraph
+    microbatch_size: int
+    weight_shards: int = 1
+    optimizer_shards: int = 1
+    _by_key: dict[_Key, TensorMeta] = field(default_factory=dict)
+    _by_id: list[TensorMeta] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.microbatch_size < 1:
+            raise ModelError("microbatch_size must be >= 1")
+        if self.weight_shards < 1:
+            raise ModelError("weight_shards must be >= 1")
+        if self.optimizer_shards < 1:
+            raise ModelError("optimizer_shards must be >= 1")
+
+    def _get_or_create(
+        self, kind: TensorKind, layer: int, microbatch: int | None,
+        replica: int, size_bytes: float,
+    ) -> TensorMeta:
+        key = (kind, layer, microbatch, replica)
+        existing = self._by_key.get(key)
+        if existing is not None:
+            return existing
+        meta = TensorMeta(
+            tid=len(self._by_id),
+            kind=kind,
+            layer=layer,
+            microbatch=microbatch,
+            replica=replica,
+            size_bytes=size_bytes,
+        )
+        self._by_key[key] = meta
+        self._by_id.append(meta)
+        return meta
+
+    # -- persistent state --------------------------------------------------
+
+    def weight(self, layer: int, replica: int = 0) -> TensorMeta:
+        spec = self.model.layer(layer)
+        return self._get_or_create(
+            TensorKind.WEIGHT, layer, None, replica,
+            spec.param_bytes / self.weight_shards,
+        )
+
+    def weight_grad(self, layer: int, replica: int = 0) -> TensorMeta:
+        spec = self.model.layer(layer)
+        return self._get_or_create(
+            TensorKind.WEIGHT_GRAD, layer, None, replica,
+            spec.grad_bytes / self.weight_shards,
+        )
+
+    def opt_state(self, layer: int, replica: int = 0) -> TensorMeta:
+        spec = self.model.layer(layer)
+        return self._get_or_create(
+            TensorKind.OPT_STATE, layer, None, replica,
+            spec.optimizer_bytes / self.weight_shards / self.optimizer_shards,
+        )
+
+    # -- per-microbatch tensors ---------------------------------------------
+
+    def activation(self, boundary: int, microbatch: int, replica: int = 0) -> TensorMeta:
+        """Activation at ``boundary`` (output of layer ``boundary``;
+        boundary ``-1`` is the input data batch)."""
+        if boundary == -1:
+            size = self.model.layer(0).in_bytes(self.microbatch_size)
+        else:
+            size = self.model.layer(boundary).out_bytes(self.microbatch_size)
+        return self._get_or_create(
+            TensorKind.ACTIVATION, boundary, microbatch, replica, size
+        )
+
+    def act_grad(self, boundary: int, microbatch: int, replica: int = 0) -> TensorMeta:
+        """Activation gradient at ``boundary`` (layer ``boundary``'s dY,
+        layer ``boundary + 1``'s dX)."""
+        if boundary == -1:
+            size = self.model.layer(0).in_bytes(self.microbatch_size)
+        else:
+            size = self.model.layer(boundary).out_bytes(self.microbatch_size)
+        return self._get_or_create(
+            TensorKind.ACT_GRAD, boundary, microbatch, replica, size
+        )
+
+    def stash(self, layer: int, microbatch: int, replica: int = 0) -> TensorMeta:
+        spec = self.model.layer(layer)
+        return self._get_or_create(
+            TensorKind.STASH, layer, microbatch, replica,
+            spec.stash_bytes(self.microbatch_size) / self.weight_shards,
+        )
+
+    def checkpoint(self, layer: int, microbatch: int, replica: int = 0) -> TensorMeta:
+        """A recompute checkpoint: only the layer's *input* activation is
+        retained between forward and backward (Chen et al.'s sublinear
+        memory training, cited by the paper as a memory optimization);
+        the backward pass recomputes everything else.  Shares the STASH
+        kind — a run uses either full stashes or checkpoints, never both
+        for the same layer."""
+        spec = self.model.layer(layer)
+        return self._get_or_create(
+            TensorKind.STASH, layer, microbatch, replica,
+            spec.in_bytes(self.microbatch_size),
+        )
+
+    def act_part(self, boundary: int, microbatch: int, shard: int) -> TensorMeta:
+        """One shard's partial output at ``boundary`` (1/shards of the
+        full activation); all-gathered into full per-shard copies."""
+        size = self.model.layer(boundary).out_bytes(self.microbatch_size)
+        return self._get_or_create(
+            TensorKind.ACT_PART, boundary, microbatch, shard,
+            size / self.weight_shards,
+        )
+
+    def grad_part(self, boundary: int, microbatch: int, shard: int) -> TensorMeta:
+        """One shard's partial input-gradient contribution at
+        ``boundary`` (full-sized: every shard contributes a dense
+        partial sum that the all-reduce combines)."""
+        if boundary == -1:
+            size = self.model.layer(0).in_bytes(self.microbatch_size)
+        else:
+            size = self.model.layer(boundary).out_bytes(self.microbatch_size)
+        return self._get_or_create(
+            TensorKind.GRAD_PART, boundary, microbatch, shard, size
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def all_tensors(self) -> list[TensorMeta]:
+        return list(self._by_id)
+
+    def by_id(self, tid: int) -> TensorMeta:
+        return self._by_id[tid]
+
+    def __len__(self) -> int:
+        return len(self._by_id)

@@ -1,0 +1,98 @@
+"""Tensor metadata: identity and size, following Fig. 5(a)'s taxonomy."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+class TensorKind(enum.Enum):
+    """The tensor classes of the paper's swap model (Fig. 5(a)).
+
+    ``ACTIVATION`` tensors live at *boundaries*: the activation at
+    boundary ``i`` is layer ``i``'s output Y and layer ``i+1``'s input X.
+    Boundary ``-1`` is the input data batch.  ``ACT_GRAD`` mirrors this:
+    the gradient at boundary ``i`` is layer ``i``'s dY and layer
+    ``i+1``'s dX.
+    """
+
+    WEIGHT = "W"
+    WEIGHT_GRAD = "dW"
+    OPT_STATE = "K"
+    ACTIVATION = "A"
+    ACT_GRAD = "dA"
+    STASH = "S"
+    #: Per-shard partial output of a decomposed (sharded) operation —
+    #: paper key idea #2: "decompose individual operations — such as a
+    #: matrix multiplication — into subtasks that can run on different
+    #: physical devices".  Combined into a full ACTIVATION by an
+    #: all-gather collective.
+    ACT_PART = "Ap"
+    #: Per-shard partial input-gradient contribution, summed into a
+    #: full ACT_GRAD by an all-reduce collective.
+    GRAD_PART = "dAp"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Kinds that persist across the whole training run (vs. per-microbatch
+#: tensors that are born and die within one iteration).
+PERSISTENT_KINDS = frozenset(
+    {TensorKind.WEIGHT, TensorKind.WEIGHT_GRAD, TensorKind.OPT_STATE}
+)
+
+
+@dataclass(frozen=True)
+class TensorMeta:
+    """Identity + size of one logical tensor.
+
+    Attributes
+    ----------
+    tid:
+        Dense integer id, unique within a :class:`TensorRegistry`.
+    kind:
+        One of the Fig. 5(a) tensor classes.
+    layer:
+        Layer index for W/dW/K/STASH; *boundary* index for
+        ACTIVATION/ACT_GRAD (see :class:`TensorKind`).
+    microbatch:
+        Microbatch index for per-microbatch tensors; ``None`` for
+        persistent state (W, dW, K).
+    replica:
+        Data-parallel replica index owning this tensor (0 when the
+        tensor is not replicated, e.g. pipeline parallelism).
+    size_bytes:
+        Tensor payload size.
+    """
+
+    tid: int
+    kind: TensorKind
+    layer: int
+    microbatch: int | None
+    replica: int
+    size_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ModelError(f"tensor {self.label}: negative size")
+        persistent = self.kind in PERSISTENT_KINDS
+        if persistent and self.microbatch is not None:
+            raise ModelError(f"tensor {self.label}: persistent kinds have no microbatch")
+        if not persistent and self.microbatch is None:
+            raise ModelError(f"tensor {self.label}: per-microbatch kinds need one")
+
+    @property
+    def persistent(self) -> bool:
+        return self.kind in PERSISTENT_KINDS
+
+    @property
+    def label(self) -> str:
+        mb = "" if self.microbatch is None else f"/mb{self.microbatch}"
+        rep = f"@r{self.replica}" if self.replica else ""
+        return f"{self.kind.value}[L{self.layer}]{mb}{rep}"
+
+    def __str__(self) -> str:
+        return self.label

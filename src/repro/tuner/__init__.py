@@ -1,0 +1,27 @@
+"""Performance tuner: profile-guided search over task granularity.
+
+The paper (§3, Fig. 3) sketches a Performance Tuner that profiles
+runtime behaviour and feeds the Task Decomposer and Scheduler; §4 names
+the underlying problem the "memory-performance tango": pack size and
+microbatch size jointly determine footprint and throughput, backward
+passes want different granularity than forward, and double-buffered
+prefetch trades memory for overlap.  This package implements that
+tuner as a deterministic profile-guided search (the paper's suggested
+RL agent is one possible driver; the search objective is identical).
+"""
+
+from repro.tuner.profiler import ProfilePoint, profile_configuration
+from repro.tuner.search import TuneResult, tune
+from repro.tuner.tango import tango_surface, prefetch_tradeoff
+from repro.tuner.online import AnnealResult, anneal
+
+__all__ = [
+    "ProfilePoint",
+    "profile_configuration",
+    "TuneResult",
+    "tune",
+    "tango_surface",
+    "prefetch_tradeoff",
+    "anneal",
+    "AnnealResult",
+]

@@ -1,0 +1,131 @@
+"""Online tuning by simulated annealing.
+
+The paper (§3) suggests "a reinforcement learning agent can be used for
+such online tuning" of task combinations.  This module provides a
+learning-driven search over the same space as the grid tuner —
+(pack size, microbatch split, prefetch) — using simulated annealing
+with a deterministic seeded RNG: each step profiles one configuration
+(one simulated iteration, exactly what an online agent would observe),
+proposes a neighbour, and accepts uphill moves with a temperature-
+decayed probability.
+
+Annealing reaches near-grid-optimal configurations while profiling far
+fewer points than the exhaustive grid — the property that matters for
+*online* tuning, where every probe costs a real training iteration.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.core.config import Parallelism
+from repro.errors import ConfigError
+from repro.hardware.topology import Topology
+from repro.models.graph import ModelGraph
+from repro.tuner.profiler import ProfilePoint, profile_configuration
+
+
+@dataclass(frozen=True)
+class _Config:
+    pack_size: int
+    microbatch_size: int
+    prefetch: bool
+
+
+@dataclass
+class AnnealResult:
+    best: ProfilePoint
+    history: list[ProfilePoint] = field(default_factory=list)
+
+    @property
+    def probes(self) -> int:
+        return len(self.history)
+
+
+def _splits_of(minibatch: int) -> list[int]:
+    return [s for s in range(1, minibatch + 1) if minibatch % s == 0]
+
+
+def anneal(
+    model: ModelGraph,
+    topology: Topology,
+    minibatch_per_replica: int,
+    parallelism: Parallelism | str = Parallelism.HARMONY_PP,
+    steps: int = 24,
+    initial_temperature: float = 0.3,
+    seed: int = 0,
+) -> AnnealResult:
+    """Anneal over (pack, microbatch split, prefetch).
+
+    ``steps`` bounds the number of profiled configurations — the
+    online-tuning budget.  Deterministic for a given ``seed``.
+    """
+    if minibatch_per_replica < 1:
+        raise ConfigError("minibatch_per_replica must be >= 1")
+    if steps < 1:
+        raise ConfigError("steps must be >= 1")
+    rng = random.Random(seed)
+    splits = _splits_of(minibatch_per_replica)
+    max_pack = len(model)
+
+    def neighbours(cfg: _Config) -> list[_Config]:
+        out = []
+        for delta in (-2, -1, 1, 2):
+            pack = cfg.pack_size + delta
+            if 1 <= pack <= max_pack:
+                out.append(_Config(pack, cfg.microbatch_size, cfg.prefetch))
+        idx = splits.index(cfg.microbatch_size)
+        for didx in (-1, 1):
+            if 0 <= idx + didx < len(splits):
+                out.append(_Config(cfg.pack_size, splits[idx + didx], cfg.prefetch))
+        out.append(_Config(cfg.pack_size, cfg.microbatch_size, not cfg.prefetch))
+        return out
+
+    def profile(cfg: _Config) -> ProfilePoint:
+        return profile_configuration(
+            model,
+            topology,
+            cfg.pack_size,
+            cfg.microbatch_size,
+            minibatch_per_replica // cfg.microbatch_size,
+            parallelism=parallelism,
+            prefetch=cfg.prefetch,
+        )
+
+    current = _Config(1, splits[0], False)
+    current_point = profile(current)
+    history = [current_point]
+    best_point = current_point
+
+    seen: dict[_Config, ProfilePoint] = {current: current_point}
+    for step in range(1, steps):
+        temperature = initial_temperature * (1 - step / steps)
+        candidates = neighbours(current)
+        proposal = candidates[rng.randrange(len(candidates))]
+        point = seen.get(proposal)
+        if point is None:
+            point = profile(proposal)
+            seen[proposal] = point
+            history.append(point)
+        if not point.feasible:
+            continue  # fenced-off region: stay put
+        if not current_point.feasible:
+            accept = True
+        else:
+            gain = (point.throughput - current_point.throughput) / max(
+                current_point.throughput, 1e-12
+            )
+            accept = gain >= 0 or (
+                temperature > 0 and rng.random() < math.exp(gain / temperature)
+            )
+        if accept:
+            current, current_point = proposal, point
+            if point.feasible and point.throughput > best_point.throughput:
+                best_point = point
+    if not best_point.feasible:
+        raise ConfigError(
+            "annealing found no feasible configuration within its budget"
+        )
+    return AnnealResult(best=best_point, history=history)

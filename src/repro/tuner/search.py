@@ -1,0 +1,169 @@
+"""Tuning search: find the best (pack size, microbatch shape).
+
+The paper calls "algorithmically determining the optimal task
+granularity and the size of microbatches they operate on" an open,
+multi-dimensional problem.  This tuner takes the profile-guided view:
+enumerate the feasible grid for a fixed per-replica mini-batch, then
+hill-climb pack size around the best grid point (including a distinct
+backward pack size, motivated by backward's 2-3x footprint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import Parallelism
+from repro.errors import ConfigError
+from repro.hardware.topology import Topology
+from repro.models.graph import ModelGraph
+from repro.tuner.profiler import ProfilePoint, profile_configuration
+from repro.util.tables import Table
+
+
+def _splits(minibatch: int) -> list[tuple[int, int]]:
+    """All (microbatch_size, num_microbatches) factorizations."""
+    out = []
+    for size in range(1, minibatch + 1):
+        if minibatch % size == 0:
+            out.append((size, minibatch // size))
+    return out
+
+
+def _pack_candidates(num_layers: int) -> list[int]:
+    """A coarse geometric ladder of pack sizes."""
+    sizes = []
+    size = 1
+    while size < num_layers:
+        sizes.append(size)
+        size *= 2
+    sizes.append(num_layers)
+    return sorted(set(sizes))
+
+
+@dataclass
+class TuneResult:
+    best: ProfilePoint
+    points: list[ProfilePoint] = field(default_factory=list)
+
+    @property
+    def feasible_points(self) -> list[ProfilePoint]:
+        return [p for p in self.points if p.feasible]
+
+    def table(self) -> Table:
+        table = Table(
+            ["config", "feasible", "samples/s", "swap-out GB", "peak mem GB"],
+            title=f"tuner search ({len(self.points)} points); best: {self.best.label}",
+        )
+        for p in sorted(
+            self.points, key=lambda p: (-p.throughput, p.pack_size)
+        ):
+            table.add_row(
+                [
+                    p.label,
+                    "yes" if p.feasible else "NO",
+                    f"{p.throughput:.3f}",
+                    f"{p.swap_out_bytes / 1e9:.2f}",
+                    f"{p.peak_used_bytes / 1e9:.2f}",
+                ]
+            )
+        return table
+
+
+def tune(
+    model: ModelGraph,
+    topology: Topology,
+    minibatch_per_replica: int,
+    parallelism: Parallelism | str = Parallelism.HARMONY_PP,
+    prefetch_options: tuple[bool, ...] = (False,),
+    refine: bool = True,
+    search_bwd_pack: bool = False,
+) -> TuneResult:
+    """Grid-search microbatch splits x pack sizes x prefetch, then
+    hill-climb pack size around the winner.
+
+    ``search_bwd_pack`` additionally probes *smaller backward pack
+    sizes* at the winner: the paper notes a fixed pack has 2-3x the
+    footprint in the backward pass, "motivating the need for different
+    pack and microbatch sizes across these passes"."""
+    if minibatch_per_replica < 1:
+        raise ConfigError("minibatch_per_replica must be >= 1")
+    points: list[ProfilePoint] = []
+    for mb_size, m in _splits(minibatch_per_replica):
+        for pack in _pack_candidates(len(model)):
+            for prefetch in prefetch_options:
+                points.append(
+                    profile_configuration(
+                        model, topology, pack, mb_size, m,
+                        parallelism=parallelism, prefetch=prefetch,
+                    )
+                )
+    feasible = [p for p in points if p.feasible]
+    if not feasible:
+        raise ConfigError(
+            "no feasible configuration found: the model cannot be trained "
+            "on this topology at any profiled granularity"
+        )
+    best = max(feasible, key=lambda p: p.throughput)
+    if refine:
+        best, extra = _hill_climb(model, topology, best, parallelism)
+        points += extra
+    if search_bwd_pack:
+        best, extra = _refine_bwd_pack(model, topology, best, parallelism)
+        points += extra
+    return TuneResult(best=best, points=points)
+
+
+def _refine_bwd_pack(
+    model: ModelGraph,
+    topology: Topology,
+    start: ProfilePoint,
+    parallelism: Parallelism | str,
+) -> tuple[ProfilePoint, list[ProfilePoint]]:
+    """Probe backward pack sizes smaller than the forward winner's
+    (backward working sets are the larger ones, so only shrinking can
+    relieve pressure)."""
+    best = start
+    extra: list[ProfilePoint] = []
+    candidates = sorted(
+        {max(1, start.pack_size // 2), max(1, start.pack_size - 1)}
+        - {start.pack_size}
+    )
+    for bwd in candidates:
+        point = profile_configuration(
+            model, topology, start.pack_size, start.microbatch_size,
+            start.num_microbatches, parallelism=parallelism,
+            prefetch=start.prefetch, pack_size_bwd=bwd,
+        )
+        extra.append(point)
+        if point.feasible and point.throughput > best.throughput:
+            best = point
+    return best, extra
+
+
+def _hill_climb(
+    model: ModelGraph,
+    topology: Topology,
+    start: ProfilePoint,
+    parallelism: Parallelism | str,
+) -> tuple[ProfilePoint, list[ProfilePoint]]:
+    """Local search over pack size (+/-1 steps) from the grid winner."""
+    best = start
+    extra: list[ProfilePoint] = []
+    seen = {start.pack_size}
+    improved = True
+    while improved:
+        improved = False
+        for candidate in (best.pack_size - 1, best.pack_size + 1):
+            if candidate < 1 or candidate > len(model) or candidate in seen:
+                continue
+            seen.add(candidate)
+            point = profile_configuration(
+                model, topology, candidate, best.microbatch_size,
+                best.num_microbatches, parallelism=parallelism,
+                prefetch=best.prefetch,
+            )
+            extra.append(point)
+            if point.feasible and point.throughput > best.throughput:
+                best = point
+                improved = True
+    return best, extra

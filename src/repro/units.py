@@ -1,0 +1,122 @@
+"""Physical units and formatting helpers.
+
+The whole library uses a single convention:
+
+* **bytes** for memory and data volume (``int`` or ``float``),
+* **seconds** for time (``float``),
+* **FLOPs** for compute work (``float``),
+* **bytes/second** for bandwidth,
+* **FLOP/s** for compute throughput.
+
+Constants here are the only place unit magnitudes appear; everything else
+imports them so "GB" means the same thing in the hardware model, the
+memory manager and the benchmarks.  Decimal (SI) units are used for
+bandwidth and FLOPs (matching vendor datasheets); binary units (GiB) are
+used for memory capacity (matching how GPU memory is specified), with the
+paper-facing helpers reporting decimal GB because the paper's Fig. 2 axes
+are labelled "GB".
+"""
+
+from __future__ import annotations
+
+# --- byte units ---------------------------------------------------------
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+# --- time units ---------------------------------------------------------
+USEC = 1e-6
+MSEC = 1e-3
+SEC = 1.0
+
+# --- compute units ------------------------------------------------------
+GFLOP = 1e9
+TFLOP = 1e12
+PFLOP = 1e15
+EFLOP = 1e18
+ZFLOP = 1e21
+
+# --- dtype sizes --------------------------------------------------------
+FP16_BYTES = 2
+FP32_BYTES = 4
+FP64_BYTES = 8
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count in a human-friendly decimal unit.
+
+    >>> fmt_bytes(1_500_000_000)
+    '1.50 GB'
+    >>> fmt_bytes(2048)
+    '2.05 KB'
+    """
+    sign = "-" if n < 0 else ""
+    n = abs(float(n))
+    for unit, name in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if n >= unit:
+            return f"{sign}{n / unit:.2f} {name}"
+    return f"{sign}{n:.0f} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Render a duration with an adaptive unit.
+
+    >>> fmt_time(0.0025)
+    '2.50 ms'
+    >>> fmt_time(90)
+    '1.50 min'
+    """
+    sign = "-" if seconds < 0 else ""
+    s = abs(float(seconds))
+    if s >= 86_400:
+        return f"{sign}{s / 86_400:.2f} days"
+    if s >= 3_600:
+        return f"{sign}{s / 3_600:.2f} h"
+    if s >= 60:
+        return f"{sign}{s / 60:.2f} min"
+    if s >= 1:
+        return f"{sign}{s:.2f} s"
+    if s >= MSEC:
+        return f"{sign}{s / MSEC:.2f} ms"
+    return f"{sign}{s / USEC:.2f} us"
+
+
+def fmt_flops(flops: float) -> str:
+    """Render a FLOP count with an adaptive unit.
+
+    >>> fmt_flops(3.14e23)
+    '314.00 ZFLOPs'
+    """
+    sign = "-" if flops < 0 else ""
+    f = abs(float(flops))
+    for unit, name in (
+        (ZFLOP, "ZFLOPs"),
+        (EFLOP, "EFLOPs"),
+        (PFLOP, "PFLOPs"),
+        (TFLOP, "TFLOPs"),
+        (GFLOP, "GFLOPs"),
+    ):
+        if f >= unit:
+            return f"{sign}{f / unit:.2f} {name}"
+    return f"{sign}{f:.0f} FLOPs"
+
+
+def fmt_count(n: float) -> str:
+    """Render a large count (e.g. a parameter count) compactly.
+
+    >>> fmt_count(175_000_000_000)
+    '175.0B'
+    >>> fmt_count(60_000)
+    '60.0K'
+    """
+    sign = "-" if n < 0 else ""
+    x = abs(float(n))
+    for unit, name in ((1e12, "T"), (1e9, "B"), (1e6, "M"), (1e3, "K")):
+        if x >= unit:
+            return f"{sign}{x / unit:.1f}{name}"
+    return f"{sign}{x:.0f}"

@@ -1,0 +1,6 @@
+"""Shared utilities: ASCII tables, timeline rendering, deterministic ids."""
+
+from repro.util.tables import Table
+from repro.util.ids import IdAllocator
+
+__all__ = ["Table", "IdAllocator"]

@@ -1,0 +1,59 @@
+"""Minimal ASCII table rendering for benchmark and report output.
+
+The benchmark harness prints the same rows/series the paper's figures
+report; this module gives those printouts a consistent, aligned format
+without pulling in a formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class Table:
+    """An append-only table of stringifiable cells, rendered with aligned
+    columns.
+
+    >>> t = Table(["gpus", "throughput"])
+    >>> t.add_row([1, 0.52])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    gpus | throughput
+    -----+-----------
+    1    | 0.52
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        row = [self._fmt(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

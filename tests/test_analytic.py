@@ -1,0 +1,204 @@
+"""Analytical models: swap model, closed-form volumes, feasibility."""
+
+import pytest
+
+from repro.analytic.feasibility import (
+    GPT3_TRAINING_TOKENS,
+    feasibility_report,
+    pretraining_flops,
+    training_days,
+)
+from repro.analytic.swap_model import (
+    phase_swap_in,
+    phase_swap_out,
+    phase_total,
+    swap_model_table,
+)
+from repro.analytic.volumes import (
+    baseline_dp_volumes,
+    comparison_table,
+    harmony_dp_volumes,
+    harmony_pp_volumes,
+    weight_volume_baseline_dp,
+    weight_volume_harmony_dp,
+    weight_volume_harmony_pp,
+)
+from repro.errors import ConfigError
+from repro.models import zoo
+from repro.models.phases import Phase
+from repro.units import MB, ZFLOP
+
+
+@pytest.fixture
+def model():
+    return zoo.synthetic_uniform(
+        num_layers=4, param_bytes_per_layer=100 * MB, activation_bytes=25 * MB
+    )
+
+
+@pytest.fixture
+def layer(model):
+    return model.layer(0)
+
+
+class TestSwapModel:
+    def test_forward_in_set(self, layer):
+        ins = phase_swap_in(layer, Phase.FORWARD, 1)
+        assert set(ins) == {"X", "W"}
+
+    def test_forward_out_set(self, layer):
+        outs = phase_swap_out(layer, Phase.FORWARD, 1)
+        assert set(outs) == {"Y", "stash_X", "W"}
+
+    def test_backward_in_set(self, layer):
+        ins = phase_swap_in(layer, Phase.BACKWARD, 1)
+        assert set(ins) == {"dY", "dW", "stash_X", "W"}
+
+    def test_backward_out_set(self, layer):
+        outs = phase_swap_out(layer, Phase.BACKWARD, 1)
+        assert set(outs) == {"dX", "acc_dW", "W"}
+
+    def test_update_sets(self, layer):
+        assert set(phase_swap_in(layer, Phase.UPDATE, 1)) == {"dW", "W", "K"}
+        assert set(phase_swap_out(layer, Phase.UPDATE, 1)) == {
+            "reset_dW", "W'", "K'"
+        }
+
+    def test_microbatch_scales_activations_not_weights(self, layer):
+        one = phase_swap_in(layer, Phase.FORWARD, 1)
+        four = phase_swap_in(layer, Phase.FORWARD, 4)
+        assert four["X"] == 4 * one["X"]
+        assert four["W"] == one["W"]
+
+    def test_phase_total_positive(self, layer):
+        for phase in Phase:
+            assert phase_total(layer, phase, 1) > 0
+
+    def test_table_renders(self, layer):
+        text = swap_model_table(layer, 1).render()
+        assert "fwd" in text and "upd" in text
+
+
+class TestWeightFormulas:
+    def test_baseline_formula(self, model):
+        assert weight_volume_baseline_dp(model, 3, 2) == (4 * 3 + 2) * 2 * (
+            400 * MB
+        )
+
+    def test_harmony_dp_formula(self, model):
+        assert weight_volume_harmony_dp(model, 3, 2) == 3 * 2 * 400 * MB
+
+    def test_harmony_pp_independent_of_n(self, model):
+        assert weight_volume_harmony_pp(model, 3, 2) == weight_volume_harmony_pp(
+            model, 3, 8
+        )
+
+    def test_ordering(self, model):
+        base = weight_volume_baseline_dp(model, 2, 4)
+        hdp = weight_volume_harmony_dp(model, 2, 4)
+        hpp = weight_volume_harmony_pp(model, 2, 4)
+        assert base > hdp > hpp
+
+    def test_baseline_grows_with_m(self, model):
+        assert weight_volume_baseline_dp(model, 8, 2) > weight_volume_baseline_dp(
+            model, 2, 2
+        )
+
+    def test_harmony_dp_independent_of_m(self, model):
+        assert weight_volume_harmony_dp(model, 1, 2) == weight_volume_harmony_dp(
+            model, 100, 2
+        )
+
+    def test_invalid_args(self, model):
+        with pytest.raises(ConfigError):
+            weight_volume_baseline_dp(model, 0, 1)
+        with pytest.raises(ConfigError):
+            weight_volume_harmony_pp(model, 1, 0)
+
+
+class TestFullVolumes:
+    def test_host_total_ordering(self, model):
+        base = baseline_dp_volumes(model, 3, 2)
+        hdp = harmony_dp_volumes(model, 3, 2)
+        hpp = harmony_pp_volumes(model, 3, 2)
+        assert base.host_total > hdp.host_total > hpp.host_total
+
+    def test_stash_identical_dp_schemes(self, model):
+        base = baseline_dp_volumes(model, 3, 2)
+        hdp = harmony_dp_volumes(model, 3, 2)
+        assert base.stash == hdp.stash
+
+    def test_harmony_pp_moves_acts_to_p2p(self, model):
+        hpp = harmony_pp_volumes(model, 3, 2)
+        assert hpp.activations == 0
+        assert hpp.p2p > 0
+
+    def test_grad_volume_formulas(self, model):
+        base = baseline_dp_volumes(model, 3, 2)
+        hdp = harmony_dp_volumes(model, 3, 2)
+        assert base.weight_grads == (2 * 3 + 2) * 2 * model.grad_bytes
+        assert hdp.weight_grads == 2 * 2 * model.grad_bytes
+
+    def test_comparison_table_renders(self, model):
+        text = comparison_table(model, 3, 2).render()
+        assert "dp-baseline" in text and "harmony-pp" in text
+
+
+class TestFeasibility:
+    def test_gpt3_flops_match_paper(self):
+        flops = pretraining_flops(175e9, GPT3_TRAINING_TOKENS)
+        assert flops == pytest.approx(314 * ZFLOP, rel=0.01)
+
+    def test_training_days_scale_inverse_with_gpus(self):
+        one = training_days(1e21, 1)
+        ten = training_days(1e21, 10)
+        assert one == pytest.approx(10 * ten)
+
+    def test_tens_of_gpus_takes_years(self):
+        flops = pretraining_flops(175e9, GPT3_TRAINING_TOKENS)
+        days = training_days(flops, 32)
+        assert days / 365.25 > 5  # "unrealistically long (years)"
+
+    def test_finetune_takes_days_on_modest_server(self):
+        days = training_days(10e18, 4)
+        assert 0.1 < days < 30  # "clocking in at days"
+
+    def test_report_structure(self):
+        cases, table = feasibility_report()
+        assert len(cases) == 3
+        assert "ZFLOPs" in table.render()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            pretraining_flops(0, 1)
+        with pytest.raises(ConfigError):
+            training_days(1, 0)
+        with pytest.raises(ConfigError):
+            training_days(1, 1, efficiency=0)
+
+
+class TestHarmonyTpVolumes:
+    def test_host_volumes_match_pp(self, model):
+        from repro.analytic.volumes import harmony_tp_volumes
+
+        hpp = harmony_pp_volumes(model, 3, 2)
+        htp = harmony_tp_volumes(model, 3, 2)
+        assert htp.weights == hpp.weights
+        assert htp.weight_grads == hpp.weight_grads
+        assert htp.optimizer == hpp.optimizer
+        assert htp.activations == 0
+
+    def test_collective_volume_grows_with_shards(self, model):
+        from repro.analytic.volumes import harmony_tp_volumes
+
+        two = harmony_tp_volumes(model, 2, 2)
+        four = harmony_tp_volumes(model, 2, 4)
+        assert four.p2p == pytest.approx(3 * two.p2p)  # (n-1): 1 -> 3
+
+    def test_single_shard_no_collectives(self, model):
+        from repro.analytic.volumes import harmony_tp_volumes
+
+        assert harmony_tp_volumes(model, 2, 1).p2p == 0
+
+    def test_in_comparison_table(self, model):
+        assert "harmony-tp" in comparison_table(model, 2, 2).render()

@@ -1,0 +1,45 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_zoo(self, capsys):
+        assert main(["zoo"]) == 0
+        out = capsys.readouterr().out
+        assert "gpt3" in out and "175.0B" in out
+
+    def test_compare_small(self, capsys):
+        code = main(
+            ["compare", "lenet", "--gpus", "2", "--microbatches", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "harmony-pp" in out and "dp-baseline" in out
+
+    def test_timeline(self, capsys):
+        code = main(
+            ["timeline", "lenet", "--gpus", "2", "--microbatches", "2",
+             "--scheme", "harmony-pp"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gpu0" in out and "#=compute" in out
+
+    def test_tune(self, capsys):
+        code = main(
+            ["tune", "lenet", "--gpus", "2", "--microbatch-size", "1",
+             "--microbatches", "2"]
+        )
+        assert code == 0
+        assert "best:" in capsys.readouterr().out
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "skynet"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

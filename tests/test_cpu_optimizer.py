@@ -1,0 +1,93 @@
+"""CPU-offloaded optimizer (ZeRO-Offload-style, paper-cited)."""
+
+import pytest
+
+from repro import BatchConfig, HarmonyConfig, HarmonyOptions, HarmonySession
+from repro.models import zoo
+from repro.tensors.tensor import TensorKind
+from repro.units import MB
+
+from tests.conftest import tight_server
+
+
+@pytest.fixture
+def model():
+    return zoo.synthetic_uniform(
+        num_layers=4, param_bytes_per_layer=100 * MB, activation_bytes=25 * MB
+    )
+
+
+def run(model, mode, cpu_optimizer, topo=None, **opt_kw):
+    topo = topo if topo is not None else tight_server(2, 550 * MB)
+    session = HarmonySession(
+        model,
+        topo,
+        HarmonyConfig(
+            mode,
+            batch=BatchConfig(1, 2),
+            options=HarmonyOptions(cpu_optimizer=cpu_optimizer, **opt_kw),
+        ),
+    )
+    return session.run()
+
+
+class TestCpuOptimizerPP:
+    def test_runs_to_completion(self, model):
+        result = run(model, "harmony-pp", cpu_optimizer=True)
+        assert result.samples == 2
+
+    def test_optimizer_state_never_touches_gpu(self, model):
+        result = run(model, "harmony-pp", cpu_optimizer=True)
+        assert result.stats.kind_swap_volume(TensorKind.OPT_STATE) == 0
+
+    def test_gpu_optimizer_moves_k(self, model):
+        result = run(model, "harmony-pp", cpu_optimizer=False)
+        assert result.stats.kind_swap_volume(TensorKind.OPT_STATE) > 0
+
+    def test_updates_traced_on_host(self, model):
+        result = run(model, "harmony-pp", cpu_optimizer=True)
+        host_seq = result.trace.compute_sequence("cpu")
+        assert host_seq and all(s.startswith("upd") for s in host_seq)
+
+    def test_gradients_written_back_for_host_update(self, model):
+        result = run(model, "harmony-pp", cpu_optimizer=True)
+        # dW must cross to the host once per layer.
+        out = result.stats.volume(
+            kind=TensorKind.WEIGHT_GRAD,
+        )
+        assert out >= model.grad_bytes
+
+    def test_reduces_host_traffic_vs_gpu_updates(self, model):
+        gpu_opt = run(model, "harmony-pp", cpu_optimizer=False)
+        cpu_opt = run(model, "harmony-pp", cpu_optimizer=True)
+        assert cpu_opt.host_traffic < gpu_opt.host_traffic
+
+    def test_works_without_jit(self, model):
+        result = run(model, "harmony-pp", cpu_optimizer=True, jit_update=False)
+        assert result.samples == 2
+
+
+class TestCpuOptimizerDP:
+    def test_runs_to_completion(self, model):
+        result = run(model, "harmony-dp", cpu_optimizer=True)
+        assert result.samples == 4  # 2 replicas x 2 microbatches
+
+    def test_no_k_traffic(self, model):
+        result = run(model, "harmony-dp", cpu_optimizer=True)
+        assert result.stats.kind_swap_volume(TensorKind.OPT_STATE) == 0
+
+    def test_allreduce_still_happens(self, model):
+        result = run(model, "harmony-dp", cpu_optimizer=True)
+        assert result.trace.by_category("allreduce")
+
+    def test_without_jit(self, model):
+        result = run(model, "harmony-dp", cpu_optimizer=True, jit_update=False)
+        assert result.samples == 4
+
+    def test_multi_server_updates_on_local_hosts(self, model):
+        from repro.hardware.presets import multi_server_cluster
+
+        cluster = multi_server_cluster(2, 2)
+        result = run(model, "harmony-pp", cpu_optimizer=True, topo=cluster)
+        assert result.trace.compute_sequence("cpu0")
+        assert result.trace.compute_sequence("cpu1")

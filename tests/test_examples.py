@@ -1,0 +1,43 @@
+"""The examples are executable documentation: each must run clean and
+print its headline content."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+_EXPECTED = {
+    "quickstart.py": ["throughput:", "bottleneck link:", "mem |"],
+    "large_model_on_commodity.py": ["scheme comparison", "tuner pick:"],
+    "reproduce_figures.py": ["Fig. 1", "Fig. 5", "feasibility"],
+    "tune_granularity.py": ["tango surface", "best configuration"],
+    "finetune_feasibility.py": ["ZFLOPs", "fine-tuning"],
+    "multi_server.py": ["2 servers", "Observations"],
+}
+
+
+def _run(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=EXAMPLES.parent,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(_EXPECTED))
+def test_example_runs_and_prints(name):
+    output = _run(name)
+    for needle in _EXPECTED[name]:
+        assert needle in output, f"{name}: missing {needle!r}"
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(_EXPECTED)

@@ -1,0 +1,53 @@
+"""Device specifications."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.device import (
+    DeviceKind,
+    DeviceSpec,
+    gtx1080ti,
+    host_cpu,
+    v100,
+)
+from repro.units import GIB, TFLOP
+
+
+class TestDeviceSpec:
+    def test_gpu_flags(self):
+        gpu = gtx1080ti("gpu0")
+        assert gpu.is_gpu and not gpu.is_host
+
+    def test_host_flags(self):
+        cpu = host_cpu()
+        assert cpu.is_host and not cpu.is_gpu
+
+    def test_1080ti_capacity(self):
+        assert gtx1080ti("g").memory_bytes == 11 * GIB
+
+    def test_v100_capacity(self):
+        assert v100("g").memory_bytes == 16 * GIB
+
+    def test_v100_faster_than_1080ti(self):
+        assert v100("a").flops_per_sec > gtx1080ti("b").flops_per_sec
+
+    def test_rejects_zero_memory(self):
+        with pytest.raises(ConfigError):
+            DeviceSpec("bad", DeviceKind.GPU, 0, 1 * TFLOP)
+
+    def test_rejects_negative_flops(self):
+        with pytest.raises(ConfigError):
+            DeviceSpec("bad", DeviceKind.GPU, GIB, -1)
+
+    def test_str_mentions_name_and_kind(self):
+        text = str(gtx1080ti("gpu3"))
+        assert "gpu3" in text and "gpu" in text
+
+    def test_frozen(self):
+        gpu = gtx1080ti("g")
+        with pytest.raises(AttributeError):
+            gpu.memory_bytes = 1
+
+    def test_host_memory_configurable(self):
+        cpu = host_cpu(memory_bytes=64 * GIB)
+        assert cpu.memory_bytes == 64 * GIB

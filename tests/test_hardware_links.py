@@ -1,0 +1,60 @@
+"""Link specifications and transfer timing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.links import LinkSpec, nvlink2, pcie_gen3, pcie_gen4
+from repro.units import GB, USEC
+
+
+class TestLinkSpec:
+    def test_transfer_time_includes_latency(self):
+        link = LinkSpec("l", bandwidth_bytes_per_sec=1 * GB, latency_sec=10 * USEC)
+        assert link.transfer_time(1 * GB) == pytest.approx(1.0 + 10e-6)
+
+    def test_zero_bytes_is_free(self):
+        link = pcie_gen3("l")
+        assert link.transfer_time(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigError):
+            pcie_gen3("l").transfer_time(-1)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigError):
+            LinkSpec("bad", bandwidth_bytes_per_sec=0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            LinkSpec("bad", bandwidth_bytes_per_sec=1, latency_sec=-1)
+
+    def test_gen4_doubles_gen3(self):
+        g3 = pcie_gen3("a")
+        g4 = pcie_gen4("b")
+        assert g4.bandwidth_bytes_per_sec == pytest.approx(
+            2 * g3.bandwidth_bytes_per_sec, rel=1e-3
+        )
+
+    def test_lane_scaling(self):
+        x8 = pcie_gen3("a", lanes=8)
+        x16 = pcie_gen3("b", lanes=16)
+        assert x16.bandwidth_bytes_per_sec == pytest.approx(
+            2 * x8.bandwidth_bytes_per_sec
+        )
+
+    def test_nvlink_faster_than_pcie(self):
+        assert (
+            nvlink2("nv").bandwidth_bytes_per_sec
+            > pcie_gen3("p").bandwidth_bytes_per_sec
+        )
+
+    def test_nvlink_brick_scaling(self):
+        one = nvlink2("a", bricks=1)
+        two = nvlink2("b", bricks=2)
+        assert two.bandwidth_bytes_per_sec == pytest.approx(
+            2 * one.bandwidth_bytes_per_sec
+        )
+
+    def test_more_bytes_take_longer(self):
+        link = pcie_gen3("l")
+        assert link.transfer_time(2 * GB) > link.transfer_time(1 * GB)

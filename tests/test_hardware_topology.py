@@ -1,0 +1,160 @@
+"""Topology construction and routing."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.hardware.device import gtx1080ti, host_cpu
+from repro.hardware.links import pcie_gen3
+from repro.hardware.presets import (
+    commodity_server,
+    dgx1_like_server,
+    gtx1080ti_server,
+    single_gpu_server,
+)
+from repro.hardware.topology import Topology
+
+
+@pytest.fixture
+def four_gpu():
+    return gtx1080ti_server(num_gpus=4)
+
+
+class TestConstruction:
+    def test_duplicate_device_rejected(self):
+        topo = Topology("t")
+        topo.add_device(host_cpu())
+        with pytest.raises(TopologyError):
+            topo.add_device(host_cpu())
+
+    def test_duplicate_switch_rejected(self):
+        topo = Topology("t")
+        topo.add_switch("s")
+        with pytest.raises(TopologyError):
+            topo.add_switch("s")
+
+    def test_switch_device_name_collision_rejected(self):
+        topo = Topology("t")
+        topo.add_device(host_cpu("x"))
+        with pytest.raises(TopologyError):
+            topo.add_switch("x")
+
+    def test_link_to_unknown_node_rejected(self):
+        topo = Topology("t")
+        topo.add_device(host_cpu())
+        with pytest.raises(TopologyError):
+            topo.add_link(pcie_gen3("l"), "cpu", "nowhere")
+
+    def test_self_link_rejected(self):
+        topo = Topology("t")
+        topo.add_device(host_cpu())
+        with pytest.raises(TopologyError):
+            topo.add_link(pcie_gen3("l"), "cpu", "cpu")
+
+    def test_duplicate_link_name_rejected(self):
+        topo = Topology("t")
+        topo.add_device(host_cpu())
+        topo.add_switch("s")
+        topo.add_link(pcie_gen3("l"), "cpu", "s")
+        topo.add_device(gtx1080ti("g"))
+        with pytest.raises(TopologyError):
+            topo.add_link(pcie_gen3("l"), "g", "s")
+
+
+class TestQueries:
+    def test_gpu_ordering_deterministic(self, four_gpu):
+        names = [g.name for g in four_gpu.gpus()]
+        assert names == sorted(names) == ["gpu0", "gpu1", "gpu2", "gpu3"]
+
+    def test_host_unique(self, four_gpu):
+        assert four_gpu.host().name == "cpu"
+
+    def test_missing_host_detected(self):
+        topo = Topology("t")
+        topo.add_device(gtx1080ti("g"))
+        with pytest.raises(TopologyError):
+            topo.host()
+
+    def test_unknown_device_lookup(self, four_gpu):
+        with pytest.raises(TopologyError):
+            four_gpu.device("gpu99")
+
+    def test_oversubscription_ratio(self, four_gpu):
+        assert four_gpu.host_uplink_oversubscription() == 4.0
+
+    def test_str_summary(self, four_gpu):
+        assert "4 GPUs" in str(four_gpu)
+
+
+class TestRouting:
+    def test_gpu_to_host_crosses_uplink(self, four_gpu):
+        route = four_gpu.host_route("gpu0")
+        assert route.crosses_host_uplink
+        assert len(route.links) == 2  # gpu->switch, switch->cpu
+
+    def test_gpu_to_gpu_same_switch_avoids_uplink(self, four_gpu):
+        route = four_gpu.route("gpu0", "gpu1")
+        assert not route.crosses_host_uplink
+
+    def test_shares_switch(self, four_gpu):
+        assert four_gpu.shares_switch("gpu0", "gpu3")
+
+    def test_self_route_empty(self, four_gpu):
+        route = four_gpu.route("gpu0", "gpu0")
+        assert route.links == ()
+        assert route.transfer_time(1e9) == 0.0
+
+    def test_route_endpoint_must_be_device(self, four_gpu):
+        with pytest.raises(TopologyError):
+            four_gpu.route("gpu0", "switch0")
+
+    def test_disconnected_detected(self):
+        topo = Topology("t")
+        topo.add_device(host_cpu())
+        topo.add_device(gtx1080ti("g"))
+        with pytest.raises(TopologyError):
+            topo.route("g", "cpu")
+
+    def test_route_caching_returns_same_object(self, four_gpu):
+        assert four_gpu.route("gpu0", "cpu") is four_gpu.route("gpu0", "cpu")
+
+    def test_bottleneck_bandwidth(self, four_gpu):
+        route = four_gpu.host_route("gpu0")
+        assert route.bottleneck_bandwidth == min(
+            link.bandwidth_bytes_per_sec for link in route.links
+        )
+
+    def test_transfer_time_uses_bottleneck(self, four_gpu):
+        route = four_gpu.host_route("gpu0")
+        expected = route.total_latency + 1e9 / route.bottleneck_bandwidth
+        assert route.transfer_time(1e9) == pytest.approx(expected)
+
+
+class TestPresets:
+    def test_single_gpu(self):
+        topo = single_gpu_server()
+        assert len(topo.gpus()) == 1
+
+    def test_commodity_multi_switch(self):
+        topo = commodity_server(num_gpus=8, gpus_per_switch=4)
+        assert len(topo.switches) == 2
+        assert topo.host_uplink_oversubscription() == 4.0
+
+    def test_cross_switch_route_crosses_uplink(self):
+        topo = commodity_server(num_gpus=8, gpus_per_switch=4)
+        assert not topo.shares_switch("gpu0", "gpu7")
+
+    def test_dgx_nvlink_p2p(self):
+        topo = dgx1_like_server(num_gpus=4)
+        route = topo.route("gpu0", "gpu1")
+        assert len(route.links) == 1  # direct NVLink beats the PCIe tree
+        assert route.links[0].name.startswith("nvlink")
+
+    def test_dgx_validates(self):
+        dgx1_like_server(num_gpus=2).validate()
+
+    def test_commodity_validates(self):
+        gtx1080ti_server(4).validate()
+
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(Exception):
+            commodity_server(num_gpus=0)

@@ -1,0 +1,206 @@
+"""Cross-scheme integration invariants.
+
+Every scheduler x option combination must satisfy the same physical
+invariants: tasks all complete, device memory is never oversubscribed,
+runs are deterministic, and the paper's qualitative ordering between
+schemes holds wherever it applies.
+"""
+
+import itertools
+
+import pytest
+
+from repro import BatchConfig, HarmonyConfig, HarmonyOptions, HarmonySession
+from repro.models import zoo
+from repro.tensors.tensor import TensorKind
+from repro.units import MB
+
+from tests.conftest import tight_server
+
+MODES = ["single", "dp-baseline", "pp-baseline", "harmony-dp", "harmony-pp",
+         "harmony-tp"]
+
+
+@pytest.fixture(scope="module")
+def model():
+    return zoo.synthetic_uniform(
+        num_layers=4, param_bytes_per_layer=100 * MB, activation_bytes=25 * MB
+    )
+
+
+def run(model, mode, options=None, m=2, capacity=600 * MB, prefetch=False):
+    topo = tight_server(2, capacity)
+    session = HarmonySession(
+        model,
+        topo,
+        HarmonyConfig(
+            mode,
+            batch=BatchConfig(1, m),
+            options=options or HarmonyOptions(),
+            prefetch=prefetch,
+        ),
+    )
+    return session.run()
+
+
+class TestUniversalInvariants:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_memory_never_oversubscribed(self, model, mode):
+        result = run(model, mode)
+        for report in result.devices.values():
+            assert report.peak_used <= report.capacity * (1 + 1e-9)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_all_compute_happened(self, model, mode):
+        result = run(model, mode)
+        total_compute = sum(
+            result.trace.busy_seconds(d, "compute") for d in result.devices
+        )
+        assert total_compute > 0
+        assert result.makespan >= max(
+            result.trace.busy_seconds(d, "compute") for d in result.devices
+        )
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_determinism(self, model, mode):
+        a = run(model, mode)
+        b = run(model, mode)
+        assert a.makespan == b.makespan
+        assert a.host_traffic == b.host_traffic
+
+    @pytest.mark.parametrize(
+        "mode,grouping,jit",
+        list(itertools.product(
+            ["harmony-dp", "harmony-pp", "harmony-tp"],
+            [True, False],
+            [True, False],
+        )),
+    )
+    def test_every_option_combination_completes(self, model, mode, grouping, jit):
+        result = run(
+            model, mode,
+            options=HarmonyOptions(grouping=grouping, jit_update=jit),
+        )
+        assert result.samples >= 2
+
+    @pytest.mark.parametrize("mode", ["harmony-pp", "harmony-dp"])
+    def test_prefetch_completes_under_pressure(self, model, mode):
+        result = run(model, mode, prefetch=True)
+        assert result.samples >= 2
+
+
+class TestSchemeOrderings:
+    def test_harmony_dp_swaps_fewer_weights_than_baseline(self, model):
+        base = run(model, "dp-baseline", m=3)
+        harmony = run(model, "harmony-dp", m=3)
+        assert harmony.stats.kind_swap_volume(
+            TensorKind.WEIGHT
+        ) < base.stats.kind_swap_volume(TensorKind.WEIGHT)
+
+    def test_partitioned_weights_beat_replicated(self, model):
+        dp = run(model, "harmony-dp", m=3)
+        pp = run(model, "harmony-pp", m=3)
+        tp = run(model, "harmony-tp", m=3)
+        dp_w = dp.stats.kind_swap_volume(TensorKind.WEIGHT)
+        assert pp.stats.kind_swap_volume(TensorKind.WEIGHT) < dp_w
+        assert tp.stats.kind_swap_volume(TensorKind.WEIGHT) < dp_w
+
+    def test_multi_gpu_beats_single_when_swap_bound(self, model):
+        single = run(model, "single", m=3)
+        pp = run(model, "harmony-pp", m=3)
+        assert pp.throughput > single.throughput
+
+    def test_grouping_reduces_weight_traffic(self, model):
+        grouped = run(model, "harmony-dp", m=4)
+        ungrouped = run(
+            model, "harmony-dp", m=4, options=HarmonyOptions(grouping=False)
+        )
+        assert grouped.stats.kind_swap_volume(
+            TensorKind.WEIGHT
+        ) <= ungrouped.stats.kind_swap_volume(TensorKind.WEIGHT)
+
+
+class TestSwapToPeer:
+    """Cross-device swap targets (paper §2 inefficiency #3)."""
+
+    def _run(self, model, flag):
+        topo = tight_server(2, 600 * MB)
+        session = HarmonySession(
+            model,
+            topo,
+            HarmonyConfig(
+                "harmony-pp",
+                batch=BatchConfig(1, 4),
+                options=HarmonyOptions(swap_to_peer=flag),
+            ),
+        )
+        return session.run()
+
+    def _uneven_model(self):
+        # 3 layers on 2 GPUs: gpu0 carries two packs, gpu1 one — the
+        # slack on gpu1 is what peer-swapping exploits.
+        return zoo.synthetic_uniform(
+            num_layers=3, param_bytes_per_layer=100 * MB,
+            activation_bytes=25 * MB,
+        )
+
+    def test_moves_evictions_onto_peer_links(self):
+        from repro.memory.stats import Direction
+
+        model = self._uneven_model()
+        off = self._run(model, False)
+        on = self._run(model, True)
+        assert on.stats.volume(direction=Direction.P2P_OUT) > off.stats.volume(
+            direction=Direction.P2P_OUT
+        )
+
+    def test_never_increases_host_swapout(self):
+        model = self._uneven_model()
+        off = self._run(model, False)
+        on = self._run(model, True)
+        assert on.swap_out_volume <= off.swap_out_volume
+
+    def test_still_completes_and_matches_samples(self):
+        model = self._uneven_model()
+        assert self._run(model, True).samples == 4
+
+    def test_respects_memory_limits(self):
+        model = self._uneven_model()
+        result = self._run(model, True)
+        for report in result.devices.values():
+            assert report.peak_used <= report.capacity * (1 + 1e-9)
+
+
+class TestPhysicalConsistency:
+    """No resource can be busy for longer than the run lasted, and
+    every byte the ledger records corresponds to time on some link."""
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_link_busy_bounded_by_makespan(self, model, mode):
+        result = run(model, mode)
+        for name, busy in result.link_busy.items():
+            assert busy <= result.makespan + 1e-9, name
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_host_traffic_implies_uplink_time(self, model, mode):
+        result = run(model, mode)
+        if result.host_traffic == 0:
+            return
+        from repro.units import GB
+
+        # All host traffic rides uplink0 on this single-switch box: the
+        # link must have been busy at least traffic / bandwidth seconds.
+        uplink_bw = 0.75 * 0.985 * GB * 16  # pcie_gen3 x16 effective
+        assert result.link_busy["uplink0"] >= result.host_traffic / uplink_bw * 0.99
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_makespan_at_least_serial_bottleneck(self, model, mode):
+        result = run(model, mode)
+        lower_bound = max(
+            max(result.link_busy.values(), default=0.0),
+            max(
+                result.trace.busy_seconds(d, "compute")
+                for d in result.devices
+            ),
+        )
+        assert result.makespan >= lower_bound - 1e-9

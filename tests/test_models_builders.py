@@ -1,0 +1,205 @@
+"""Model builders: transformers, CNNs, RNNs, and the zoo (Fig. 1 data)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models import zoo
+from repro.models.cnn import alexnet, amoebanet_proxy, conv_layer, fc_layer, lenet5
+from repro.models.rnn import gnmt, lstm_layer
+from repro.models.transformer import (
+    TransformerConfig,
+    bert_large,
+    build_transformer,
+    gpt2_xl,
+    gpt3_175b,
+    t5_11b,
+)
+
+
+class TestTransformerParams:
+    """Reconstructions must land on the published counts (Fig. 1)."""
+
+    def test_bert_large(self):
+        assert bert_large().param_count == pytest.approx(340e6, rel=0.05)
+
+    def test_gpt2_xl(self):
+        assert gpt2_xl().param_count == pytest.approx(1.5e9, rel=0.05)
+
+    def test_gpt3(self):
+        assert gpt3_175b().param_count == pytest.approx(175e9, rel=0.02)
+
+    def test_t5_11b(self):
+        assert t5_11b().param_count == pytest.approx(11e9, rel=0.05)
+
+    def test_block_param_formula(self):
+        # 12h^2 + 13h per block with biases and 4h feed-forward.
+        cfg = TransformerConfig(
+            name="t", num_blocks=1, hidden=64, heads=4, seq_len=8, vocab=100
+        )
+        model = build_transformer(cfg)
+        block = model.layer(1)
+        assert block.param_count == 12 * 64 * 64 + 13 * 64
+
+    def test_cross_attention_adds_params(self):
+        base = dict(num_blocks=1, hidden=64, heads=4, seq_len=8, vocab=100)
+        enc = build_transformer(TransformerConfig(name="e", **base))
+        dec = build_transformer(
+            TransformerConfig(name="d", cross_attention=True, **base)
+        )
+        assert dec.layer(1).param_count > enc.layer(1).param_count
+
+
+class TestTransformerStructure:
+    def test_layer_count(self):
+        assert len(bert_large()) == 24 + 2  # embed + blocks + head
+
+    def test_chain_validates(self):
+        gpt2_xl().validate()
+
+    def test_tied_head_has_no_params(self):
+        assert gpt2_xl().layers[-1].param_count == 0
+
+    def test_untied_head(self):
+        cfg = TransformerConfig(
+            name="t", num_blocks=1, hidden=64, heads=4, seq_len=8, vocab=100,
+            tied_head=False,
+        )
+        assert build_transformer(cfg).layers[-1].param_count == 64 * 100
+
+    def test_backward_flops_double_forward(self):
+        block = bert_large().layer(5)
+        assert block.flops_bwd_per_sample == 2 * block.flops_fwd_per_sample
+
+    def test_invalid_heads_rejected(self):
+        with pytest.raises(ModelError):
+            TransformerConfig(
+                name="t", num_blocks=1, hidden=65, heads=4, seq_len=8, vocab=10
+            )
+
+    def test_zero_blocks_rejected(self):
+        with pytest.raises(ModelError):
+            TransformerConfig(
+                name="t", num_blocks=0, hidden=64, heads=4, seq_len=8, vocab=10
+            )
+
+    def test_longer_sequence_more_stash(self):
+        short = bert_large(seq_len=128).layer(3)
+        long = bert_large(seq_len=512).layer(3)
+        assert long.stash_bytes_per_sample > short.stash_bytes_per_sample
+
+
+class TestCnnBuilders:
+    def test_lenet_params(self):
+        assert lenet5().param_count == pytest.approx(61_706, rel=0.001)
+
+    def test_alexnet_params(self):
+        assert alexnet().param_count == pytest.approx(61e6, rel=0.05)
+
+    def test_amoebanet_proxy_calibrated(self):
+        assert amoebanet_proxy().param_count == pytest.approx(557e6, rel=0.05)
+
+    def test_amoebanet_custom_target(self):
+        model = amoebanet_proxy(target_params=100e6)
+        assert model.param_count == pytest.approx(100e6, rel=0.10)
+
+    def test_conv_layer_params(self):
+        layer = conv_layer("c", 3, 8, 3, 8, 8)
+        assert layer.param_count == 3 * 3 * 3 * 8 + 8
+
+    def test_separable_conv_fewer_params(self):
+        full = conv_layer("a", 64, 64, 3, 8, 8)
+        sep = conv_layer("b", 64, 64, 3, 8, 8, separable=True)
+        assert sep.param_count < full.param_count
+
+    def test_fc_layer_params(self):
+        assert fc_layer("f", 10, 5).param_count == 55
+
+    def test_conv_rejects_bad_dims(self):
+        with pytest.raises(ModelError):
+            conv_layer("c", 0, 8, 3, 8, 8)
+
+
+class TestRnnBuilders:
+    def test_gnmt_params(self):
+        assert gnmt().param_count == pytest.approx(278e6, rel=0.05)
+
+    def test_lstm_param_formula(self):
+        layer = lstm_layer("l", 10, 20, seq_len=5)
+        assert layer.param_count == 4 * ((10 + 20) * 20 + 20)
+
+    def test_bidirectional_doubles(self):
+        uni = lstm_layer("a", 10, 20, 5)
+        bi = lstm_layer("b", 10, 20, 5, bidirectional=True)
+        assert bi.param_count == 2 * uni.param_count
+
+    def test_gnmt_needs_two_encoder_layers(self):
+        with pytest.raises(ModelError):
+            gnmt(enc_layers=1)
+
+
+class TestZoo:
+    def test_growth_series_ordered_by_year(self):
+        years = [e.year for e in zoo.growth_series()]
+        assert years == sorted(years)
+
+    def test_growth_series_matches_figure(self):
+        names = [e.name for e in zoo.growth_series()]
+        assert names == ["lenet", "alexnet", "gnmt", "amoebanet", "gpt2", "t5", "gpt3"]
+
+    def test_every_entry_within_published(self):
+        for entry in zoo.growth_series():
+            model = entry.builder()
+            assert model.param_count == pytest.approx(
+                entry.published_params, rel=0.10
+            ), entry.name
+
+    def test_build_by_name(self):
+        assert zoo.build("bert-large").name == "bert-large"
+
+    def test_unknown_name(self):
+        with pytest.raises(ModelError):
+            zoo.build("skynet")
+
+    def test_names_listing(self):
+        assert "gpt3" in zoo.names()
+
+    def test_growth_is_monotone_and_exponential(self):
+        series = [e.published_params for e in zoo.growth_series()]
+        assert all(b > a for a, b in zip(series, series[1:]))
+        assert series[-1] / series[0] > 1e6  # six orders of magnitude
+
+
+class TestSyntheticUniform:
+    def test_layer_uniformity(self):
+        model = zoo.synthetic_uniform(num_layers=3)
+        sizes = {l.param_bytes for l in model}
+        assert len(sizes) == 1
+
+    def test_zero_layers_rejected(self):
+        with pytest.raises(ModelError):
+            zoo.synthetic_uniform(num_layers=0)
+
+    def test_stash_multiplier(self):
+        model = zoo.synthetic_uniform(stash_multiplier=2.0, activation_bytes=10)
+        assert model.layer(0).stash_bytes_per_sample == 20
+
+    def test_validates(self):
+        zoo.synthetic_uniform(num_layers=5).validate()
+
+
+class TestMegatron:
+    def test_param_count(self):
+        from repro.models.transformer import megatron_8b
+
+        assert megatron_8b().param_count == pytest.approx(8.3e9, rel=0.05)
+
+    def test_in_zoo(self):
+        assert "megatron" in zoo.names()
+        assert zoo.build("megatron").param_count == pytest.approx(
+            8.3e9, rel=0.05
+        )
+
+    def test_not_in_growth_series(self):
+        # Fig. 1 plots a specific seven-model series; megatron is a
+        # zoo extra (the paper cites it as a model-parallel system).
+        assert "megatron" not in [e.name for e in zoo.growth_series()]

@@ -1,0 +1,91 @@
+"""Cost model: FLOPs to time conversion."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.device import gtx1080ti, v100
+from repro.models.costmodel import CostModel
+from repro.models.phases import Phase
+from repro.models import zoo
+from repro.units import MB, USEC
+
+
+@pytest.fixture
+def model():
+    return zoo.synthetic_uniform(num_layers=2, param_bytes_per_layer=100 * MB)
+
+
+@pytest.fixture
+def cost():
+    return CostModel()
+
+
+class TestComputeTime:
+    def test_launch_overhead_floor(self, cost, model):
+        tiny = CostModel(kernel_launch_sec=1.0)
+        t = tiny.compute_time(model.layer(0), Phase.UPDATE, 1, gtx1080ti("g"))
+        assert t >= 1.0
+
+    def test_faster_device_shorter_time(self, cost, model):
+        layer = model.layer(0)
+        slow = cost.compute_time(layer, Phase.FORWARD, 1, gtx1080ti("a"))
+        fast = cost.compute_time(layer, Phase.FORWARD, 1, v100("b"))
+        assert fast < slow
+
+    def test_backward_twice_forward(self, cost, model):
+        layer = model.layer(0)
+        fwd = cost.compute_time(layer, Phase.FORWARD, 1, gtx1080ti("g"))
+        bwd = cost.compute_time(layer, Phase.BACKWARD, 1, gtx1080ti("g"))
+        assert bwd == pytest.approx(2 * fwd - cost.kernel_launch_sec, rel=1e-6)
+
+    def test_batch_scaling(self, cost, model):
+        layer = model.layer(0)
+        one = cost.compute_time(layer, Phase.FORWARD, 1, gtx1080ti("g"))
+        four = cost.compute_time(layer, Phase.FORWARD, 4, gtx1080ti("g"))
+        assert four > one
+
+    def test_zero_microbatch_rejected(self, cost, model):
+        with pytest.raises(ConfigError):
+            cost.compute_time(model.layer(0), Phase.FORWARD, 0, gtx1080ti("g"))
+
+
+class TestPackTime:
+    def test_packing_amortizes_launch(self, cost, model):
+        layers = list(model.layers)
+        device = gtx1080ti("g")
+        separate = sum(
+            cost.compute_time(l, Phase.FORWARD, 1, device) for l in layers
+        )
+        packed = cost.pack_time(layers, Phase.FORWARD, 1, device)
+        assert packed < separate
+        assert separate - packed == pytest.approx(cost.kernel_launch_sec)
+
+    def test_empty_pack_is_free(self, cost):
+        assert cost.pack_time([], Phase.FORWARD, 1, gtx1080ti("g")) == 0.0
+
+
+class TestTaskTime:
+    def test_task_time_matches_formula(self, cost):
+        device = gtx1080ti("g")
+        t = cost.task_time(4.5e12, device)
+        assert t == pytest.approx(cost.kernel_launch_sec + 1.0)
+
+    def test_negative_flops_rejected(self, cost):
+        with pytest.raises(ConfigError):
+            cost.task_time(-1, gtx1080ti("g"))
+
+    def test_memory_bound_derating(self):
+        full = CostModel(memory_bound_fraction=1.0)
+        half = CostModel(memory_bound_fraction=0.5)
+        device = gtx1080ti("g")
+        assert half.task_time(1e12, device) > full.task_time(1e12, device)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(memory_bound_fraction=0.0)
+        with pytest.raises(ConfigError):
+            CostModel(memory_bound_fraction=1.5)
+
+    def test_negative_launch_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(kernel_launch_sec=-1 * USEC)

@@ -1,0 +1,94 @@
+"""ModelGraph structure and footprint accounting."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models import zoo
+from repro.models.graph import ModelGraph
+from repro.models.layer import LayerSpec
+from repro.models.phases import Phase
+from repro.units import MB
+
+
+@pytest.fixture
+def model():
+    return zoo.synthetic_uniform(
+        num_layers=4, param_bytes_per_layer=100 * MB, activation_bytes=25 * MB
+    )
+
+
+class TestStructure:
+    def test_len(self, model):
+        assert len(model) == 4
+
+    def test_iteration_order(self, model):
+        assert [l.name for l in model] == ["L1", "L2", "L3", "L4"]
+
+    def test_index_of(self, model):
+        assert model.index_of("L3") == 2
+
+    def test_index_of_missing(self, model):
+        with pytest.raises(ModelError):
+            model.index_of("L99")
+
+    def test_duplicate_layer_names_rejected(self):
+        layer = LayerSpec("L", 1, 1, 1, 1, 1, 1)
+        with pytest.raises(ModelError):
+            ModelGraph("m", [layer, layer])
+
+    def test_empty_model_fails_validation(self):
+        with pytest.raises(ModelError):
+            ModelGraph("m", []).validate()
+
+    def test_activation_mismatch_fails_validation(self):
+        a = LayerSpec("a", 1, 10, 20, 1, 1, 1)
+        b = LayerSpec("b", 1, 30, 10, 1, 1, 1)  # expects 30, gets 20
+        with pytest.raises(ModelError):
+            ModelGraph("m", [a, b]).validate()
+
+    def test_uniform_validates(self, model):
+        model.validate()
+
+
+class TestAggregates:
+    def test_param_bytes_sum(self, model):
+        assert model.param_bytes == 400 * MB
+
+    def test_optimizer_bytes(self, model):
+        assert model.optimizer_bytes == 800 * MB
+
+    def test_stash_scales_with_microbatch(self, model):
+        assert model.stash_bytes(4) == 4 * model.stash_bytes(1)
+
+    def test_iteration_flops_positive(self, model):
+        assert model.iteration_flops(8) > model.iteration_flops(1)
+
+    def test_training_footprint_exceeds_params(self, model):
+        assert model.training_footprint_bytes(1) > model.param_bytes
+
+    def test_footprint_live_microbatches(self, model):
+        one = model.training_footprint_bytes(1, num_live_microbatches=1)
+        four = model.training_footprint_bytes(1, num_live_microbatches=4)
+        assert four == one + 3 * model.stash_bytes(1)
+
+    def test_max_layer_working_set_is_update_for_uniform(self, model):
+        # W + dW + K = 400 MB dominates fwd/bwd for these sizes
+        assert model.max_layer_working_set(1) == 400 * MB
+
+
+class TestSlice:
+    def test_slice_layers(self, model):
+        sub = model.slice(1, 3)
+        assert [l.name for l in sub] == ["L2", "L3"]
+
+    def test_slice_name_default(self, model):
+        assert model.slice(0, 2).name.endswith("[0:2]")
+
+    def test_slice_bounds_checked(self, model):
+        with pytest.raises(ModelError):
+            model.slice(3, 2)
+        with pytest.raises(ModelError):
+            model.slice(0, 99)
+
+    def test_describe_mentions_params(self, model):
+        assert "4 layers" in model.describe()

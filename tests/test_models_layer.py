@@ -1,0 +1,96 @@
+"""LayerSpec sizing and FLOP accounting."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models.layer import LayerSpec
+from repro.models.phases import Phase
+from repro.units import MB
+
+
+@pytest.fixture
+def layer():
+    return LayerSpec(
+        name="L",
+        param_count=25 * MB,  # 100 MB at fp32
+        in_bytes_per_sample=25 * MB,
+        out_bytes_per_sample=25 * MB,
+        stash_bytes_per_sample=25 * MB,
+        flops_fwd_per_sample=1e12,
+        flops_bwd_per_sample=2e12,
+    )
+
+
+class TestDerivedSizes:
+    def test_param_bytes(self, layer):
+        assert layer.param_bytes == 100 * MB
+
+    def test_grad_matches_params(self, layer):
+        assert layer.grad_bytes == layer.param_bytes
+
+    def test_adam_optimizer_state(self, layer):
+        assert layer.optimizer_bytes == 2 * layer.param_bytes
+
+    def test_sgd_has_no_optimizer_state(self):
+        layer = LayerSpec("L", 10, 1, 1, 1, 1, 1, optimizer_multiplier=0.0)
+        assert layer.optimizer_bytes == 0
+
+    def test_activation_scaling_with_microbatch(self, layer):
+        assert layer.in_bytes(4) == 4 * layer.in_bytes(1)
+        assert layer.stash_bytes(3) == 3 * layer.stash_bytes(1)
+
+
+class TestFlops:
+    def test_forward_scales_with_batch(self, layer):
+        assert layer.flops(Phase.FORWARD, 4) == 4e12
+
+    def test_backward_scales_with_batch(self, layer):
+        assert layer.flops(Phase.BACKWARD, 2) == 4e12
+
+    def test_update_independent_of_batch(self, layer):
+        assert layer.flops(Phase.UPDATE, 1) == layer.flops(Phase.UPDATE, 16)
+
+    def test_update_is_6_flops_per_param(self, layer):
+        assert layer.flops(Phase.UPDATE, 1) == 6.0 * layer.param_count
+
+
+class TestWorkingSets:
+    def test_update_working_set(self, layer):
+        # W + dW + K
+        assert layer.working_set_bytes(Phase.UPDATE, 1) == 400 * MB
+
+    def test_backward_biggest_for_uniform_layer(self, layer):
+        bwd = layer.working_set_bytes(Phase.BACKWARD, 1)
+        fwd = layer.working_set_bytes(Phase.FORWARD, 1)
+        assert bwd > fwd
+
+    def test_forward_working_set_counts_in_out_w(self, layer):
+        ws = layer.working_set_bytes(Phase.FORWARD, 1)
+        assert ws == 25 * MB + 100 * MB + 25 * MB  # X + W + Y (stash == X)
+
+    def test_working_set_grows_with_microbatch(self, layer):
+        assert layer.working_set_bytes(Phase.FORWARD, 4) > layer.working_set_bytes(
+            Phase.FORWARD, 1
+        )
+
+
+class TestValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            LayerSpec("", 1, 1, 1, 1, 1, 1)
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ModelError):
+            LayerSpec("L", -1, 1, 1, 1, 1, 1)
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ModelError):
+            LayerSpec("L", 1, 1, 1, 1, -1, 1)
+
+    def test_zero_dtype_rejected(self):
+        with pytest.raises(ModelError):
+            LayerSpec("L", 1, 1, 1, 1, 1, 1, dtype_bytes=0)
+
+    def test_unknown_phase_rejected(self, layer):
+        with pytest.raises(ModelError):
+            layer.flops("not-a-phase", 1)

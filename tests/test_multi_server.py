@@ -1,0 +1,158 @@
+"""Multi-server topologies and schedules (paper section 4,
+"Multi-machine training")."""
+
+import pytest
+
+from repro import BatchConfig, HarmonyConfig, HarmonySession
+from repro.errors import ConfigError, TopologyError
+from repro.hardware.presets import gtx1080ti_server, multi_server_cluster
+from repro.models import zoo
+from repro.units import MB
+
+
+@pytest.fixture
+def cluster():
+    return multi_server_cluster(num_servers=2, gpus_per_server=2)
+
+
+class TestClusterTopology:
+    def test_hosts_per_server(self, cluster):
+        assert [h.name for h in cluster.hosts()] == ["cpu0", "cpu1"]
+
+    def test_single_host_accessor_rejects_cluster(self, cluster):
+        with pytest.raises(TopologyError):
+            cluster.host()
+
+    def test_host_of_is_local(self, cluster):
+        assert cluster.host_of("s0g1").name == "cpu0"
+        assert cluster.host_of("s1g0").name == "cpu1"
+
+    def test_gpu_names_sort_by_server(self, cluster):
+        names = [g.name for g in cluster.gpus()]
+        assert names == ["s0g0", "s0g1", "s1g0", "s1g1"]
+
+    def test_cross_server_route_uses_network(self, cluster):
+        route = cluster.route("s0g0", "s1g0")
+        link_names = [l.name for l in route.links]
+        assert "net0" in link_names and "net1" in link_names
+
+    def test_same_server_p2p_stays_local(self, cluster):
+        route = cluster.route("s0g0", "s0g1")
+        assert all(l.name.startswith("pcie") for l in route.links)
+
+    def test_cross_server_not_switch_local(self, cluster):
+        assert not cluster.shares_switch("s0g0", "s1g0")
+        assert cluster.shares_switch("s0g0", "s0g1")
+
+    def test_network_slower_than_pcie(self, cluster):
+        local = cluster.route("s0g0", "cpu0")
+        remote = cluster.route("s0g0", "cpu1")
+        assert remote.transfer_time(1e9) > local.transfer_time(1e9)
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ConfigError):
+            multi_server_cluster(network="carrier-pigeon")
+
+    def test_infiniband_faster_than_25gbe(self):
+        ib = multi_server_cluster(2, 1, network="ib")
+        slow = multi_server_cluster(2, 1, network="25gbe")
+        t_ib = ib.route("s0g0", "s1g0").transfer_time(1e9)
+        t_eth = slow.route("s0g0", "s1g0").transfer_time(1e9)
+        assert t_ib < t_eth
+
+    def test_validates(self, cluster):
+        cluster.validate()
+
+
+class TestClusterExecution:
+    @pytest.fixture
+    def model(self):
+        return zoo.synthetic_uniform(
+            num_layers=8, param_bytes_per_layer=100 * MB, activation_bytes=25 * MB
+        )
+
+    def test_harmony_pp_runs_across_servers(self, model, cluster):
+        session = HarmonySession(
+            model, cluster, HarmonyConfig("harmony-pp", batch=BatchConfig(1, 2))
+        )
+        result = session.run()
+        assert result.samples == 2
+        # All four GPUs across both servers did work.
+        for gpu in ("s0g0", "s0g1", "s1g0", "s1g1"):
+            assert result.trace.compute_sequence(gpu)
+
+    def test_harmony_dp_allreduce_crosses_network(self, model, cluster):
+        session = HarmonySession(
+            model, cluster, HarmonyConfig("harmony-dp", batch=BatchConfig(1, 1))
+        )
+        result = session.run()
+        assert result.link_busy.get("net0", 0) > 0  # gradients crossed the wire
+
+    def test_swaps_stay_server_local(self, model, cluster):
+        session = HarmonySession(
+            model, cluster, HarmonyConfig("pp-baseline", batch=BatchConfig(1, 2))
+        )
+        result = session.run()
+        # Baseline PP never moves tensors across servers except the
+        # boundary activations; its swap traffic must not saturate the
+        # network more than the uplinks.
+        assert result.link_busy["uplink0"] > result.link_busy["net0"]
+
+    def test_more_servers_more_throughput_when_swap_bound(self):
+        model = zoo.synthetic_uniform(
+            num_layers=16, param_bytes_per_layer=100 * MB, activation_bytes=5 * MB
+        )
+        one = gtx1080ti_server(4)
+        two = multi_server_cluster(2, 4)
+
+        def throughput(topo):
+            session = HarmonySession(
+                model, topo, HarmonyConfig("harmony-pp", batch=BatchConfig(1, 2))
+            )
+            return session.run().throughput
+
+        # Doubling aggregate GPU memory relieves swap pressure.
+        assert throughput(two) > throughput(one)
+
+
+class TestCombinedExtensions:
+    """Extensions compose: sharded ops and CPU optimizers across a
+    multi-server cluster."""
+
+    @pytest.fixture
+    def model(self):
+        return zoo.synthetic_uniform(
+            num_layers=4, param_bytes_per_layer=100 * MB,
+            activation_bytes=25 * MB,
+        )
+
+    def test_harmony_tp_across_cluster(self, model, cluster):
+        session = HarmonySession(
+            model, cluster, HarmonyConfig("harmony-tp", batch=BatchConfig(1, 2))
+        )
+        result = session.run()
+        assert result.samples == 2
+        # Shard collectives cross the inter-server network.
+        assert result.link_busy.get("net0", 0) > 0
+
+    def test_recompute_on_cluster(self, model, cluster):
+        from repro import HarmonyOptions
+
+        session = HarmonySession(
+            model, cluster,
+            HarmonyConfig(
+                "harmony-pp", batch=BatchConfig(1, 2),
+                options=HarmonyOptions(recompute=True),
+            ),
+        )
+        assert session.run().samples == 2
+
+    def test_multi_iteration_on_cluster(self, model, cluster):
+        from repro.schedulers.harmony_pp import HarmonyPP
+        from repro.sim.executor import ExecOptions, Executor
+
+        plan = HarmonyPP(model, cluster, BatchConfig(1, 2)).plan()
+        result = Executor(
+            cluster, plan, options=ExecOptions(iterations=2)
+        ).run()
+        assert result.samples == 4

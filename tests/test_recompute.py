@@ -1,0 +1,137 @@
+"""Recomputation (activation checkpointing) — the paper's cited
+memory optimization and its pack-size interaction (section 4)."""
+
+import pytest
+
+from repro import BatchConfig, HarmonyConfig, HarmonyOptions, HarmonySession
+from repro.errors import ConfigError, SchedulingError
+from repro.models import zoo
+from repro.tasks.decomposer import Decomposer
+from repro.tasks.packing import pack_layers
+from repro.tensors.tensor import TensorKind
+from repro.units import MB
+
+from tests.conftest import tight_server
+
+
+@pytest.fixture
+def model():
+    return zoo.synthetic_uniform(
+        num_layers=4,
+        param_bytes_per_layer=100 * MB,
+        activation_bytes=25 * MB,
+        stash_multiplier=4.0,  # heavy stash: recompute has something to save
+    )
+
+
+def decompose(model, recompute, pack=1, m=2):
+    packs = pack_layers(len(model), pack)
+    return Decomposer(
+        model, 1, m, packs_fwd=packs, packs_bwd=packs, recompute=recompute
+    ).decompose()
+
+
+class TestDecomposition:
+    def test_checkpoint_smaller_than_stash(self, model):
+        plain = decompose(model, recompute=False)
+        ckpt = decompose(model, recompute=True)
+        full = plain.registry.stash(0, 0).size_bytes
+        small = ckpt.registry.checkpoint(0, 0).size_bytes
+        assert small < full
+        assert small == model.layer(0).in_bytes(1)
+
+    def test_backward_flops_include_recomputed_forward(self, model):
+        plain = decompose(model, recompute=False)
+        ckpt = decompose(model, recompute=True)
+        assert ckpt.bwd[(0, 0, 0)].flops == pytest.approx(
+            plain.bwd[(0, 0, 0)].flops + plain.fwd[(0, 0, 0)].flops
+        )
+
+    def test_one_checkpoint_per_pack(self, model):
+        it = decompose(model, recompute=True, pack=2)
+        fwd = it.fwd[(0, 0, 0)]
+        stash_writes = [
+            t for t in fwd.writes
+            if it.registry.by_id(t).kind is TensorKind.STASH
+        ]
+        assert len(stash_writes) == 1
+
+    def test_bigger_packs_fewer_checkpoint_bytes(self, model):
+        fine = decompose(model, recompute=True, pack=1)
+        coarse = decompose(model, recompute=True, pack=2)
+
+        def checkpoint_bytes(it):
+            return sum(
+                t.size_bytes
+                for t in it.registry.all_tensors()
+                if t.kind is TensorKind.STASH
+            )
+
+        assert checkpoint_bytes(coarse) < checkpoint_bytes(fine)
+
+    def test_mismatched_packs_rejected(self, model):
+        with pytest.raises(SchedulingError):
+            Decomposer(
+                model, 1, 1,
+                packs_fwd=pack_layers(4, 2),
+                packs_bwd=pack_layers(4, 1),
+                recompute=True,
+            )
+
+    def test_graph_acyclic(self, model):
+        decompose(model, recompute=True, pack=2, m=3).graph.topo_order()
+
+
+class TestExecution:
+    def _run(self, model, recompute, capacity=600 * MB):
+        topo = tight_server(2, capacity)
+        session = HarmonySession(
+            model,
+            topo,
+            HarmonyConfig(
+                "harmony-pp",
+                batch=BatchConfig(1, 3),
+                options=HarmonyOptions(recompute=recompute),
+            ),
+        )
+        return session.run()
+
+    def test_recompute_cuts_stash_traffic(self, model):
+        plain = self._run(model, recompute=False)
+        ckpt = self._run(model, recompute=True)
+        assert ckpt.stats.kind_swap_volume(TensorKind.STASH) < plain.stats.kind_swap_volume(
+            TensorKind.STASH
+        )
+
+    def test_recompute_cuts_peak_demand(self, model):
+        plain = self._run(model, recompute=False)
+        ckpt = self._run(model, recompute=True)
+        for dev in plain.devices:
+            assert (
+                ckpt.devices[dev].peak_demand <= plain.devices[dev].peak_demand
+            )
+
+    def test_recompute_adds_compute_time(self, model):
+        roomy = tight_server(2, 4000 * MB)
+        session_plain = HarmonySession(
+            model, roomy,
+            HarmonyConfig("harmony-pp", batch=BatchConfig(1, 2)),
+        )
+        roomy2 = tight_server(2, 4000 * MB)
+        session_ckpt = HarmonySession(
+            model, roomy2,
+            HarmonyConfig(
+                "harmony-pp", batch=BatchConfig(1, 2),
+                options=HarmonyOptions(recompute=True),
+            ),
+        )
+        a = session_plain.run()
+        b = session_ckpt.run()
+        # With plentiful memory, recompute only costs compute.
+        assert b.trace.busy_seconds("gpu0", "compute") > a.trace.busy_seconds(
+            "gpu0", "compute"
+        )
+
+    def test_options_validation(self):
+        with pytest.raises(ConfigError):
+            HarmonyOptions(recompute=True, pack_size=2, pack_size_bwd=3)

@@ -1,0 +1,107 @@
+"""Discrete-event engine and shared resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, ResourceTimeline
+
+
+class TestEngine:
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        log = []
+        engine.at(2.0, lambda: log.append("b"))
+        engine.at(1.0, lambda: log.append("a"))
+        engine.run()
+        assert log == ["a", "b"]
+
+    def test_ties_break_by_insertion(self):
+        engine = Engine()
+        log = []
+        engine.at(1.0, lambda: log.append("first"))
+        engine.at(1.0, lambda: log.append("second"))
+        engine.run()
+        assert log == ["first", "second"]
+
+    def test_now_advances(self):
+        engine = Engine()
+        seen = []
+        engine.at(5.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [5.0]
+
+    def test_callback_can_schedule_more(self):
+        engine = Engine()
+        log = []
+        engine.at(1.0, lambda: engine.after(1.0, lambda: log.append(engine.now)))
+        engine.run()
+        assert log == [2.0]
+
+    def test_past_scheduling_rejected(self):
+        engine = Engine()
+        engine.at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().after(-1, lambda: None)
+
+    def test_livelock_guard(self):
+        engine = Engine()
+
+        def respawn():
+            engine.after(0.0, respawn)
+
+        engine.after(0.0, respawn)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+    def test_pending_events(self):
+        engine = Engine()
+        engine.at(1.0, lambda: None)
+        assert engine.pending_events == 1
+
+
+class TestResourceTimeline:
+    def test_fifo_queueing(self):
+        r = ResourceTimeline("link")
+        s1, e1 = r.acquire(0.0, 2.0)
+        s2, e2 = r.acquire(0.0, 3.0)
+        assert (s1, e1) == (0.0, 2.0)
+        assert (s2, e2) == (2.0, 5.0)
+
+    def test_idle_gap(self):
+        r = ResourceTimeline("link")
+        r.acquire(0.0, 1.0)
+        s, e = r.acquire(10.0, 1.0)
+        assert (s, e) == (10.0, 11.0)
+
+    def test_busy_accounting(self):
+        r = ResourceTimeline("link")
+        r.acquire(0.0, 2.0)
+        r.acquire(0.0, 3.0)
+        assert r.busy_seconds == 5.0
+
+    def test_utilization(self):
+        r = ResourceTimeline("link")
+        r.acquire(0.0, 5.0)
+        assert r.utilization(10.0) == 0.5
+        assert r.utilization(0.0) == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            ResourceTimeline("r").acquire(0.0, -1.0)
+
+    def test_acquire_all_waits_for_slowest(self):
+        a = ResourceTimeline("a")
+        b = ResourceTimeline("b")
+        a.acquire(0.0, 5.0)
+        s, e = ResourceTimeline.acquire_all([a, b], 0.0, 2.0)
+        assert (s, e) == (5.0, 7.0)
+        assert b.free_at == 7.0
+
+    def test_acquire_all_empty(self):
+        s, e = ResourceTimeline.acquire_all([], 1.0, 2.0)
+        assert (s, e) == (1.0, 3.0)

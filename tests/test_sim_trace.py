@@ -1,0 +1,107 @@
+"""Trace collection and timeline rendering."""
+
+import pytest
+
+from repro.sim.trace import Trace, render_timeline
+
+
+@pytest.fixture
+def trace():
+    t = Trace()
+    t.add("gpu0", 0.0, 1.0, "compute", "fwd0")
+    t.add("gpu0", 1.0, 1.5, "swap_out", "W0")
+    t.add("gpu1", 0.5, 2.0, "compute", "fwd1")
+    return t
+
+
+class TestTrace:
+    def test_devices(self, trace):
+        assert trace.devices() == ["gpu0", "gpu1"]
+
+    def test_makespan(self, trace):
+        assert trace.makespan() == 2.0
+
+    def test_for_device_sorted(self, trace):
+        events = trace.for_device("gpu0")
+        assert [e.label for e in events] == ["fwd0", "W0"]
+
+    def test_busy_seconds_by_category(self, trace):
+        assert trace.busy_seconds("gpu0", "compute") == 1.0
+        assert trace.busy_seconds("gpu0") == 1.5
+
+    def test_compute_sequence_excludes_transfers(self, trace):
+        assert trace.compute_sequence("gpu0") == ["fwd0"]
+
+    def test_by_category(self, trace):
+        assert len(trace.by_category("swap_out")) == 1
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            Trace().add("g", 0, 1, "nap", "x")
+
+    def test_duration(self, trace):
+        assert trace.events[1].duration == 0.5
+
+
+class TestRenderTimeline:
+    def test_empty(self):
+        assert render_timeline(Trace()) == "(empty trace)"
+
+    def test_rows_per_device(self, trace):
+        out = render_timeline(trace, width=40)
+        lines = out.splitlines()
+        assert any(line.lstrip().startswith("gpu0") for line in lines)
+        assert any(line.lstrip().startswith("gpu1") for line in lines)
+
+    def test_glyphs_present(self, trace):
+        out = render_timeline(trace, width=40)
+        assert "#" in out and "^" in out
+
+    def test_legend(self, trace):
+        assert "v=swap_in" in render_timeline(trace)
+
+    def test_width_respected(self, trace):
+        out = render_timeline(trace, width=30)
+        row = [l for l in out.splitlines() if "gpu0" in l][0]
+        assert row.count("|") == 2
+        inner = row.split("|")[1]
+        assert len(inner) == 30
+
+
+class TestChromeTrace:
+    def test_export_structure(self, trace):
+        from repro.sim.trace import to_chrome_trace
+
+        data = to_chrome_trace(trace)
+        assert "traceEvents" in data
+        metas = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        spans = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert len(metas) == 2   # one per device
+        assert len(spans) == 3   # one per event
+
+    def test_microsecond_timestamps(self, trace):
+        from repro.sim.trace import to_chrome_trace
+
+        spans = [
+            e for e in to_chrome_trace(trace)["traceEvents"] if e["ph"] == "X"
+        ]
+        fwd0 = next(e for e in spans if e["name"] == "fwd0")
+        assert fwd0["ts"] == 0.0
+        assert fwd0["dur"] == 1.0e6
+
+    def test_transfers_on_separate_track(self, trace):
+        from repro.sim.trace import to_chrome_trace
+
+        spans = [
+            e for e in to_chrome_trace(trace)["traceEvents"] if e["ph"] == "X"
+        ]
+        swap = next(e for e in spans if e["cat"] == "swap_out")
+        compute = next(e for e in spans if e["cat"] == "compute")
+        assert swap["tid"] != compute["tid"]
+
+    def test_json_serializable(self, trace):
+        import json
+
+        from repro.sim.trace import to_chrome_trace
+
+        json.dumps(to_chrome_trace(trace))

@@ -1,0 +1,143 @@
+"""Layer packing and balanced partitioning."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.models import zoo
+from repro.tasks.packing import (
+    pack_layers,
+    pack_working_set_bytes,
+    partition_layers_balanced,
+    validate_packs,
+)
+from repro.units import MB
+
+
+class TestPackLayers:
+    def test_even_split(self):
+        assert pack_layers(4, 2) == [(0, 1), (2, 3)]
+
+    def test_remainder_pack(self):
+        assert pack_layers(5, 2) == [(0, 1), (2, 3), (4,)]
+
+    def test_singletons(self):
+        assert pack_layers(3, 1) == [(0,), (1,), (2,)]
+
+    def test_whole_model(self):
+        assert pack_layers(3, 99) == [(0, 1, 2)]
+
+    def test_invalid_args(self):
+        with pytest.raises(SchedulingError):
+            pack_layers(0, 1)
+        with pytest.raises(SchedulingError):
+            pack_layers(4, 0)
+
+
+class TestValidatePacks:
+    def test_accepts_partition(self):
+        validate_packs([(0, 1), (2,)], 3)
+
+    def test_rejects_gap(self):
+        with pytest.raises(SchedulingError):
+            validate_packs([(0,), (2,)], 3)
+
+    def test_rejects_overlap(self):
+        with pytest.raises(SchedulingError):
+            validate_packs([(0, 1), (1, 2)], 3)
+
+    def test_rejects_out_of_order(self):
+        with pytest.raises(SchedulingError):
+            validate_packs([(1,), (0,)], 2)
+
+
+class TestBalancedPartition:
+    def test_uniform_model_splits_evenly(self):
+        model = zoo.synthetic_uniform(num_layers=8)
+        parts = partition_layers_balanced(model, 4)
+        assert [len(p) for p in parts] == [2, 2, 2, 2]
+
+    def test_partition_is_valid(self):
+        model = zoo.synthetic_uniform(num_layers=7)
+        parts = partition_layers_balanced(model, 3)
+        validate_packs(parts, 7)
+
+    def test_exactly_num_parts(self):
+        model = zoo.synthetic_uniform(num_layers=10)
+        for k in (1, 2, 3, 5, 10):
+            assert len(partition_layers_balanced(model, k)) == k
+
+    def test_heavy_layer_isolated(self):
+        model = zoo.build("bert-large")  # lm_head has huge flops
+        parts = partition_layers_balanced(model, 4)
+        # The head's FLOPs dominate: it should not share a stage with
+        # many blocks.
+        assert len(parts[-1]) < len(parts[0])
+
+    def test_custom_load_function(self):
+        model = zoo.synthetic_uniform(num_layers=4)
+        parts = partition_layers_balanced(model, 2, load=lambda i: 1.0)
+        assert [len(p) for p in parts] == [2, 2]
+
+    def test_too_many_parts_rejected(self):
+        model = zoo.synthetic_uniform(num_layers=2)
+        with pytest.raises(SchedulingError):
+            partition_layers_balanced(model, 3)
+
+    def test_zero_parts_rejected(self):
+        model = zoo.synthetic_uniform(num_layers=2)
+        with pytest.raises(SchedulingError):
+            partition_layers_balanced(model, 0)
+
+
+class TestWorkingSet:
+    def test_pack_working_set_counts_all_pieces(self):
+        model = zoo.synthetic_uniform(
+            num_layers=4, param_bytes_per_layer=100 * MB, activation_bytes=25 * MB
+        )
+        ws = pack_working_set_bytes(model, (0, 1), microbatch_size=1)
+        # 2 weights + 2 stashes + input + output
+        assert ws == 2 * 100 * MB + 2 * 25 * MB + 25 * MB + 25 * MB
+
+    def test_bigger_pack_bigger_working_set(self):
+        model = zoo.synthetic_uniform(num_layers=4)
+        small = pack_working_set_bytes(model, (0,), 1)
+        big = pack_working_set_bytes(model, (0, 1, 2), 1)
+        assert big > small
+
+
+class TestSuggestPackSize:
+    def test_fits_capacity(self):
+        from repro.tasks.packing import suggest_pack_size
+
+        model = zoo.synthetic_uniform(
+            num_layers=8, param_bytes_per_layer=100 * MB,
+            activation_bytes=10 * MB,
+        )
+        size = suggest_pack_size(model, 1000 * MB, 1, headroom=1.0)
+        worst = max(
+            pack_working_set_bytes(model, pack, 1)
+            for pack in pack_layers(8, size)
+        )
+        assert worst <= 1000 * MB
+
+    def test_monotone_in_capacity(self):
+        from repro.tasks.packing import suggest_pack_size
+
+        model = zoo.synthetic_uniform(num_layers=8)
+        small = suggest_pack_size(model, 300 * MB, 1)
+        large = suggest_pack_size(model, 3000 * MB, 1)
+        assert large >= small
+
+    def test_returns_at_least_one(self):
+        from repro.tasks.packing import suggest_pack_size
+
+        model = zoo.synthetic_uniform(num_layers=4)
+        assert suggest_pack_size(model, 1, 1) == 1
+
+    def test_headroom_validated(self):
+        from repro.errors import SchedulingError
+        from repro.tasks.packing import suggest_pack_size
+
+        model = zoo.synthetic_uniform(num_layers=2)
+        with pytest.raises(SchedulingError):
+            suggest_pack_size(model, 1e9, 1, headroom=0)

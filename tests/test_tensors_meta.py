@@ -1,0 +1,98 @@
+"""TensorMeta identity and the registry."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models import zoo
+from repro.tensors.registry import TensorRegistry
+from repro.tensors.tensor import TensorKind, TensorMeta
+from repro.units import MB
+
+
+@pytest.fixture
+def registry():
+    model = zoo.synthetic_uniform(
+        num_layers=3, param_bytes_per_layer=100 * MB, activation_bytes=25 * MB
+    )
+    return TensorRegistry(model, microbatch_size=2)
+
+
+class TestTensorMeta:
+    def test_persistent_kinds(self):
+        meta = TensorMeta(0, TensorKind.WEIGHT, 0, None, 0, 10)
+        assert meta.persistent
+
+    def test_per_microbatch_kind(self):
+        meta = TensorMeta(0, TensorKind.STASH, 0, 1, 0, 10)
+        assert not meta.persistent
+
+    def test_persistent_with_microbatch_rejected(self):
+        with pytest.raises(ModelError):
+            TensorMeta(0, TensorKind.WEIGHT, 0, 1, 0, 10)
+
+    def test_microbatch_kind_without_microbatch_rejected(self):
+        with pytest.raises(ModelError):
+            TensorMeta(0, TensorKind.ACTIVATION, 0, None, 0, 10)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ModelError):
+            TensorMeta(0, TensorKind.WEIGHT, 0, None, 0, -1)
+
+    def test_label_format(self):
+        meta = TensorMeta(0, TensorKind.STASH, 2, 1, 3, 10)
+        assert meta.label == "S[L2]/mb1@r3"
+
+    def test_label_replica_zero_omitted(self):
+        meta = TensorMeta(0, TensorKind.WEIGHT, 2, None, 0, 10)
+        assert meta.label == "W[L2]"
+
+
+class TestRegistry:
+    def test_weight_size(self, registry):
+        assert registry.weight(0).size_bytes == 100 * MB
+
+    def test_same_role_same_tensor(self, registry):
+        assert registry.weight(1) is registry.weight(1)
+
+    def test_replicas_distinct(self, registry):
+        assert registry.weight(1, 0) is not registry.weight(1, 1)
+
+    def test_ids_dense(self, registry):
+        a = registry.weight(0)
+        b = registry.weight_grad(0)
+        c = registry.opt_state(0)
+        assert [a.tid, b.tid, c.tid] == [0, 1, 2]
+
+    def test_optimizer_state_size(self, registry):
+        assert registry.opt_state(0).size_bytes == 200 * MB
+
+    def test_activation_scales_with_microbatch_size(self, registry):
+        assert registry.activation(0, 0).size_bytes == 2 * 25 * MB
+
+    def test_input_boundary(self, registry):
+        # boundary -1 is the input batch, sized by layer 0's input.
+        assert registry.activation(-1, 0).size_bytes == 2 * 25 * MB
+
+    def test_act_grad_mirrors_activation(self, registry):
+        assert (
+            registry.act_grad(1, 0).size_bytes
+            == registry.activation(1, 0).size_bytes
+        )
+
+    def test_stash_size(self, registry):
+        assert registry.stash(0, 0).size_bytes == 2 * 25 * MB
+
+    def test_all_tensors_and_by_id(self, registry):
+        w = registry.weight(2)
+        assert registry.by_id(w.tid) is w
+        assert w in registry.all_tensors()
+
+    def test_len(self, registry):
+        registry.weight(0)
+        registry.weight(1)
+        assert len(registry) == 2
+
+    def test_invalid_microbatch_size(self):
+        model = zoo.synthetic_uniform(num_layers=1)
+        with pytest.raises(ModelError):
+            TensorRegistry(model, microbatch_size=0)

@@ -1,0 +1,90 @@
+"""Units and formatting."""
+
+from repro import units
+
+
+class TestByteFormatting:
+    def test_gb(self):
+        assert units.fmt_bytes(1_500_000_000) == "1.50 GB"
+
+    def test_kb(self):
+        assert units.fmt_bytes(2048) == "2.05 KB"
+
+    def test_plain_bytes(self):
+        assert units.fmt_bytes(512) == "512 B"
+
+    def test_tb(self):
+        assert units.fmt_bytes(2.5 * units.TB) == "2.50 TB"
+
+    def test_negative(self):
+        assert units.fmt_bytes(-units.GB) == "-1.00 GB"
+
+    def test_zero(self):
+        assert units.fmt_bytes(0) == "0 B"
+
+
+class TestTimeFormatting:
+    def test_milliseconds(self):
+        assert units.fmt_time(0.0025) == "2.50 ms"
+
+    def test_minutes(self):
+        assert units.fmt_time(90) == "1.50 min"
+
+    def test_hours(self):
+        assert units.fmt_time(7200) == "2.00 h"
+
+    def test_days(self):
+        assert units.fmt_time(2 * 86_400) == "2.00 days"
+
+    def test_microseconds(self):
+        assert units.fmt_time(5e-6) == "5.00 us"
+
+    def test_seconds(self):
+        assert units.fmt_time(1.25) == "1.25 s"
+
+    def test_negative(self):
+        assert units.fmt_time(-90) == "-1.50 min"
+
+
+class TestFlopsFormatting:
+    def test_zettaflops(self):
+        assert units.fmt_flops(3.14e23) == "314.00 ZFLOPs"
+
+    def test_exaflops(self):
+        assert units.fmt_flops(1e19) == "10.00 EFLOPs"
+
+    def test_teraflops(self):
+        assert units.fmt_flops(4.5e12) == "4.50 TFLOPs"
+
+    def test_small(self):
+        assert units.fmt_flops(100) == "100 FLOPs"
+
+
+class TestCountFormatting:
+    def test_billions(self):
+        assert units.fmt_count(175_000_000_000) == "175.0B"
+
+    def test_thousands(self):
+        assert units.fmt_count(60_000) == "60.0K"
+
+    def test_millions(self):
+        assert units.fmt_count(61e6) == "61.0M"
+
+    def test_trillions(self):
+        assert units.fmt_count(1.2e12) == "1.2T"
+
+    def test_plain(self):
+        assert units.fmt_count(42) == "42"
+
+
+class TestConstants:
+    def test_decimal_vs_binary(self):
+        assert units.GIB > units.GB
+        assert units.GIB == 1024**3
+
+    def test_flop_ladder(self):
+        assert units.ZFLOP == 1000 * units.EFLOP == 1e6 * units.PFLOP
+
+    def test_dtype_sizes(self):
+        assert units.FP16_BYTES * 2 == units.FP32_BYTES
+        assert units.FP32_BYTES * 2 == units.FP64_BYTES
