@@ -1,0 +1,72 @@
+"""Audit smoke: every scheme x hardware-preset combination the
+benchmarks exercise must pass the physical-consistency audit.
+
+Where the figure benchmarks check that the *numbers* come out the way
+the paper says, this suite checks that the runs producing those
+numbers were physically possible at all — no overlapping compute, no
+traffic faster than the wires, ledgers that reconcile with the trace.
+It runs BERT-large rather than GPT-2 XL so auditing the full grid
+stays cheap enough for CI.
+"""
+
+from repro import BatchConfig, HarmonyConfig, HarmonySession
+from repro.errors import ReproError
+from repro.hardware import presets
+from repro.models import zoo
+from repro.validate import differential_check
+
+import pytest
+
+from conftest import print_table
+
+SCHEMES = [
+    "single", "dp-baseline", "harmony-dp", "pp-baseline", "harmony-pp",
+    "harmony-tp",
+]
+
+TOPOLOGIES = {
+    "gtx1080ti-4": lambda: presets.gtx1080ti_server(num_gpus=4),
+    "gtx1080ti-2": lambda: presets.gtx1080ti_server(num_gpus=2),
+    "dgx1-4": lambda: presets.dgx1_like_server(num_gpus=4),
+    "cluster-2x2": lambda: presets.multi_server_cluster(2, 2),
+}
+
+
+@pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+def test_audit_grid(once, topo_name):
+    model = zoo.build("bert-large")
+    topology = TOPOLOGIES[topo_name]()
+
+    def audit_all():
+        reports = {}
+        for scheme in SCHEMES:
+            session = HarmonySession(
+                model, topology, HarmonyConfig(scheme, batch=BatchConfig(1, 4))
+            )
+            try:
+                reports[scheme] = session.audit_report()
+            except ReproError as exc:
+                print(f"{topo_name}/{scheme}: infeasible ({exc})")
+        return reports
+
+    reports = once(audit_all)
+    from repro.core.report import audit_summary
+
+    print_table(audit_summary(list(reports.values())))
+    assert reports, f"no scheme feasible on {topo_name}"
+    failures = {s: r for s, r in reports.items() if not r.passed}
+    assert not failures, {
+        s: [str(v.kind) for v in r.violations] for s, r in failures.items()
+    }
+
+
+def test_differential_agreement(once):
+    """The schedulers cross-checked against each other and the §3
+    analytic accounting on the paper's 4-GPU commodity box."""
+    model = zoo.build("bert-large")
+    topology = presets.gtx1080ti_server(num_gpus=4)
+    report = once(
+        differential_check, model, topology, total_microbatches=4, audit=True
+    )
+    print_table(report.render())
+    assert report.passed, report.render()

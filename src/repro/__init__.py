@@ -27,6 +27,7 @@ from repro.core.report import compare_runs
 from repro.schedulers.base import BatchConfig
 from repro.schedulers.options import HarmonyOptions
 from repro.errors import (
+    AuditError,
     CapacityError,
     ConfigError,
     ModelError,
@@ -34,6 +35,13 @@ from repro.errors import (
     SchedulingError,
     SimulationError,
     TopologyError,
+)
+from repro.validate import (
+    AuditReport,
+    AuditViolation,
+    ViolationKind,
+    audit_run,
+    differential_check,
 )
 
 __version__ = "1.0.0"
@@ -45,6 +53,11 @@ __all__ = [
     "BatchConfig",
     "HarmonyOptions",
     "compare_runs",
+    "audit_run",
+    "differential_check",
+    "AuditReport",
+    "AuditViolation",
+    "ViolationKind",
     "ReproError",
     "ConfigError",
     "TopologyError",
@@ -52,5 +65,6 @@ __all__ = [
     "CapacityError",
     "SchedulingError",
     "SimulationError",
+    "AuditError",
     "__version__",
 ]

@@ -13,6 +13,11 @@ tune MODEL
     Run the performance tuner for MODEL (harmony-pp granularity search).
 timeline MODEL SCHEME
     Print the ASCII schedule timeline for one scheme.
+audit MODEL
+    Audit every scheme's run against the physical-consistency
+    invariants and cross-check the schedulers differentially
+    (``repro.validate``).  ``compare``/``timeline`` also accept
+    ``--audit`` to self-check as they run.
 """
 
 from __future__ import annotations
@@ -21,11 +26,13 @@ import argparse
 import sys
 
 from repro import BatchConfig, HarmonyConfig, HarmonySession, compare_runs
-from repro.errors import ReproError
+from repro.core.report import audit_summary
+from repro.errors import AuditError, ReproError
 from repro.hardware import presets
 from repro.models import zoo
 from repro.tuner.search import tune
 from repro.units import GB
+from repro.validate import differential_check
 
 SCHEMES = [
     "single", "dp-baseline", "harmony-dp", "pp-baseline", "harmony-pp",
@@ -80,12 +87,20 @@ def cmd_compare(args: argparse.Namespace) -> int:
     print(f"training state: {state / GB:.1f} GB; {args.gpus} GPUs x 11 GB\n")
     results = []
     for scheme in SCHEMES:
-        session = HarmonySession(model, server, HarmonyConfig(scheme, batch=batch))
+        session = HarmonySession(
+            model, server, HarmonyConfig(scheme, batch=batch, audit=args.audit)
+        )
         try:
             results.append(session.run())
+        except AuditError as exc:
+            print(f"{scheme}: FAILED AUDIT ({exc})")
+            return 1
         except ReproError as exc:
             print(f"{scheme}: infeasible ({exc})")
     print(compare_runs(results).render())
+    if args.audit:
+        print()
+        print(audit_summary([r.audit for r in results if r.audit]).render())
     return 0
 
 
@@ -99,11 +114,48 @@ def cmd_tune(args: argparse.Namespace) -> int:
 
 def cmd_timeline(args: argparse.Namespace) -> int:
     model, server, batch = _build(args)
-    session = HarmonySession(model, server, HarmonyConfig(args.scheme, batch=batch))
+    session = HarmonySession(
+        model, server, HarmonyConfig(args.scheme, batch=batch, audit=args.audit)
+    )
     print(session.summary())
     print()
     print(session.timeline(width=110))
+    if args.audit:
+        print()
+        print(session.audit_report().render())
     return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    model, server, batch = _build(args)
+    schemes = [args.scheme] if args.scheme else SCHEMES
+    reports = []
+    failed = False
+    for scheme in schemes:
+        session = HarmonySession(model, server, HarmonyConfig(scheme, batch=batch))
+        try:
+            report = session.audit_report()
+        except ReproError as exc:
+            print(f"{scheme}: infeasible ({exc})")
+            continue
+        reports.append(report)
+        failed = failed or not report.passed
+    print(audit_summary(reports).render())
+    for report in reports:
+        if not report.passed:
+            print()
+            print(report.table().render())
+    if args.differential and not args.scheme:
+        # The cross-scheduler check needs a global batch divisible by
+        # the GPU count; scale the per-replica figure up.
+        print()
+        diff = differential_check(
+            model, server, args.microbatches * args.gpus,
+            microbatch_size=args.microbatch_size,
+        )
+        print(diff.render())
+        failed = failed or not diff.passed
+    return 1 if failed else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -124,6 +176,10 @@ def main(argv: list[str] | None = None) -> int:
 
     compare_p = sub.add_parser("compare", help="run all schemes head-to-head")
     add_workload(compare_p)
+    compare_p.add_argument(
+        "--audit", action="store_true",
+        help="audit every run's physical consistency as it executes",
+    )
 
     tune_p = sub.add_parser("tune", help="search task granularity")
     add_workload(tune_p)
@@ -131,6 +187,23 @@ def main(argv: list[str] | None = None) -> int:
     timeline_p = sub.add_parser("timeline", help="print a schedule timeline")
     add_workload(timeline_p)
     timeline_p.add_argument("--scheme", choices=SCHEMES, default="harmony-pp")
+    timeline_p.add_argument(
+        "--audit", action="store_true",
+        help="audit the run's physical consistency",
+    )
+
+    audit_p = sub.add_parser(
+        "audit", help="audit runs against the physical-consistency invariants"
+    )
+    add_workload(audit_p)
+    audit_p.add_argument(
+        "--scheme", choices=SCHEMES, default=None,
+        help="audit one scheme only (default: all)",
+    )
+    audit_p.add_argument(
+        "--no-differential", dest="differential", action="store_false",
+        help="skip the cross-scheduler differential check",
+    )
 
     args = parser.parse_args(argv)
     handlers = {
@@ -139,6 +212,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": cmd_compare,
         "tune": cmd_tune,
         "timeline": cmd_timeline,
+        "audit": cmd_audit,
     }
     try:
         return handlers[args.command](args)

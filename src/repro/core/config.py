@@ -55,6 +55,10 @@ class HarmonyConfig:
         Double-buffer next-task swap-ins behind current compute.
     cost_model:
         FLOPs -> time conversion knobs.
+    audit:
+        Run the :mod:`repro.validate` physical-consistency audit after
+        every simulation; violations raise
+        :class:`~repro.errors.AuditError`.
     """
 
     parallelism: Parallelism | str = Parallelism.HARMONY_PP
@@ -62,6 +66,7 @@ class HarmonyConfig:
     options: HarmonyOptions = field(default_factory=HarmonyOptions)
     prefetch: bool = False
     cost_model: CostModel = field(default_factory=CostModel)
+    audit: bool = False
 
     def resolved_parallelism(self) -> Parallelism:
         return Parallelism.parse(self.parallelism)

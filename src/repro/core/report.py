@@ -7,6 +7,7 @@ from typing import Sequence
 from repro.sim.result import RunResult
 from repro.units import GB
 from repro.util.tables import Table
+from repro.validate.violations import AuditReport
 
 
 def compare_runs(results: Sequence[RunResult]) -> Table:
@@ -28,6 +29,25 @@ def compare_runs(results: Sequence[RunResult]) -> Table:
                 f"{result.stats.p2p_volume() / GB:.2f}",
                 link,
                 f"{100 * util:.0f}",
+            ]
+        )
+    return table
+
+
+def audit_summary(reports: Sequence[AuditReport]) -> Table:
+    """One row per audited run: checks executed, violations found."""
+    table = Table(
+        ["scheme", "checks", "violations", "kinds"],
+        title="physical-consistency audit",
+    )
+    for report in reports:
+        kinds = ", ".join(sorted(str(k) for k in report.kinds())) or "-"
+        table.add_row(
+            [
+                report.label,
+                len(report.checks),
+                "PASS" if report.passed else str(len(report.violations)),
+                kinds,
             ]
         )
     return table

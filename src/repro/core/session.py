@@ -2,20 +2,17 @@
 
 from __future__ import annotations
 
-from repro.core.config import HarmonyConfig, Parallelism
+from repro.core.config import HarmonyConfig
 from repro.hardware.topology import Topology
 from repro.models.graph import ModelGraph
+from repro.schedulers import build_scheduler
 from repro.schedulers.base import Scheduler
-from repro.schedulers.dp_baseline import DataParallelBaseline
-from repro.schedulers.harmony_dp import HarmonyDP
-from repro.schedulers.harmony_pp import HarmonyPP
-from repro.schedulers.harmony_tp import HarmonyTP
-from repro.schedulers.pp_baseline import PipelineBaseline
-from repro.schedulers.single import SingleGpuScheduler
 from repro.sim.executor import ExecOptions, Executor
 from repro.sim.plan import Plan
 from repro.sim.result import RunResult
 from repro.sim.trace import render_timeline
+from repro.validate.audit import audit_run
+from repro.validate.violations import AuditReport
 
 
 class HarmonySession:
@@ -44,22 +41,13 @@ class HarmonySession:
 
     def scheduler(self) -> Scheduler:
         cfg = self.config
-        mode = cfg.resolved_parallelism()
-        if mode is Parallelism.SINGLE:
-            return SingleGpuScheduler(
-                self.model, self.topology, cfg.batch, pack_size=cfg.options.pack_size
-            )
-        if mode is Parallelism.DP_BASELINE:
-            return DataParallelBaseline(
-                self.model, self.topology, cfg.batch, pack_size=cfg.options.pack_size
-            )
-        if mode is Parallelism.PP_BASELINE:
-            return PipelineBaseline(self.model, self.topology, cfg.batch)
-        if mode is Parallelism.HARMONY_DP:
-            return HarmonyDP(self.model, self.topology, cfg.batch, options=cfg.options)
-        if mode is Parallelism.HARMONY_TP:
-            return HarmonyTP(self.model, self.topology, cfg.batch, options=cfg.options)
-        return HarmonyPP(self.model, self.topology, cfg.batch, options=cfg.options)
+        return build_scheduler(
+            cfg.resolved_parallelism().value,
+            self.model,
+            self.topology,
+            cfg.batch,
+            options=cfg.options,
+        )
 
     def plan(self) -> Plan:
         if self._plan is None:
@@ -75,10 +63,22 @@ class HarmonySession:
                 self.topology,
                 self.plan(),
                 cost_model=self.config.cost_model,
-                options=ExecOptions(prefetch=self.config.prefetch),
+                options=ExecOptions(
+                    prefetch=self.config.prefetch, audit=self.config.audit
+                ),
             )
             self._result = executor.run()
         return self._result
+
+    def audit_report(self, fresh: bool = False) -> AuditReport:
+        """Audit the simulated iteration against the physical invariants
+        (see :mod:`repro.validate`) and return the structured report —
+        violations are returned, not raised."""
+        result = self.run(fresh=fresh)
+        if result.audit is not None:
+            return result.audit
+        result.audit = audit_run(result, self.topology, self.plan())
+        return result.audit
 
     def timeline(self, width: int = 100) -> str:
         """ASCII Gantt chart of the simulated iteration (Fig. 4 style)."""

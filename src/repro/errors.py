@@ -47,3 +47,20 @@ class SimulationError(ReproError):
 
 class TensorStateError(ReproError):
     """An illegal tensor lifetime transition was attempted."""
+
+
+class AuditError(ReproError):
+    """A finished run failed its post-hoc physical-consistency audit.
+
+    Carries the structured violation records so callers can render or
+    inspect them; ``str(exc)`` summarizes the first few.
+    """
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        kinds = sorted({str(v.kind) for v in self.violations})
+        preview = "; ".join(v.message for v in self.violations[:3])
+        super().__init__(
+            f"run failed audit with {len(self.violations)} violation(s) "
+            f"[{', '.join(kinds)}]: {preview}"
+        )

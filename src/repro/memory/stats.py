@@ -103,6 +103,20 @@ class SwapStats:
             None, kind, Direction.SWAP_OUT
         )
 
+    def direction_volumes(self, device: str | None = None) -> dict[Direction, float]:
+        """Per-direction byte totals, optionally for one device — the
+        breakdown the audit layer reconciles against the trace."""
+        out: dict[Direction, float] = {d: 0.0 for d in Direction}
+        for (dev, _, dr), v in self._volume.items():
+            if device is None or dev == device:
+                out[dr] += v
+        return out
+
+    def total_volume(self) -> float:
+        """Every byte the ledger saw move (all devices, all directions,
+        including clean drops) — a cheap conservation checksum."""
+        return sum(self._volume.values())
+
     def devices(self) -> list[str]:
         return sorted({d for (d, _, _) in self._volume})
 

@@ -18,6 +18,40 @@ from repro.schedulers.harmony_pp import HarmonyPP
 from repro.schedulers.harmony_tp import HarmonyTP
 from repro.schedulers.options import HarmonyOptions
 
+
+def build_scheduler(
+    scheme: str,
+    model,
+    topology,
+    batch: BatchConfig,
+    options: HarmonyOptions | None = None,
+) -> Scheduler:
+    """Construct the scheduler for a scheme name (the single registry
+    the session, CLI, and differential cross-checker all share).
+
+    Baseline schemes honor only the ``pack_size`` option; Harmony
+    schemes take the full :class:`HarmonyOptions`.
+    """
+    from repro.errors import ConfigError
+
+    options = options if options is not None else HarmonyOptions()
+    if scheme == "single":
+        return SingleGpuScheduler(model, topology, batch, pack_size=options.pack_size)
+    if scheme == "dp-baseline":
+        return DataParallelBaseline(
+            model, topology, batch, pack_size=options.pack_size
+        )
+    if scheme == "pp-baseline":
+        return PipelineBaseline(model, topology, batch)
+    if scheme == "harmony-dp":
+        return HarmonyDP(model, topology, batch, options=options)
+    if scheme == "harmony-pp":
+        return HarmonyPP(model, topology, batch, options=options)
+    if scheme == "harmony-tp":
+        return HarmonyTP(model, topology, batch, options=options)
+    raise ConfigError(f"unknown scheme {scheme!r}")
+
+
 __all__ = [
     "Scheduler",
     "BatchConfig",
@@ -28,4 +62,5 @@ __all__ = [
     "HarmonyPP",
     "HarmonyTP",
     "HarmonyOptions",
+    "build_scheduler",
 ]

@@ -50,11 +50,16 @@ class ExecOptions:
         across iterations — the true steady state — while per-microbatch
         tensors are reborn each iteration.  The flush (if enabled) runs
         only after the last iteration.
+    audit:
+        Run the :mod:`repro.validate` physical-consistency audit on the
+        finished run.  The report is attached to ``RunResult.audit``;
+        any violation raises :class:`~repro.errors.AuditError`.
     """
 
     prefetch: bool = False
     flush_at_end: bool = True
     iterations: int = 1
+    audit: bool = False
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -123,7 +128,18 @@ class Executor:
         if self.options.flush_at_end:
             self._flush()
             self.engine.run()
-        return self._result()
+        result = self._result()
+        if self.options.audit:
+            # Imported lazily: repro.validate pulls in the session layer
+            # for its differential checker, which imports this module.
+            from repro.validate.audit import audit_run
+
+            result.audit = audit_run(
+                result, self.topology, self.plan,
+                iterations=self.options.iterations,
+            )
+            result.audit.raise_if_failed()
+        return result
 
     def _reset_iteration(self) -> None:
         """Rewind the plan for a replay: every device starts its order
@@ -269,7 +285,10 @@ class Executor:
             )
             for dev in participants:
                 if end > start:
-                    self.trace.add(dev, start, end, "allreduce", task.label)
+                    self.trace.add(
+                        dev, start, end, "allreduce", task.label,
+                        nbytes=task.comm_bytes,
+                    )
                 if comm_kind is not None and task.comm_bytes:
                     # Collectives ride the device-to-device links; account
                     # their wire volume alongside p2p moves.

@@ -9,8 +9,12 @@ utilizations for diagnosis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.memory.stats import SwapStats
+
+if TYPE_CHECKING:
+    from repro.validate.violations import AuditReport
 from repro.sim.trace import Trace
 from repro.units import GB, fmt_bytes, fmt_time
 from repro.util.tables import Table
@@ -59,6 +63,9 @@ class RunResult:
     memory_profile: dict[str, list[tuple[float, float]]] = field(
         default_factory=dict
     )
+    #: Physical-consistency audit outcome, set when the run executed
+    #: with ``ExecOptions.audit`` (see :mod:`repro.validate`).
+    audit: "AuditReport | None" = None
 
     @property
     def throughput(self) -> float:
@@ -87,22 +94,31 @@ class RunResult:
         """Render one device's memory usage over time as an ASCII
         sparkline (8 levels, scaled to device capacity)."""
         samples = self.memory_profile.get(device, [])
-        if not samples or self.makespan <= 0:
+        if not samples:
             return "(no memory samples)"
-        capacity = self.devices[device].capacity if device in self.devices else max(
-            used for _, used in samples
-        )
+        capacity = self.devices[device].capacity if device in self.devices else 0.0
+        if capacity <= 0:
+            # CPU/host pseudo-devices report zero capacity; scale to the
+            # observed peak instead (or a flat line if nothing was used).
+            capacity = max(used for _, used in samples)
+        if capacity <= 0:
+            capacity = 1.0
         glyphs = " .:-=+*#"
-        buckets = [0.0] * width
-        # Carry the last-seen level forward across buckets.
-        level = 0.0
-        idx = 0
-        for i in range(width):
-            t_hi = (i + 1) / width * self.makespan
-            while idx < len(samples) and samples[idx][0] <= t_hi:
-                level = samples[idx][1]
-                idx += 1
-            buckets[i] = level
+        if self.makespan <= 0:
+            # A zero-length run (e.g. everything was free): the profile
+            # is a single instant; render it as a flat line.
+            buckets = [samples[-1][1]] * width
+        else:
+            buckets = [0.0] * width
+            # Carry the last-seen level forward across buckets.
+            level = 0.0
+            idx = 0
+            for i in range(width):
+                t_hi = (i + 1) / width * self.makespan
+                while idx < len(samples) and samples[idx][0] <= t_hi:
+                    level = samples[idx][1]
+                    idx += 1
+                buckets[i] = level
         line = "".join(
             glyphs[min(len(glyphs) - 1, int(b / capacity * (len(glyphs) - 1)))]
             for b in buckets

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import SimulationError
+
 CATEGORIES = ("compute", "swap_in", "swap_out", "p2p", "allreduce")
 
 _GLYPH = {
@@ -27,6 +29,10 @@ class TraceEvent:
     end: float
     category: str
     label: str
+    #: Bytes moved by the event (transfers and collectives; 0 for
+    #: compute).  The audit layer reconciles these against the
+    #: :class:`~repro.memory.stats.SwapStats` ledger.
+    nbytes: float = 0.0
 
     @property
     def duration(self) -> float:
@@ -38,11 +44,26 @@ class Trace:
     events: list[TraceEvent] = field(default_factory=list)
 
     def add(
-        self, device: str, start: float, end: float, category: str, label: str
+        self,
+        device: str,
+        start: float,
+        end: float,
+        category: str,
+        label: str,
+        nbytes: float = 0.0,
     ) -> None:
         if category not in CATEGORIES:
             raise ValueError(f"unknown trace category {category!r}")
-        self.events.append(TraceEvent(device, start, end, category, label))
+        if end < start:
+            raise SimulationError(
+                f"trace event {label!r} on {device} has negative duration "
+                f"(start={start}, end={end})"
+            )
+        if nbytes < 0:
+            raise SimulationError(
+                f"trace event {label!r} on {device} moves negative bytes ({nbytes})"
+            )
+        self.events.append(TraceEvent(device, start, end, category, label, nbytes))
 
     def for_device(self, device: str) -> list[TraceEvent]:
         return sorted(
@@ -92,17 +113,18 @@ def to_chrome_trace(trace: Trace) -> dict:
             }
         )
     for event in trace.events:
-        events.append(
-            {
-                "name": event.label,
-                "cat": event.category,
-                "ph": "X",
-                "pid": pids[event.device],
-                "tid": 0 if event.category == "compute" else 1,
-                "ts": event.start * 1e6,
-                "dur": event.duration * 1e6,
-            }
-        )
+        record = {
+            "name": event.label,
+            "cat": event.category,
+            "ph": "X",
+            "pid": pids[event.device],
+            "tid": 0 if event.category == "compute" else 1,
+            "ts": event.start * 1e6,
+            "dur": event.duration * 1e6,
+        }
+        if event.nbytes:
+            record["args"] = {"bytes": event.nbytes}
+        events.append(record)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

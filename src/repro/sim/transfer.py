@@ -133,7 +133,10 @@ class TransferEngine:
         def finish() -> None:
             self.manager.op_finish(op)
             if duration > 0:
-                self.trace.add(device, start, end, category, op.tensor.label)
+                self.trace.add(
+                    device, start, end, category, op.tensor.label,
+                    nbytes=op.tensor.size_bytes,
+                )
             done()
 
         self.engine.at(end, finish)

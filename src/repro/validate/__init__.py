@@ -1,0 +1,60 @@
+"""Post-run audit subsystem: physical-consistency invariants and
+differential scheduler cross-checks.
+
+Every figure this repo reproduces is read off the simulator; this
+package independently verifies that a finished run was *physically
+possible* — no overlapping compute on one device, no link moving bytes
+faster than its bandwidth, no device exceeding its memory capacity,
+byte-conservation between the stats ledger and the trace, and
+dependency order respected — and that all schedulers agree on the
+conserved quantities of a fixed workload.
+
+Entry points:
+
+* :func:`audit_run` — audit one ``RunResult`` (also wired behind
+  ``ExecOptions.audit`` and ``python -m repro audit``);
+* :func:`differential_check` — cross-check every scheduler plus the
+  analytic model on one workload.
+
+Violations are structured :class:`AuditViolation` records, never bare
+asserts; :meth:`AuditReport.raise_if_failed` converts them into an
+:class:`~repro.errors.AuditError` when exception semantics are wanted.
+"""
+
+from repro.validate.audit import audit_run
+from repro.validate.differential import (
+    DEFAULT_SCHEMES,
+    DifferentialReport,
+    SchemeQuantities,
+    differential_check,
+)
+from repro.validate.invariants import (
+    check_compute_exclusivity,
+    check_conservation,
+    check_dependency_order,
+    check_event_sanity,
+    check_link_feasibility,
+    check_memory_profile,
+    check_samples,
+    check_task_coverage,
+)
+from repro.validate.violations import AuditReport, AuditViolation, ViolationKind
+
+__all__ = [
+    "audit_run",
+    "differential_check",
+    "DifferentialReport",
+    "SchemeQuantities",
+    "DEFAULT_SCHEMES",
+    "AuditReport",
+    "AuditViolation",
+    "ViolationKind",
+    "check_compute_exclusivity",
+    "check_conservation",
+    "check_dependency_order",
+    "check_event_sanity",
+    "check_link_feasibility",
+    "check_memory_profile",
+    "check_samples",
+    "check_task_coverage",
+]

@@ -1,0 +1,58 @@
+"""Post-run audit: run every physical-consistency invariant.
+
+Usage, after any simulation::
+
+    from repro.validate import audit_run
+
+    report = audit_run(result, topology, plan)
+    report.raise_if_failed()          # or render(report.table())
+
+The executor runs this automatically when ``ExecOptions.audit`` is set,
+and the CLI exposes it as ``python -m repro audit``.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.topology import Topology
+from repro.sim.plan import Plan
+from repro.sim.result import RunResult
+from repro.validate.invariants import (
+    check_compute_exclusivity,
+    check_conservation,
+    check_dependency_order,
+    check_event_sanity,
+    check_link_feasibility,
+    check_memory_profile,
+    check_samples,
+    check_task_coverage,
+)
+from repro.validate.violations import AuditReport
+
+
+def audit_run(
+    result: RunResult,
+    topology: Topology,
+    plan: Plan,
+    iterations: int = 1,
+) -> AuditReport:
+    """Audit one finished run against every physical invariant.
+
+    ``iterations`` must match the ``ExecOptions.iterations`` the run
+    used — a replayed plan legitimately traces each task that many
+    times.
+    """
+    report = AuditReport(label=result.label)
+    checks = [
+        ("event_sanity", lambda: check_event_sanity(result, topology)),
+        ("compute_exclusivity", lambda: check_compute_exclusivity(result)),
+        ("link_feasibility", lambda: check_link_feasibility(result, topology)),
+        ("memory_profile", lambda: check_memory_profile(result)),
+        ("conservation", lambda: check_conservation(result)),
+        ("dependency_order", lambda: check_dependency_order(result, plan)),
+        ("task_coverage", lambda: check_task_coverage(result, plan, iterations)),
+        ("samples", lambda: check_samples(result, plan, iterations)),
+    ]
+    for name, run_check in checks:
+        report.checks.append(name)
+        report.extend(run_check())
+    return report

@@ -1,0 +1,276 @@
+"""Differential cross-checks: run one workload through every scheduler
+and the analytic model, and assert agreement on conserved quantities.
+
+The schedulers disagree on *how* an iteration runs (placement, order,
+swap policy), but for a fixed global workload they must agree on
+*what* ran:
+
+* total samples processed — the global mini-batch is scheme-invariant;
+* total forward+backward compute work — the arithmetic of the model
+  does not depend on the schedule (updates are excluded: data
+  parallelism legitimately repeats the update once per replica);
+* swap-volume bounds — Harmony's schedules move **at most** as many
+  host-crossing bytes as their baselines (the paper's headline claim),
+  and no scheme moves more weight bytes than the §3 idealized
+  accounting ``(4m+2) N |W|`` charges the baseline.
+
+Each scheme is handed the same *global* batch: data-parallel schemes
+split the microbatches across replicas, so ``total_microbatches`` must
+be divisible by the GPU count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analytic.volumes import weight_volume_baseline_dp
+from repro.errors import ConfigError
+from repro.hardware.topology import Topology
+from repro.models.graph import ModelGraph
+from repro.models.phases import Phase
+from repro.tensors.tensor import TensorKind
+from repro.util.tables import Table
+from repro.validate.violations import AuditViolation, ViolationKind
+
+#: The schedulers the cross-check exercises by default (harmony-tp is
+#: excluded: sharded matmuls add collective work with no baseline twin).
+DEFAULT_SCHEMES = (
+    "single",
+    "dp-baseline",
+    "harmony-dp",
+    "pp-baseline",
+    "harmony-pp",
+)
+
+#: (harmony scheme, the baseline whose swap volume must dominate it).
+_SWAP_BOUND_PAIRS = (
+    ("harmony-dp", "dp-baseline"),
+    ("harmony-pp", "pp-baseline"),
+    ("harmony-pp", "dp-baseline"),
+)
+
+#: Schemes that replicate state across every GPU (per-replica batch =
+#: global batch / N); the rest see the global batch directly.
+_DATA_PARALLEL = ("dp-baseline", "harmony-dp")
+
+_REL_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class SchemeQuantities:
+    """The conserved quantities one scheme's run produced."""
+
+    scheme: str
+    samples: int
+    fwd_bwd_flops: float
+    swap_out: float
+    host_traffic: float
+    p2p: float
+    weight_host_bytes: float
+    makespan: float
+
+    def as_row(self) -> list[object]:
+        return [
+            self.scheme,
+            self.samples,
+            f"{self.fwd_bwd_flops:.4g}",
+            f"{self.swap_out:.4g}",
+            f"{self.host_traffic:.4g}",
+            f"{self.p2p:.4g}",
+            f"{self.weight_host_bytes:.4g}",
+            f"{self.makespan:.4g}",
+        ]
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of the cross-scheduler differential check."""
+
+    workload: str
+    quantities: list[SchemeQuantities] = field(default_factory=list)
+    violations: list[AuditViolation] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def scheme(self, name: str) -> SchemeQuantities:
+        for q in self.quantities:
+            if q.scheme == name:
+                return q
+        raise KeyError(name)
+
+    def table(self) -> Table:
+        table = Table(
+            ["scheme", "samples", "fwd+bwd flops", "swap-out B",
+             "host B", "p2p B", "W host B", "makespan s"],
+            title=(
+                f"differential check, {self.workload}: "
+                + ("AGREE" if self.passed else f"{len(self.violations)} violation(s)")
+            ),
+        )
+        for q in self.quantities:
+            table.add_row(q.as_row())
+        return table
+
+    def render(self) -> str:
+        lines = [self.table().render()]
+        for violation in self.violations:
+            lines.append(f"  !! {violation.kind}: {violation.message}")
+        return "\n".join(lines)
+
+
+def differential_check(
+    model: ModelGraph,
+    topology: Topology,
+    total_microbatches: int,
+    microbatch_size: int = 1,
+    schemes: tuple[str, ...] = DEFAULT_SCHEMES,
+    audit: bool = False,
+) -> DifferentialReport:
+    """Run ``model`` on ``topology`` under every scheme and cross-check
+    the conserved quantities.
+
+    ``total_microbatches`` is the global batch; data-parallel schemes
+    receive ``total_microbatches / num_gpus`` per replica, so it must be
+    divisible by the GPU count.  With ``audit=True`` each run is also
+    individually audited (violations surface as :class:`AuditError`).
+    """
+    from repro.core.config import HarmonyConfig
+    from repro.core.session import HarmonySession
+    from repro.schedulers.base import BatchConfig
+
+    num_gpus = len(topology.gpus())
+    report = DifferentialReport(
+        workload=(
+            f"{model.name} x {total_microbatches} microbatches "
+            f"of {microbatch_size} on {num_gpus} GPU(s)"
+        )
+    )
+
+    plans = {}
+    for scheme in schemes:
+        if scheme in _DATA_PARALLEL:
+            if total_microbatches % num_gpus:
+                raise ConfigError(
+                    f"total_microbatches={total_microbatches} must be divisible "
+                    f"by num_gpus={num_gpus} for data-parallel schemes"
+                )
+            batch = BatchConfig(microbatch_size, total_microbatches // num_gpus)
+        else:
+            batch = BatchConfig(microbatch_size, total_microbatches)
+        session = HarmonySession(
+            model, topology, HarmonyConfig(scheme, batch=batch, audit=audit)
+        )
+        plan = session.plan()
+        result = session.run()
+        plans[scheme] = plan
+        report.quantities.append(
+            SchemeQuantities(
+                scheme=scheme,
+                samples=result.samples,
+                fwd_bwd_flops=sum(
+                    t.flops
+                    for t in plan.graph.compute_tasks()
+                    if t.phase in (Phase.FORWARD, Phase.BACKWARD)
+                ),
+                swap_out=result.swap_out_volume,
+                host_traffic=result.host_traffic,
+                p2p=result.stats.p2p_volume(),
+                weight_host_bytes=result.stats.kind_swap_volume(TensorKind.WEIGHT),
+                makespan=result.makespan,
+            )
+        )
+
+    _check_samples(report, total_microbatches * microbatch_size)
+    _check_compute_work(report)
+    _check_swap_bounds(report)
+    _check_analytic_bounds(report, model, total_microbatches, num_gpus)
+    return report
+
+
+def _check_samples(report: DifferentialReport, expected: int) -> None:
+    for q in report.quantities:
+        if q.samples != expected:
+            report.violations.append(
+                AuditViolation(
+                    ViolationKind.DIFF_SAMPLES,
+                    f"{q.scheme} processed {q.samples} samples; the global "
+                    f"batch is {expected}",
+                    subject=q.scheme,
+                    expected=float(expected),
+                    actual=float(q.samples),
+                )
+            )
+
+
+def _check_compute_work(report: DifferentialReport) -> None:
+    if not report.quantities:
+        return
+    reference = report.quantities[0]
+    for q in report.quantities[1:]:
+        bound = _REL_TOL * max(abs(q.fwd_bwd_flops), abs(reference.fwd_bwd_flops))
+        if abs(q.fwd_bwd_flops - reference.fwd_bwd_flops) > bound:
+            report.violations.append(
+                AuditViolation(
+                    ViolationKind.DIFF_COMPUTE_WORK,
+                    f"{q.scheme} schedules {q.fwd_bwd_flops:.6g} fwd+bwd FLOPs "
+                    f"but {reference.scheme} schedules "
+                    f"{reference.fwd_bwd_flops:.6g}",
+                    subject=q.scheme,
+                    expected=reference.fwd_bwd_flops,
+                    actual=q.fwd_bwd_flops,
+                )
+            )
+
+
+def _check_swap_bounds(report: DifferentialReport) -> None:
+    present = {q.scheme for q in report.quantities}
+    for harmony, baseline in _SWAP_BOUND_PAIRS:
+        if harmony not in present or baseline not in present:
+            continue
+        h, b = report.scheme(harmony), report.scheme(baseline)
+        for attr in ("swap_out", "host_traffic"):
+            hv, bv = getattr(h, attr), getattr(b, attr)
+            if hv > bv * (1 + _REL_TOL) + 1.0:
+                report.violations.append(
+                    AuditViolation(
+                        ViolationKind.DIFF_SWAP_BOUND,
+                        f"{harmony} moves {hv:.6g} B of {attr} vs "
+                        f"{baseline}'s {bv:.6g} B — Harmony must not swap "
+                        f"more than its baseline",
+                        subject=harmony,
+                        expected=bv,
+                        actual=hv,
+                    )
+                )
+
+
+def _check_analytic_bounds(
+    report: DifferentialReport, model: ModelGraph, total_microbatches: int,
+    num_gpus: int,
+) -> None:
+    """No scheme's host-crossing weight traffic exceeds the §3 idealized
+    baseline accounting for its replication factor: ``(4m+2) N |W|``
+    charges one full in+out round trip per weight use, the most any
+    swapper can move."""
+    for q in report.quantities:
+        if q.scheme in _DATA_PARALLEL:
+            n = num_gpus
+            m = total_microbatches // num_gpus
+        else:
+            n = 1
+            m = total_microbatches
+        ceiling = weight_volume_baseline_dp(model, m, n)
+        if q.weight_host_bytes > ceiling * (1 + _REL_TOL) + 1.0:
+            report.violations.append(
+                AuditViolation(
+                    ViolationKind.DIFF_ANALYTIC_BOUND,
+                    f"{q.scheme} moved {q.weight_host_bytes:.6g} B of weights "
+                    f"over the host link; the idealized no-reuse accounting "
+                    f"bounds it at {ceiling:.6g} B",
+                    subject=q.scheme,
+                    expected=ceiling,
+                    actual=q.weight_host_bytes,
+                )
+            )

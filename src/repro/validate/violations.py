@@ -1,0 +1,126 @@
+"""Structured audit findings.
+
+The audit layer never asserts: every failed invariant becomes an
+:class:`AuditViolation` record carrying the check kind, the device or
+task it concerns, and the expected/actual quantities, so the report
+layer can render a table and tests can assert on exact kinds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import AuditError
+from repro.util.tables import Table
+
+
+class ViolationKind(enum.Enum):
+    """What physical invariant a violation breaks."""
+
+    #: Two compute/allreduce events overlap on one device.
+    COMPUTE_OVERLAP = "compute_overlap"
+    #: A link's recorded busy time exceeds the run's makespan.
+    LINK_BUSY_EXCEEDS_MAKESPAN = "link_busy_exceeds_makespan"
+    #: Bytes routed over a link imply more transfer time than the link
+    #: was busy (traffic faster than the wire allows).
+    LINK_BANDWIDTH_EXCEEDED = "link_bandwidth_exceeded"
+    #: A device's memory usage sample exceeds its capacity.
+    MEMORY_OVER_CAPACITY = "memory_over_capacity"
+    #: Memory profile disagrees with the reported peak usage.
+    MEMORY_PEAK_MISMATCH = "memory_peak_mismatch"
+    #: SwapStats ledger disagrees with the byte sum of trace events.
+    SWAP_CONSERVATION = "swap_conservation"
+    #: DeviceReport swap counters disagree with the SwapStats ledger.
+    DEVICE_REPORT_MISMATCH = "device_report_mismatch"
+    #: A task ran before one of its dependencies finished.
+    DEPENDENCY_ORDER = "dependency_order"
+    #: A trace event is malformed (negative duration, outside the run
+    #: window, unknown device, negative bytes, unknown category).
+    EVENT_MALFORMED = "event_malformed"
+    #: A task appears in the trace the wrong number of times.
+    TASK_COUNT = "task_count"
+    #: Reported sample count disagrees with the plan.
+    SAMPLES_MISMATCH = "samples_mismatch"
+    #: Differential check: schedulers disagree on total samples.
+    DIFF_SAMPLES = "diff_samples"
+    #: Differential check: schedulers disagree on total compute work.
+    DIFF_COMPUTE_WORK = "diff_compute_work"
+    #: Differential check: Harmony swap volume exceeds its baseline.
+    DIFF_SWAP_BOUND = "diff_swap_bound"
+    #: Differential check: simulated volume exceeds the analytic bound.
+    DIFF_ANALYTIC_BOUND = "diff_analytic_bound"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One failed invariant, with enough context to act on it."""
+
+    kind: ViolationKind
+    message: str
+    device: str | None = None
+    subject: str | None = None  # task label, link name, tensor, scheme...
+    expected: float | None = None
+    actual: float | None = None
+
+    def as_row(self) -> list[str]:
+        def fmt(x: float | None) -> str:
+            return "" if x is None else f"{x:.6g}"
+
+        return [
+            str(self.kind),
+            self.device or "",
+            self.subject or "",
+            fmt(self.expected),
+            fmt(self.actual),
+            self.message,
+        ]
+
+
+@dataclass
+class AuditReport:
+    """Outcome of auditing one run: which checks ran, what they found."""
+
+    label: str
+    checks: list[str] = field(default_factory=list)
+    violations: list[AuditViolation] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def kinds(self) -> set[ViolationKind]:
+        return {v.kind for v in self.violations}
+
+    def by_kind(self, kind: ViolationKind) -> list[AuditViolation]:
+        return [v for v in self.violations if v.kind is kind]
+
+    def extend(self, violations: list[AuditViolation]) -> None:
+        self.violations.extend(violations)
+
+    def raise_if_failed(self) -> None:
+        if self.violations:
+            raise AuditError(self.violations)
+
+    def table(self) -> Table:
+        table = Table(
+            ["kind", "device", "subject", "expected", "actual", "message"],
+            title=(
+                f"audit {self.label!r}: {len(self.checks)} checks, "
+                + ("PASS" if self.passed else f"{len(self.violations)} violation(s)")
+            ),
+        )
+        for violation in self.violations:
+            table.add_row(violation.as_row())
+        return table
+
+    def render(self) -> str:
+        if self.passed:
+            return (
+                f"audit {self.label!r}: PASS "
+                f"({len(self.checks)} checks: {', '.join(self.checks)})"
+            )
+        return self.table().render()

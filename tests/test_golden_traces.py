@@ -1,0 +1,112 @@
+"""Golden-trace regression tests.
+
+Each scheduler's Chrome-trace export for the paper's Fig. 4 workload
+(4 uniform layers, 2 tight GPUs, 2 microbatches) is pinned under
+``tests/golden/fig4_<scheme>.json``.  Any change to decomposition,
+binding, swap policy, or the event engine that moves an event shows up
+as a diff here — deliberate changes regenerate the goldens with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src pytest tests/test_golden_traces.py
+
+Comparison is structural modulo float tolerance: metadata exactly,
+span timestamps/durations/bytes to relative precision, so harmless
+float-arithmetic reorderings don't churn the files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import BatchConfig, HarmonyConfig, HarmonySession
+from repro.models import zoo
+from repro.sim.trace import to_chrome_trace
+from repro.units import MB
+
+from tests.conftest import tight_server
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+SCHEMES = [
+    "single", "dp-baseline", "harmony-dp", "pp-baseline", "harmony-pp",
+    "harmony-tp",
+]
+
+_REL = 1e-9   # simulations are deterministic; tolerance only absorbs
+_ABS = 1e-6   # µs-scale float formatting noise
+
+
+def fig4_trace(scheme: str) -> dict:
+    model = zoo.synthetic_uniform(
+        num_layers=4, param_bytes_per_layer=100 * MB, activation_bytes=25 * MB
+    )
+    topo = tight_server(2, 550 * MB)
+    session = HarmonySession(
+        model, topo, HarmonyConfig(scheme, batch=BatchConfig(1, 2))
+    )
+    return to_chrome_trace(session.run().trace)
+
+
+def _span_key(record: dict):
+    return (record["pid"], record["tid"], record["ts"], record["name"])
+
+
+def _split(data: dict):
+    metas = sorted(
+        (e for e in data["traceEvents"] if e["ph"] == "M"),
+        key=lambda e: e["pid"],
+    )
+    spans = sorted(
+        (e for e in data["traceEvents"] if e["ph"] == "X"), key=_span_key
+    )
+    return metas, spans
+
+
+def assert_traces_match(actual: dict, golden: dict, scheme: str) -> None:
+    a_metas, a_spans = _split(actual)
+    g_metas, g_spans = _split(golden)
+    assert a_metas == g_metas, f"{scheme}: device rows changed"
+    assert len(a_spans) == len(g_spans), (
+        f"{scheme}: {len(a_spans)} events vs golden {len(g_spans)}"
+    )
+    for a, g in zip(a_spans, g_spans):
+        where = f"{scheme}: event {g['name']!r} (cat {g['cat']!r})"
+        assert a["name"] == g["name"], where
+        assert a["cat"] == g["cat"], where
+        assert (a["pid"], a["tid"]) == (g["pid"], g["tid"]), where
+        assert a["ts"] == pytest.approx(g["ts"], rel=_REL, abs=_ABS), where
+        assert a["dur"] == pytest.approx(g["dur"], rel=_REL, abs=_ABS), where
+        a_bytes = a.get("args", {}).get("bytes", 0.0)
+        g_bytes = g.get("args", {}).get("bytes", 0.0)
+        assert a_bytes == pytest.approx(g_bytes, rel=_REL, abs=1.0), where
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig4_trace_matches_golden(scheme):
+    path = GOLDEN_DIR / f"fig4_{scheme}.json"
+    actual = fig4_trace(scheme)
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(actual, indent=1, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"golden file {path} missing — run with REPRO_REGEN_GOLDEN=1"
+    )
+    assert_traces_match(actual, json.loads(path.read_text()), scheme)
+
+
+def test_goldens_cover_every_scheme():
+    present = {p.stem for p in GOLDEN_DIR.glob("fig4_*.json")}
+    assert present == {f"fig4_{s}" for s in SCHEMES}
+
+
+def test_golden_files_are_valid_chrome_traces():
+    for path in sorted(GOLDEN_DIR.glob("fig4_*.json")):
+        data = json.loads(path.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        spans = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert spans, path.name
+        assert all(e["dur"] >= 0 for e in spans), path.name

@@ -175,3 +175,54 @@ class TestMemoryProfile:
     def test_sparkline_unknown_device(self):
         result = self._run()
         assert result.memory_sparkline("gpu9") == "(no memory samples)"
+
+    def _synthetic_result(self, *, capacity, makespan, samples):
+        report = DeviceReport(
+            name="cpu", capacity=capacity, peak_used=max(
+                (u for _, u in samples), default=0.0
+            ),
+            peak_demand=0.0, compute_busy=0.0,
+            swap_in_bytes=0, swap_out_bytes=0,
+        )
+        return RunResult(
+            label="x", makespan=makespan, samples=1, stats=SwapStats(),
+            trace=Trace(), devices={"cpu": report},
+            memory_profile={"cpu": samples},
+        )
+
+    def test_sparkline_zero_capacity_device(self):
+        # Host/CPU pseudo-devices report capacity 0; the sparkline must
+        # scale to the observed peak instead of dividing by zero.
+        result = self._synthetic_result(
+            capacity=0.0, makespan=2.0,
+            samples=[(0.0, 10 * MB), (1.0, 40 * MB)],
+        )
+        line = result.memory_sparkline("cpu", width=20)
+        assert line.startswith("cpu mem |")
+        assert len(line.split("|")[1]) == 20
+
+    def test_sparkline_zero_capacity_all_zero_usage(self):
+        result = self._synthetic_result(
+            capacity=0.0, makespan=1.0, samples=[(0.0, 0.0), (0.5, 0.0)],
+        )
+        line = result.memory_sparkline("cpu", width=10)
+        assert line.split("|")[1] == " " * 10
+
+    def test_sparkline_zero_makespan(self):
+        # A zero-length run with samples renders a flat line rather
+        # than dividing the time axis by zero.
+        result = self._synthetic_result(
+            capacity=100 * MB, makespan=0.0, samples=[(0.0, 50 * MB)],
+        )
+        line = result.memory_sparkline("cpu", width=15)
+        inner = line.split("|")[1]
+        assert len(inner) == 15
+        assert len(set(inner)) == 1  # flat
+
+    def test_sparkline_profile_device_missing_from_devices(self):
+        result = self._synthetic_result(
+            capacity=0.0, makespan=1.0, samples=[(0.0, 5 * MB)],
+        )
+        result.memory_profile["ghost"] = [(0.0, 5 * MB)]
+        line = result.memory_sparkline("ghost", width=10)
+        assert line.startswith("ghost mem |")

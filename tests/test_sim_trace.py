@@ -39,6 +39,34 @@ class TestTrace:
         with pytest.raises(ValueError):
             Trace().add("g", 0, 1, "nap", "x")
 
+    def test_negative_duration_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="negative duration"):
+            Trace().add("gpu0", 2.0, 1.0, "compute", "fwd0")
+
+    def test_negative_duration_message_names_event(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="'bwd3'.*gpu1"):
+            Trace().add("gpu1", 5.0, 4.999, "compute", "bwd3")
+
+    def test_zero_duration_allowed(self):
+        t = Trace()
+        t.add("gpu0", 1.0, 1.0, "compute", "noop")
+        assert t.events[0].duration == 0.0
+
+    def test_negative_bytes_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="negative"):
+            Trace().add("gpu0", 0.0, 1.0, "swap_out", "W0", nbytes=-1.0)
+
+    def test_bytes_recorded(self):
+        t = Trace()
+        t.add("gpu0", 0.0, 1.0, "swap_out", "W0", nbytes=100.0)
+        assert t.events[0].nbytes == 100.0
+
     def test_duration(self, trace):
         assert trace.events[1].duration == 0.5
 
@@ -105,3 +133,15 @@ class TestChromeTrace:
         from repro.sim.trace import to_chrome_trace
 
         json.dumps(to_chrome_trace(trace))
+
+    def test_bytes_exported_in_args(self):
+        from repro.sim.trace import to_chrome_trace
+
+        t = Trace()
+        t.add("gpu0", 0.0, 1.0, "swap_out", "W0", nbytes=42.0)
+        t.add("gpu0", 1.0, 2.0, "compute", "fwd0")
+        spans = [e for e in to_chrome_trace(t)["traceEvents"] if e["ph"] == "X"]
+        swap = next(e for e in spans if e["name"] == "W0")
+        compute = next(e for e in spans if e["name"] == "fwd0")
+        assert swap["args"] == {"bytes": 42.0}
+        assert "args" not in compute

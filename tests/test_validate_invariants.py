@@ -1,0 +1,165 @@
+"""The audit layer passes on every honest run and is wired through
+the session, executor, and CLI surfaces.
+
+Mutation coverage (the auditor *catching* corrupted runs) lives in
+test_validate_mutations.py; this file establishes the baseline: a run
+our executor actually produced audits clean, on every scheme and on
+the edge topologies the benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BatchConfig, HarmonyConfig, HarmonySession
+from repro.errors import AuditError
+from repro.models import zoo
+from repro.sim.executor import ExecOptions, Executor
+from repro.units import MB
+from repro.validate import ViolationKind, audit_run
+from repro.validate.violations import AuditReport, AuditViolation
+
+from tests.conftest import tight_server
+
+SCHEMES = [
+    "single", "dp-baseline", "harmony-dp", "pp-baseline", "harmony-pp",
+    "harmony-tp",
+]
+
+
+def _session(scheme, num_gpus=2, num_microbatches=2, capacity=550 * MB):
+    model = zoo.synthetic_uniform(
+        num_layers=4, param_bytes_per_layer=100 * MB, activation_bytes=25 * MB
+    )
+    topo = tight_server(num_gpus, capacity)
+    return HarmonySession(
+        model, topo, HarmonyConfig(scheme, batch=BatchConfig(1, num_microbatches))
+    )
+
+
+class TestAuditPasses:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_every_scheme_audits_clean(self, scheme):
+        session = _session(scheme)
+        report = session.audit_report()
+        assert report.passed, report.render()
+        assert len(report.checks) == 8
+
+    @pytest.mark.parametrize("scheme", ["harmony-pp", "dp-baseline", "harmony-dp"])
+    def test_prefetch_and_iterations(self, scheme):
+        session = _session(scheme)
+        executor = Executor(
+            session.topology, session.plan(),
+            options=ExecOptions(prefetch=True, iterations=3),
+        )
+        result = executor.run()
+        report = audit_run(result, session.topology, session.plan(), iterations=3)
+        assert report.passed, report.render()
+
+    def test_multi_server(self):
+        from repro.hardware.presets import multi_server_cluster
+
+        model = zoo.synthetic_uniform(num_layers=4, param_bytes_per_layer=100 * MB)
+        topo = multi_server_cluster(2, 2)
+        for scheme in ("pp-baseline", "harmony-pp"):
+            session = HarmonySession(
+                model, topo, HarmonyConfig(scheme, batch=BatchConfig(1, 2))
+            )
+            assert session.audit_report().passed
+
+    def test_roomy_no_swap_run(self, uniform_model, roomy_topo2):
+        # Nothing swaps: conservation must hold for all-zero ledgers.
+        session = HarmonySession(
+            uniform_model, roomy_topo2,
+            HarmonyConfig("harmony-pp", batch=BatchConfig(1, 2)),
+        )
+        report = session.audit_report()
+        assert report.passed, report.render()
+
+
+class TestWiring:
+    def test_exec_options_audit_attaches_report(self):
+        model = zoo.synthetic_uniform(
+            num_layers=4, param_bytes_per_layer=100 * MB, activation_bytes=25 * MB
+        )
+        session = HarmonySession(
+            model, tight_server(2, 550 * MB),
+            HarmonyConfig("harmony-pp", batch=BatchConfig(1, 2), audit=True),
+        )
+        result = session.run()
+        assert result.audit is not None
+        assert result.audit.passed
+
+    def test_audit_off_by_default(self):
+        result = _session("harmony-pp").run()
+        assert result.audit is None
+
+    def test_session_audit_report_cached(self):
+        session = _session("single")
+        first = session.audit_report()
+        assert session.audit_report() is first
+
+    def test_audit_error_raised_on_violation(self):
+        report = AuditReport(label="x", checks=["c"])
+        report.extend([
+            AuditViolation(ViolationKind.COMPUTE_OVERLAP, "boom", device="gpu0")
+        ])
+        with pytest.raises(AuditError) as exc:
+            report.raise_if_failed()
+        assert exc.value.violations == report.violations
+        assert "compute_overlap" in str(exc.value)
+
+    def test_clean_report_does_not_raise(self):
+        AuditReport(label="x", checks=["c"]).raise_if_failed()
+
+    def test_report_render_pass_and_fail(self):
+        clean = AuditReport(label="run", checks=["a", "b"])
+        assert "PASS" in clean.render()
+        dirty = AuditReport(label="run", checks=["a"])
+        dirty.extend([AuditViolation(ViolationKind.TASK_COUNT, "missing")])
+        assert "1 violation" in dirty.render()
+        assert dirty.by_kind(ViolationKind.TASK_COUNT)
+        assert dirty.kinds() == {ViolationKind.TASK_COUNT}
+
+
+class TestCli:
+    def test_audit_command(self, capsys):
+        from repro.__main__ import main
+
+        code = main(["audit", "lenet", "--gpus", "2", "--microbatches", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "physical-consistency audit" in out
+        assert "differential check" in out
+        assert "PASS" in out
+
+    def test_audit_single_scheme_skips_differential(self, capsys):
+        from repro.__main__ import main
+
+        code = main([
+            "audit", "lenet", "--gpus", "2", "--microbatches", "2",
+            "--scheme", "harmony-pp",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "differential check" not in out
+
+    def test_audit_no_differential_flag(self, capsys):
+        from repro.__main__ import main
+
+        code = main([
+            "audit", "lenet", "--gpus", "2", "--microbatches", "2",
+            "--no-differential",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "differential check" not in out
+
+    def test_compare_audit_flag(self, capsys):
+        from repro.__main__ import main
+
+        code = main(["compare", "lenet", "--gpus", "2", "--microbatches", "2",
+                     "--audit"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "physical-consistency audit" in out
