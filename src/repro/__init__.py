@@ -30,16 +30,26 @@ from repro.errors import (
     AuditError,
     CapacityError,
     ConfigError,
+    DeviceLostError,
+    FaultError,
     ModelError,
     ReproError,
     SchedulingError,
     SimulationError,
     TopologyError,
 )
+from repro.faults import (
+    FaultPlan,
+    FaultReport,
+    ResiliencePolicy,
+    mttf_loss_plan,
+    run_resilient,
+)
 from repro.validate import (
     AuditReport,
     AuditViolation,
     ViolationKind,
+    audit_resilient,
     audit_run,
     differential_check,
 )
@@ -54,7 +64,13 @@ __all__ = [
     "HarmonyOptions",
     "compare_runs",
     "audit_run",
+    "audit_resilient",
     "differential_check",
+    "FaultPlan",
+    "FaultReport",
+    "ResiliencePolicy",
+    "mttf_loss_plan",
+    "run_resilient",
     "AuditReport",
     "AuditViolation",
     "ViolationKind",
@@ -66,5 +82,7 @@ __all__ = [
     "SchedulingError",
     "SimulationError",
     "AuditError",
+    "FaultError",
+    "DeviceLostError",
     "__version__",
 ]

@@ -18,6 +18,13 @@ audit MODEL
     invariants and cross-check the schedulers differentially
     (``repro.validate``).  ``compare``/``timeline`` also accept
     ``--audit`` to self-check as they run.
+faults
+    MTTF sweep under seeded fault injection (``repro.faults``):
+    harmony-dp/harmony-pp vs their rigid baselines at increasing
+    device-loss rates, each faulty run audited.  Exits nonzero when any
+    run fails to recover or fails its audit.  ``--trace-out`` dumps the
+    deterministic merged trace of one seeded faulty run (running twice
+    with the same seed must produce byte-identical files).
 """
 
 from __future__ import annotations
@@ -158,6 +165,94 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _dump_resilient_trace(result, path: str) -> None:
+    """Serialize a resilient run deterministically (``repr`` floats keep
+    full precision): the CI determinism job runs the same seeded sweep
+    twice and byte-diffs these files."""
+    fr = result.faults
+    lines = [f"label={result.label}"]
+    for seg in fr.segments:
+        lines.append(
+            f"segment {seg.index} iteration={seg.iteration} "
+            f"start={seg.started_at!r} duration={seg.duration!r} "
+            f"aborted={seg.aborted} lost={seg.lost_device}"
+        )
+        for ev in seg.result.trace.events:
+            lines.append(
+                f"  {ev.device} {ev.category} {ev.label} "
+                f"{ev.start!r} {ev.end!r} {ev.nbytes!r}"
+            )
+    lines.append(
+        f"makespan={fr.total_makespan!r} samples={fr.samples} "
+        f"retried_bytes={fr.retried_bytes!r} retry_events={fr.retry_events} "
+        f"losses={fr.device_losses!r} replans={fr.replans} "
+        f"recovered={fr.recovered}"
+    )
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.experiments import faults_degradation
+    from repro.faults import mttf_loss_plan, run_resilient
+    from repro.validate import audit_resilient
+
+    model = (
+        zoo.build(args.model)
+        if args.model
+        else zoo.synthetic_uniform(num_layers=8)
+    )
+    mttfs = tuple(args.mttf) if args.mttf else (float("inf"), 8.0, 4.0, 2.5)
+    rows = faults_degradation.run(
+        model=model,
+        num_gpus=args.gpus,
+        iterations=args.iterations,
+        mttf_iters=mttfs,
+        transient_probability=args.transient_probability,
+        seed=args.seed,
+    )
+    print(faults_degradation.table(rows).render())
+
+    comparisons = faults_degradation.gracefulness(rows)
+    if comparisons:
+        print()
+        for harmony, baseline, mttf, h_ratio, b_ratio in comparisons:
+            verdict = "more graceful" if h_ratio > b_ratio else "NOT more graceful"
+            print(
+                f"mttf={mttf:g}: {harmony} retains {h_ratio:.3f} vs "
+                f"{baseline} {b_ratio:.3f} -> {verdict}"
+            )
+
+    failed = [r for r in rows if not r.recovered]
+    for row in failed:
+        print(f"RECOVERY FAILED: {row.scheme} at mttf={row.mttf_iters:g}")
+
+    if args.trace_out:
+        # One seeded faulty run, dumped deterministically for the CI
+        # determinism diff.
+        server = presets.gtx1080ti_server(num_gpus=args.gpus)
+        finite = [m for m in mttfs if m != float("inf")]
+        mttf = min(finite) if finite else 2.5
+        config = HarmonyConfig(args.scheme)
+        plan = mttf_loss_plan(
+            [g.name for g in server.gpus()],
+            mttf=mttf,  # absolute seconds here; fine for a replay check
+            horizon=mttf * args.iterations,
+            seed=args.seed,
+        )
+        result = run_resilient(
+            model, server, config, plan, iterations=args.iterations
+        )
+        audit = audit_resilient(result.faults)
+        if not audit.passed:
+            print(audit.table().render())
+            return 1
+        _dump_resilient_trace(result, args.trace_out)
+        print(f"\nwrote deterministic trace to {args.trace_out}")
+
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -205,6 +300,34 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the cross-scheduler differential check",
     )
 
+    faults_p = sub.add_parser(
+        "faults", help="MTTF sweep: goodput degradation under fault injection"
+    )
+    faults_p.add_argument(
+        "--model", choices=zoo.names(), default=None,
+        help="model zoo entry (default: a fast synthetic model)",
+    )
+    faults_p.add_argument("--gpus", type=int, default=4)
+    faults_p.add_argument("--iterations", type=int, default=6)
+    faults_p.add_argument(
+        "--mttf", type=float, nargs="*", default=None,
+        help="MTTF values in fault-free iteration times "
+             "(default: inf 8 4 2.5; 'inf' allowed)",
+    )
+    faults_p.add_argument("--seed", type=int, default=1)
+    faults_p.add_argument(
+        "--transient-probability", type=float, default=0.02,
+        help="per-transfer transient failure probability",
+    )
+    faults_p.add_argument(
+        "--scheme", choices=SCHEMES, default="harmony-dp",
+        help="scheme for the --trace-out determinism run",
+    )
+    faults_p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="dump the deterministic trace of one seeded faulty run",
+    )
+
     args = parser.parse_args(argv)
     handlers = {
         "figures": cmd_figures,
@@ -213,6 +336,7 @@ def main(argv: list[str] | None = None) -> int:
         "tune": cmd_tune,
         "timeline": cmd_timeline,
         "audit": cmd_audit,
+        "faults": cmd_faults,
     }
     try:
         return handlers[args.command](args)

@@ -6,6 +6,8 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
+from repro.faults.model import FaultPlan
+from repro.faults.resilience import ResiliencePolicy
 from repro.models.costmodel import CostModel
 from repro.schedulers.base import BatchConfig
 from repro.schedulers.options import HarmonyOptions
@@ -59,6 +61,22 @@ class HarmonyConfig:
         Run the :mod:`repro.validate` physical-consistency audit after
         every simulation; violations raise
         :class:`~repro.errors.AuditError`.
+    faults:
+        Seed-driven fault plan (see :mod:`repro.faults`).  When set,
+        :meth:`HarmonySession.run` executes through the resilient
+        runner: retries with backoff, checkpoint accounting, and mid-run
+        re-planning onto the survivors.  ``None`` simulates a healthy
+        machine.
+    resilience:
+        Retry/checkpoint/recovery knobs for faulty runs.  ``None``
+        picks the per-scheme default
+        (:meth:`~repro.faults.resilience.ResiliencePolicy.for_scheme`):
+        Harmony schemes restart from the last checkpoint on survivors;
+        rigid baselines restart from scratch.
+    iterations:
+        Training iterations a faulty run executes (faults need a wall
+        long enough to strike; healthy runs simulate one iteration as
+        before).
     """
 
     parallelism: Parallelism | str = Parallelism.HARMONY_PP
@@ -67,6 +85,13 @@ class HarmonyConfig:
     prefetch: bool = False
     cost_model: CostModel = field(default_factory=CostModel)
     audit: bool = False
+    faults: FaultPlan | None = None
+    resilience: ResiliencePolicy | None = None
+    iterations: int = 1
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ConfigError("iterations must be >= 1")
 
     def resolved_parallelism(self) -> Parallelism:
         return Parallelism.parse(self.parallelism)

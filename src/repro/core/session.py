@@ -57,17 +57,46 @@ class HarmonySession:
     # -- simulation --------------------------------------------------------------
 
     def run(self, fresh: bool = False) -> RunResult:
-        """Simulate one training iteration (cached unless ``fresh``)."""
+        """Simulate a training run (cached unless ``fresh``).
+
+        Healthy configs simulate one iteration.  With ``config.faults``
+        set, the run goes through :func:`repro.faults.run_resilient`:
+        ``config.iterations`` iterations under the fault plan, with the
+        aggregate :class:`~repro.faults.report.FaultReport` attached to
+        ``result.faults`` (and each faulty segment audited when
+        ``config.audit`` is on).
+        """
         if self._result is None or fresh:
-            executor = Executor(
-                self.topology,
-                self.plan(),
-                cost_model=self.config.cost_model,
-                options=ExecOptions(
-                    prefetch=self.config.prefetch, audit=self.config.audit
-                ),
-            )
-            self._result = executor.run()
+            if self.config.faults is not None:
+                # Imported lazily: the runner re-invokes build_scheduler
+                # mid-run, and keeping it out of the session's import
+                # graph keeps healthy runs' startup unchanged.
+                from repro.faults.runner import run_resilient
+
+                result = run_resilient(
+                    self.model,
+                    self.topology,
+                    self.config,
+                    self.config.faults,
+                    policy=self.config.resilience,
+                    iterations=self.config.iterations,
+                )
+                if self.config.audit:
+                    from repro.validate.audit import audit_resilient
+
+                    result.audit = audit_resilient(result.faults)
+                    result.audit.raise_if_failed()
+                self._result = result
+            else:
+                executor = Executor(
+                    self.topology,
+                    self.plan(),
+                    cost_model=self.config.cost_model,
+                    options=ExecOptions(
+                        prefetch=self.config.prefetch, audit=self.config.audit
+                    ),
+                )
+                self._result = executor.run()
         return self._result
 
     def audit_report(self, fresh: bool = False) -> AuditReport:

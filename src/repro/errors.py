@@ -49,6 +49,28 @@ class TensorStateError(ReproError):
     """An illegal tensor lifetime transition was attempted."""
 
 
+class FaultError(ReproError):
+    """An injected fault could not be absorbed by the resilience layer
+    (retries exhausted, no surviving devices, re-planning impossible)."""
+
+
+class DeviceLostError(FaultError):
+    """A device was lost mid-run (the simulated analogue of a GPU
+    falling off the bus).
+
+    Raised out of the event loop at the injected loss time; the
+    resilient runner catches it, accounts the lost work, and re-plans
+    the remaining work onto the surviving devices.  ``device`` names the
+    lost device and ``at`` is the *local* simulation time of the loss
+    within the interrupted segment.
+    """
+
+    def __init__(self, device: str, at: float):
+        self.device = device
+        self.at = at
+        super().__init__(f"device {device} lost at t={at:.6g}s")
+
+
 class AuditError(ReproError):
     """A finished run failed its post-hoc physical-consistency audit.
 

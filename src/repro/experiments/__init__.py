@@ -14,6 +14,7 @@ from repro.experiments import fig4_schedule
 from repro.experiments import fig5_swap_volumes
 from repro.experiments import sec4_feasibility
 from repro.experiments import ablations
+from repro.experiments import faults_degradation
 
 __all__ = [
     "fig1_growth",
@@ -24,4 +25,5 @@ __all__ = [
     "fig5_swap_volumes",
     "sec4_feasibility",
     "ablations",
+    "faults_degradation",
 ]

@@ -1,0 +1,47 @@
+"""Fault injection & graceful degradation.
+
+A seed-driven :class:`FaultPlan` describes what goes wrong (device
+losses, link degradation and flaps, transient transfer errors, compute
+stragglers, host-memory pressure); the :class:`FaultInjector` injects
+it into the discrete-event simulation; :func:`run_resilient` executes a
+multi-iteration run under the plan with retry/backoff, checkpoint
+accounting, and mid-run re-planning onto the survivors, reporting lost
+work, retried bytes, recovery time, and goodput in a
+:class:`FaultReport`.  Everything replays byte-identically from the
+plan's seed.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.model import (
+    ComputeStraggler,
+    DeviceLoss,
+    Fault,
+    FaultPlan,
+    LinkDegradation,
+    LinkFlap,
+    MemoryPressure,
+    TransientTransferError,
+    mttf_loss_plan,
+    random_fault_plan,
+)
+from repro.faults.report import FaultReport, SegmentReport
+from repro.faults.resilience import ResiliencePolicy
+from repro.faults.runner import run_resilient
+
+__all__ = [
+    "ComputeStraggler",
+    "DeviceLoss",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultReport",
+    "LinkDegradation",
+    "LinkFlap",
+    "MemoryPressure",
+    "ResiliencePolicy",
+    "SegmentReport",
+    "TransientTransferError",
+    "mttf_loss_plan",
+    "random_fault_plan",
+    "run_resilient",
+]

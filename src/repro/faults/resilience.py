@@ -1,0 +1,98 @@
+"""Resilience policy: how a run absorbs injected faults.
+
+Two families of knobs:
+
+* **transfer retries** — transient transfer failures are retried with
+  exponential backoff (the failed attempt still occupied the wire; its
+  bytes are ledgered separately in
+  :class:`~repro.memory.stats.SwapStats`);
+* **checkpoint / restart** — state is checkpointed every
+  ``checkpoint_every`` iterations (the write-back cost is charged to
+  wall-clock), and on :class:`~repro.errors.DeviceLostError` the run
+  restarts from the last *usable* checkpoint on a re-planned schedule
+  over the surviving devices.
+
+The Harmony/baseline asymmetry lives here, not in the fault model.
+Harmony binds tasks to devices late (paper §4), so after a loss it
+re-plans the remaining work onto the survivors, resumes from the last
+checkpoint, and reloads only the lost device's shard of the training
+state.  The rigid baselines pin work to devices up front: their
+checkpoints assume a fixed world size, so a loss forces a full restart
+of uncheckpointed *and* checkpointed iterations in the current segment
+and a full-state reload — this is what "rigid schedules collapse,
+late binding degrades" means operationally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Knobs for absorbing faults.
+
+    Attributes
+    ----------
+    max_retries:
+        Transfer attempts before a transient failure becomes permanent
+        (a :class:`~repro.errors.FaultError`).
+    backoff_base / backoff_factor:
+        Exponential backoff: attempt ``k`` waits
+        ``backoff_base * backoff_factor**k`` simulated seconds before
+        re-occupying the link.
+    checkpoint_every:
+        Checkpoint the training state every this many completed
+        iterations (0 disables checkpointing).
+    checkpoint_usable_after_loss:
+        Whether a checkpoint taken at world size N can seed a restart
+        at world size N-1.  True for Harmony (late binding re-plans the
+        work), False for the rigid baselines (their checkpoint layout
+        bakes in the device assignment).
+    partial_reload:
+        On restart, reload only the lost device's share of the training
+        state (True: Harmony — survivors keep their resident state)
+        or the full state (False: baselines restart cold).
+    detection_delay:
+        Seconds between the loss and the runtime noticing it.
+    """
+
+    max_retries: int = 8
+    backoff_base: float = 1e-3
+    backoff_factor: float = 2.0
+    checkpoint_every: int = 1
+    checkpoint_usable_after_loss: bool = True
+    partial_reload: bool = True
+    detection_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.backoff_base < 0:
+            raise ConfigError("backoff_base must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+        if self.checkpoint_every < 0:
+            raise ConfigError("checkpoint_every must be >= 0")
+        if self.detection_delay < 0:
+            raise ConfigError("detection_delay must be >= 0")
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        return self.backoff_base * self.backoff_factor**attempt
+
+    @staticmethod
+    def for_scheme(scheme: str) -> "ResiliencePolicy":
+        """Default policy for a parallelism scheme.
+
+        Harmony schemes re-plan and reload incrementally; the baseline
+        schemes (including ``single``) restart their current segment
+        cold with a full-state reload.
+        """
+        if scheme.startswith("harmony"):
+            return ResiliencePolicy()
+        return ResiliencePolicy(
+            checkpoint_usable_after_loss=False, partial_reload=False
+        )

@@ -1,0 +1,314 @@
+"""The resilient runner: iteration-granular execution under faults.
+
+A resilient run executes ``iterations`` training iterations as a chain
+of *segments*, each a fresh discrete-event simulation of one iteration
+(one :class:`~repro.sim.executor.Executor`), stitched together on a
+global wall-clock ``offset``.  The :class:`~repro.faults.injector.
+FaultInjector` translates the plan's global fault times into each
+segment's local time, so one :class:`~repro.faults.model.FaultPlan`
+spans the whole run.
+
+Between iterations the runner charges checkpoint cost (training state
+streamed to host DRAM over the shared uplink) every
+``policy.checkpoint_every`` iterations.  When a :class:`~repro.errors.
+DeviceLostError` escapes a segment, the runner
+
+1. collects the aborted segment's partial result and accounts the lost
+   wall/compute time,
+2. rolls back to the last *usable* checkpoint — everything since it
+   must be redone (for rigid baselines no checkpoint survives a
+   world-size change, so *all* credited iterations roll back),
+3. charges detection + state-reload time,
+4. rebuilds the topology without the dead device and re-invokes
+   :func:`~repro.schedulers.build_scheduler` on the survivors — the
+   mid-run re-planning that Harmony's late-binding design makes cheap,
+5. continues until all iterations are credited or recovery becomes
+   impossible (no survivors, re-planning fails, retry budgets exhaust),
+   in which case the :class:`~repro.faults.report.FaultReport` records
+   ``recovered=False`` instead of raising.
+
+The returned :class:`~repro.sim.result.RunResult` aggregates the whole
+run (makespan, credited samples) and carries the report in ``.faults``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.config import HarmonyConfig
+from repro.errors import (
+    CapacityError,
+    ConfigError,
+    DeviceLostError,
+    FaultError,
+    SchedulingError,
+    TopologyError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.model import DeviceLoss, FaultPlan
+from repro.faults.report import FaultReport, SegmentReport
+from repro.faults.resilience import ResiliencePolicy
+from repro.hardware.topology import Topology
+from repro.models.graph import ModelGraph
+from repro.schedulers import build_scheduler
+from repro.sim.executor import ExecOptions, Executor
+from repro.sim.plan import Plan
+from repro.sim.result import RunResult
+
+#: Exceptions that mean "the fault could not be absorbed" rather than
+#: "the simulator is broken": they end the run with ``recovered=False``.
+_RECOVERY_FAILURES = (
+    FaultError,
+    CapacityError,
+    ConfigError,
+    SchedulingError,
+    TopologyError,
+)
+
+
+def _uplink_bandwidth(topology: Topology) -> float:
+    """Bottleneck bandwidth of the slowest GPU->host route — the rate
+    checkpoint writes and state reloads move at."""
+    gpus = topology.gpus()
+    if not gpus:
+        raise TopologyError(f"topology {topology.name!r} has no GPUs")
+    return min(
+        topology.host_route(gpu.name).bottleneck_bandwidth for gpu in gpus
+    )
+
+
+def _compute_seconds(result: RunResult) -> float:
+    return sum(d.compute_busy for d in result.devices.values())
+
+
+class _ResilientRun:
+    """Mutable state of one resilient run (the loop in :func:`run_resilient`)."""
+
+    def __init__(
+        self,
+        model: ModelGraph,
+        topology: Topology,
+        config: "HarmonyConfig",
+        fault_plan: FaultPlan,
+        policy: ResiliencePolicy | None,
+        iterations: int,
+    ):
+        if iterations < 1:
+            raise ConfigError("iterations must be >= 1")
+        self.model = model
+        self.config = config
+        self.scheme = config.resolved_parallelism().value
+        self.fault_plan = fault_plan
+        self.policy = (
+            policy if policy is not None else ResiliencePolicy.for_scheme(self.scheme)
+        )
+        self.iterations = iterations
+        #: Checkpointable training state: weights + optimizer moments
+        #: (gradients are recomputed, activations are per-iteration).
+        self.state_bytes = model.param_bytes + model.optimizer_bytes
+        self.rng: random.Random = fault_plan.rng()
+        self.topo = topology
+        self.plan: Plan | None = None
+        self.lost: set[str] = set()
+        self.pending: deque[DeviceLoss] = deque(fault_plan.device_losses())
+        self.offset = 0.0           # global wall-clock
+        self.completed = 0          # credited iterations
+        self.since_ckpt = 0         # credited since the last checkpoint
+        #: (samples, wall seconds, compute seconds) per credited iteration,
+        #: popped when a loss rolls iterations back.
+        self.credited: list[tuple[int, float, float]] = []
+        self.report = FaultReport(plan=fault_plan, policy=self.policy)
+        self.last_result: RunResult | None = None
+
+    # -- building blocks ---------------------------------------------------
+
+    def build_plan(self) -> Plan:
+        return build_scheduler(
+            self.scheme, self.model, self.topo, self.config.batch,
+            options=self.config.options,
+        ).plan()
+
+    def fault_free_reference(self) -> None:
+        """One healthy iteration on the full topology; its plan seeds the
+        first segment and its makespan anchors the goodput ratio."""
+        self.plan = self.build_plan()
+        healthy = Executor(
+            self.topo, self.plan, cost_model=self.config.cost_model,
+            options=ExecOptions(prefetch=self.config.prefetch),
+        ).run()
+        self.report.fault_free_makespan = healthy.makespan * self.iterations
+        self.report.fault_free_samples = healthy.samples * self.iterations
+        self.last_result = healthy
+
+    def fail(self, reason: str) -> None:
+        self.report.recovered = False
+        self.report.failure_reason = reason
+
+    def absorb_stats(self, result: RunResult) -> None:
+        self.report.retried_bytes += result.stats.retried_volume()
+        self.report.retry_events += result.stats.retry_events()
+
+    # -- loss recovery -----------------------------------------------------
+
+    def strike(self, device: str, at_global: float) -> bool:
+        """Recover from losing ``device`` at global time ``at_global``;
+        returns False when recovery is impossible (run over)."""
+        self.report.device_losses.append((device, at_global))
+        self.lost.add(device)
+
+        # Roll back to the last checkpoint this policy can still use.
+        redo = (
+            self.since_ckpt
+            if self.policy.checkpoint_usable_after_loss
+            else self.completed
+        )
+        redo = min(redo, self.completed)
+        for _ in range(redo):
+            _, wall, compute = self.credited.pop()
+            self.report.lost_wall_seconds += wall
+            self.report.lost_compute_seconds += compute
+        self.completed -= redo
+        self.since_ckpt = 0
+        self.report.iterations_redone += redo
+
+        # Survivor topology + state reload + re-plan.
+        try:
+            survivor = self.topo.without_device(device)
+            survivor.validate()
+            reload_bytes = self.state_bytes
+            if self.policy.partial_reload:
+                reload_bytes /= len(survivor.gpus())
+            recovery = (
+                self.policy.detection_delay
+                + reload_bytes / _uplink_bandwidth(survivor)
+            )
+            self.topo = survivor
+            self.plan = self.build_plan()
+        except _RECOVERY_FAILURES as exc:
+            self.fail(f"lost {device} at t={at_global:.4g}s: {exc}")
+            return False
+        self.report.replans += 1
+        self.report.recovery_seconds += recovery
+        self.offset += recovery
+        return True
+
+    def drain_pending_losses(self) -> bool:
+        """Losses whose global time already passed while no segment was
+        running (checkpoint stalls, recovery windows) still kill their
+        device — they just abort no in-flight work."""
+        while self.pending and self.pending[0].at <= self.offset:
+            loss = self.pending.popleft()
+            if loss.device in self.lost or loss.device not in self.topo.devices:
+                continue
+            if not self.strike(loss.device, loss.at):
+                return False
+        return True
+
+    # -- the loop ----------------------------------------------------------
+
+    def run_segment(self, index: int) -> bool:
+        injector = FaultInjector(
+            self.fault_plan, self.policy,
+            offset=self.offset, rng=self.rng, lost=self.lost,
+        )
+        executor = Executor(
+            self.topo, self.plan, cost_model=self.config.cost_model,
+            options=ExecOptions(prefetch=self.config.prefetch, injector=injector),
+        )
+        try:
+            result = executor.run()
+        except DeviceLostError as exc:
+            partial = executor.partial_result()
+            self.absorb_stats(partial)
+            self.report.segments.append(SegmentReport(
+                index=index, iteration=self.completed, result=partial,
+                plan=self.plan, topology=self.topo,
+                started_at=self.offset, duration=exc.at,
+                aborted=True, lost_device=exc.device,
+            ))
+            self.report.lost_wall_seconds += exc.at
+            self.report.lost_compute_seconds += _compute_seconds(partial)
+            self.offset += exc.at
+            self.last_result = partial
+            return self.strike(exc.device, self.offset)
+        except _RECOVERY_FAILURES as exc:
+            self.fail(str(exc))
+            return False
+
+        self.absorb_stats(result)
+        self.report.segments.append(SegmentReport(
+            index=index, iteration=self.completed, result=result,
+            plan=self.plan, topology=self.topo,
+            started_at=self.offset, duration=result.makespan,
+        ))
+        self.offset += result.makespan
+        self.credited.append(
+            (result.samples, result.makespan, _compute_seconds(result))
+        )
+        self.completed += 1
+        self.since_ckpt += 1
+        self.last_result = result
+
+        # Periodic checkpoint: stream training state to host DRAM over
+        # the uplink.  Skipped after the final iteration — there is no
+        # more work a restart could need it for.
+        if (
+            self.policy.checkpoint_every > 0
+            and self.since_ckpt >= self.policy.checkpoint_every
+            and self.completed < self.iterations
+        ):
+            cost = self.state_bytes / _uplink_bandwidth(self.topo)
+            self.report.checkpoints += 1
+            self.report.checkpoint_seconds += cost
+            self.offset += cost
+            self.since_ckpt = 0
+        return True
+
+    def execute(self) -> RunResult:
+        self.fault_free_reference()
+        # Finite by construction (each loss strikes once), but guard the
+        # loop against accounting bugs turning it into a spin.
+        max_segments = (self.iterations + 1) * (len(self.pending) + 2)
+        index = 0
+        while self.completed < self.iterations and self.report.recovered:
+            if index >= max_segments:
+                raise FaultError(
+                    f"resilient run exceeded {max_segments} segments for "
+                    f"{self.iterations} iteration(s); accounting bug?"
+                )
+            if not self.drain_pending_losses():
+                break
+            if not self.run_segment(index):
+                break
+            index += 1
+
+        self.report.total_makespan = self.offset
+        self.report.samples = sum(s for s, _, _ in self.credited)
+        result = replace(
+            self.last_result,
+            makespan=self.report.total_makespan,
+            samples=self.report.samples,
+        )
+        result.faults = self.report
+        return result
+
+
+def run_resilient(
+    model: ModelGraph,
+    topology: Topology,
+    config: "HarmonyConfig",
+    fault_plan: FaultPlan,
+    policy: ResiliencePolicy | None = None,
+    iterations: int = 1,
+) -> RunResult:
+    """Execute ``iterations`` under ``fault_plan`` with checkpointing,
+    retries, and mid-run re-planning; never raises on an injected fault
+    — inspect ``result.faults.recovered``.  Deterministic: the same
+    (model, topology, config, fault_plan) replays byte-identically."""
+    return _ResilientRun(
+        model, topology, config, fault_plan, policy, iterations
+    ).execute()

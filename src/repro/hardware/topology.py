@@ -219,6 +219,32 @@ class Topology:
         """Whether two GPUs can reach each other without the host uplink."""
         return not self.route(gpu_a, gpu_b).crosses_host_uplink
 
+    def without_device(self, name: str) -> "Topology":
+        """The surviving topology after losing ``name`` (a GPU falling
+        off the bus): same nodes, switches, and links minus the device
+        and every link incident to it.  Specs are shared (immutable);
+        routes are re-derived, so traffic re-routes around the hole.
+        The resilient runner (:mod:`repro.faults`) re-plans onto this.
+        """
+        if name not in self.devices:
+            raise TopologyError(f"cannot remove unknown device {name!r}")
+        survivor = Topology(name=f"{self.name}-minus-{name}")
+        for spec in self.devices.values():
+            if spec.name != name:
+                survivor.add_device(spec)
+        for switch in sorted(self.switches):
+            survivor.add_switch(switch)
+        seen: set[str] = set()
+        for a, neighbors in self._adjacency.items():
+            for b, link_name in neighbors:
+                if link_name in seen:
+                    continue
+                seen.add(link_name)
+                if a == name or b == name:
+                    continue
+                survivor.add_link(self.links[link_name], a, b)
+        return survivor
+
     def validate(self) -> None:
         """Check structural invariants; raises :class:`TopologyError`."""
         if not self.hosts():

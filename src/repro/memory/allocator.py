@@ -25,11 +25,29 @@ class DevicePool:
     peak_used: float = 0.0
     demand: float = 0.0
     peak_demand: float = 0.0
+    #: Bytes made unavailable by an injected memory-pressure window
+    #: (:class:`~repro.faults.model.MemoryPressure`): shrinks the
+    #: effective capacity for future reservations without evicting
+    #: anything already resident.
+    pressure: float = 0.0
     _reservations: dict[int, float] = field(default_factory=dict)
 
     @property
+    def effective_capacity(self) -> float:
+        return self.capacity - self.pressure
+
+    @property
     def free(self) -> float:
-        return self.capacity - self.used
+        return self.effective_capacity - self.used
+
+    def add_pressure(self, nbytes: float) -> None:
+        """Open (positive) or close (negative) a pressure window."""
+        self.pressure += nbytes
+        if self.pressure < -1e-6 or self.pressure > self.capacity:
+            raise SimulationError(
+                f"{self.name}: pressure {self.pressure:.3g} B outside "
+                f"[0, capacity={self.capacity:.3g} B]"
+            )
 
     def reserve(self, tid: int, nbytes: float) -> None:
         """Claim bytes for a tensor (on alloc or at swap-in start)."""
@@ -37,10 +55,12 @@ class DevicePool:
             raise SimulationError(f"{self.name}: negative reservation")
         if tid in self._reservations:
             raise SimulationError(f"{self.name}: tensor {tid} already reserved")
-        if self.used + nbytes > self.capacity * (1 + 1e-9):
+        if self.used + nbytes > self.effective_capacity * (1 + 1e-9):
             raise CapacityError(
                 f"{self.name}: reserving {nbytes:.3g} B would exceed capacity "
-                f"({self.used:.3g}/{self.capacity:.3g} B used)"
+                f"({self.used:.3g}/{self.effective_capacity:.3g} B used"
+                + (f", {self.pressure:.3g} B under pressure" if self.pressure else "")
+                + ")"
             )
         self._reservations[tid] = nbytes
         self.used += nbytes

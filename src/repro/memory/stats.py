@@ -42,12 +42,32 @@ class SwapStats:
     _events: dict[tuple[str, TensorKind, Direction], int] = field(
         default_factory=lambda: defaultdict(int)
     )
+    #: Bytes re-sent after transient transfer failures, ledgered
+    #: separately: a retried attempt occupies the wire (and therefore
+    #: *also* lands in ``_volume``, keeping trace<->ledger conservation
+    #: exact), but this ledger isolates the waste for the fault report.
+    _retried: dict[tuple[str, TensorKind, Direction], float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    _retry_events: dict[tuple[str, TensorKind, Direction], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
 
     def record(
         self, device: str, kind: TensorKind, direction: Direction, nbytes: float
     ) -> None:
         self._volume[(device, kind, direction)] += nbytes
         self._events[(device, kind, direction)] += 1
+
+    def record_retry(
+        self, device: str, kind: TensorKind, direction: Direction, nbytes: float
+    ) -> None:
+        """Ledger one failed transfer attempt whose bytes must move
+        again: counted in the main volume ledger (the wire really was
+        occupied) *and* in the separate retry ledger."""
+        self.record(device, kind, direction, nbytes)
+        self._retried[(device, kind, direction)] += nbytes
+        self._retry_events[(device, kind, direction)] += 1
 
     # -- aggregated views --------------------------------------------------
 
@@ -112,6 +132,36 @@ class SwapStats:
                 out[dr] += v
         return out
 
+    def retried_volume(
+        self,
+        device: str | None = None,
+        kind: TensorKind | None = None,
+        direction: Direction | None = None,
+    ) -> float:
+        """Bytes wasted on failed transfer attempts (subset of
+        :meth:`volume` — conservation checks include them)."""
+        return sum(
+            v
+            for (d, k, dr), v in self._retried.items()
+            if (device is None or d == device)
+            and (kind is None or k == kind)
+            and (direction is None or dr == direction)
+        )
+
+    def retry_events(
+        self,
+        device: str | None = None,
+        kind: TensorKind | None = None,
+        direction: Direction | None = None,
+    ) -> int:
+        return sum(
+            c
+            for (d, k, dr), c in self._retry_events.items()
+            if (device is None or d == device)
+            and (kind is None or k == kind)
+            and (direction is None or dr == direction)
+        )
+
     def total_volume(self) -> float:
         """Every byte the ledger saw move (all devices, all directions,
         including clean drops) — a cheap conservation checksum."""
@@ -128,5 +178,8 @@ class SwapStats:
                 vol = self.volume(device, None, direction)
                 if vol:
                     parts.append(f"{direction.value}={vol / GB:.2f}")
+            retried = self.retried_volume(device)
+            if retried:
+                parts.append(f"retried={retried / GB:.2f}")
             lines.append(f"  {device}: " + (", ".join(parts) or "none"))
         return "\n".join(lines)

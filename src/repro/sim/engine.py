@@ -19,41 +19,60 @@ from repro.errors import SimulationError
 
 
 class Engine:
-    """Deterministic event loop."""
+    """Deterministic event loop.
+
+    Events scheduled with ``daemon=True`` (fault injections, pressure
+    windows) only execute while non-daemon work remains: once the last
+    real event has run, :meth:`run` returns without draining trailing
+    daemon events, so a fault scheduled past the end of the run neither
+    strikes nor inflates the clock.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, bool, Callable[[], None]]] = []
         self._now = 0.0
         self._seq = 0
+        self._live = 0  # non-daemon events in the heap
 
     @property
     def now(self) -> float:
         return self._now
 
-    def at(self, time: float, callback: Callable[[], None]) -> None:
+    def at(
+        self, time: float, callback: Callable[[], None], daemon: bool = False
+    ) -> None:
         """Schedule ``callback`` at absolute simulated ``time``."""
         if time < self._now - 1e-12:
             raise SimulationError(
                 f"cannot schedule event in the past ({time} < {self._now})"
             )
-        heapq.heappush(self._heap, (time, self._seq, callback))
+        heapq.heappush(self._heap, (time, self._seq, daemon, callback))
         self._seq += 1
+        if not daemon:
+            self._live += 1
 
-    def after(self, delay: float, callback: Callable[[], None]) -> None:
+    def after(
+        self, delay: float, callback: Callable[[], None], daemon: bool = False
+    ) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self.at(self._now + delay, callback)
+        self.at(self._now + delay, callback, daemon=daemon)
 
     def run(self, max_events: int = 100_000_000) -> None:
-        """Drain the event heap."""
+        """Drain the event heap (down to trailing daemon events)."""
         events = 0
-        while self._heap:
-            time, __, callback = heapq.heappop(self._heap)
+        while self._heap and self._live > 0:
+            if events >= max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events at t={self._now} with "
+                    f"{len(self._heap)} event(s) still pending; likely livelock"
+                )
+            time, __, daemon, callback = heapq.heappop(self._heap)
+            if not daemon:
+                self._live -= 1
             self._now = max(self._now, time)
             callback()
             events += 1
-            if events > max_events:
-                raise SimulationError(f"exceeded {max_events} events; likely livelock")
 
     @property
     def pending_events(self) -> int:
@@ -94,6 +113,10 @@ class ResourceTimeline:
         return start, end
 
     def utilization(self, horizon: float) -> float:
+        """Raw busy/horizon ratio — deliberately *not* clamped to 1.0:
+        a value above 1.0 means double-booked busy accounting, which
+        the audit layer flags (``LINK_BUSY_EXCEEDS_MAKESPAN``) rather
+        than this accessor masking it."""
         if horizon <= 0:
             return 0.0
-        return min(1.0, self.busy_seconds / horizon)
+        return self.busy_seconds / horizon

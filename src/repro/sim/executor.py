@@ -18,8 +18,12 @@ resume together.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import CapacityError, SimulationError
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 from repro.hardware.topology import Topology
 from repro.memory.manager import MemoryManager
 from repro.memory.stats import Direction, SwapStats
@@ -54,12 +58,18 @@ class ExecOptions:
         Run the :mod:`repro.validate` physical-consistency audit on the
         finished run.  The report is attached to ``RunResult.audit``;
         any violation raises :class:`~repro.errors.AuditError`.
+    injector:
+        Fault injector (:mod:`repro.faults`) for this run: stretches
+        compute under stragglers, degrades/defers/fails transfers, and
+        arms device-loss and memory-pressure events on the engine.
+        ``None`` simulates a healthy machine.
     """
 
     prefetch: bool = False
     flush_at_end: bool = True
     iterations: int = 1
     audit: bool = False
+    injector: "FaultInjector | None" = None
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -101,9 +111,13 @@ class Executor:
             device.name: ResourceTimeline(f"compute:{device.name}")
             for device in (*topology.gpus(), *topology.hosts())
         }
+        self.injector = self.options.injector
         self.transfers = TransferEngine(
-            self.engine, topology, self.manager, self.trace, self.links
+            self.engine, topology, self.manager, self.trace, self.links,
+            injector=self.injector,
         )
+        if self.injector is not None:
+            self.injector.arm(self.engine, self.manager.pools)
         self.devstates = {
             dev: _DeviceState(dev, list(order))
             for dev, order in plan.device_order.items()
@@ -222,6 +236,8 @@ class Executor:
         st.run_idx += 1
         device_spec = self.topology.device(dev)
         duration = self.cost.task_time(task.flops, device_spec)
+        if self.injector is not None:
+            duration = self.injector.compute_duration(dev, duration, self.engine.now)
         start, end = self.compute_streams[dev].acquire(self.engine.now, duration)
 
         def complete() -> None:
@@ -333,6 +349,15 @@ class Executor:
             self.transfers.execute_chain(by_device[device], lambda: None)
 
     # -- results ------------------------------------------------------------------
+
+    def partial_result(self) -> RunResult:
+        """Best-effort result for an interrupted run (a device loss
+        aborted the event loop): whatever the trace and ledgers saw up
+        to the interruption, with only the actually-finished samples.
+        The resilient runner audits and accounts lost work from this."""
+        result = self._result()
+        result.samples = self._samples
+        return result
 
     def _result(self) -> RunResult:
         makespan = max(self.trace.makespan(), self.engine.now)

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 from repro.memory.stats import SwapStats
 
 if TYPE_CHECKING:
+    from repro.faults.report import FaultReport
     from repro.validate.violations import AuditReport
 from repro.sim.trace import Trace
 from repro.units import GB, fmt_bytes, fmt_time
@@ -66,6 +67,11 @@ class RunResult:
     #: Physical-consistency audit outcome, set when the run executed
     #: with ``ExecOptions.audit`` (see :mod:`repro.validate`).
     audit: "AuditReport | None" = None
+    #: Fault-injection accounting, set when the run executed under a
+    #: :class:`~repro.faults.model.FaultPlan` (see :mod:`repro.faults`).
+    #: For a resilient run this is the aggregate over all segments and
+    #: the other fields describe the final executed segment.
+    faults: "FaultReport | None" = None
 
     @property
     def throughput(self) -> float:

@@ -10,13 +10,17 @@ Harmony's optimization #3.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
-from repro.errors import SimulationError
+from repro.errors import FaultError, SimulationError
 from repro.hardware.topology import Route, Topology
 from repro.memory.manager import MemOp, MemOpKind, MemoryManager
+from repro.memory.stats import Direction
 from repro.sim.engine import Engine, ResourceTimeline
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 
 _CATEGORY = {
     MemOpKind.SWAP_IN: "swap_in",
@@ -26,7 +30,16 @@ _CATEGORY = {
 
 
 class TransferEngine:
-    """Executes memory-op chains, one op at a time, over shared links."""
+    """Executes memory-op chains, one op at a time, over shared links.
+
+    With a :class:`~repro.faults.injector.FaultInjector` attached,
+    transfer timing honors link degradation and flaps, and each
+    point-to-point attempt may fail transiently: the failed attempt
+    still occupies every link on the route (the wire time really was
+    spent), its bytes are ledgered as retries, and the transfer is
+    re-attempted after exponential backoff until the policy's retry
+    budget is exhausted.
+    """
 
     def __init__(
         self,
@@ -35,12 +48,14 @@ class TransferEngine:
         manager: MemoryManager,
         trace: Trace,
         links: dict[str, ResourceTimeline],
+        injector: "FaultInjector | None" = None,
     ):
         self.engine = engine
         self.topology = topology
         self.manager = manager
         self.trace = trace
         self.links = links
+        self.injector = injector
 
     # -- routes -------------------------------------------------------------
 
@@ -121,14 +136,32 @@ class TransferEngine:
             return
         self._schedule_transfer(op, done)
 
-    def _schedule_transfer(self, op: MemOp, done: Callable[[], None]) -> None:
+    def _schedule_transfer(
+        self, op: MemOp, done: Callable[[], None], attempt: int = 0
+    ) -> None:
         # op_begin may have degraded a planned P2P into a SWAP_IN.
         route = self._route_for(op)
-        duration = route.transfer_time(op.tensor.size_bytes)
+        if self.injector is None:
+            ready = self.engine.now
+            duration = route.transfer_time(op.tensor.size_bytes)
+        else:
+            ready, duration = self.injector.transfer_timing(
+                route, op.tensor.size_bytes, self.engine.now
+            )
         timelines = self._timelines(route)
-        start, end = ResourceTimeline.acquire_all(timelines, self.engine.now, duration)
+        start, end = ResourceTimeline.acquire_all(timelines, ready, duration)
         category = _CATEGORY[op.kind]
         device = op.src if op.kind is MemOpKind.SWAP_OUT else op.dst
+
+        if (
+            self.injector is not None
+            and duration > 0
+            and self.injector.transfer_fails(route, start)
+        ):
+            self._schedule_failed_attempt(
+                op, route, device, category, start, end, attempt, done
+            )
+            return
 
         def finish() -> None:
             self.manager.op_finish(op)
@@ -140,6 +173,58 @@ class TransferEngine:
             done()
 
         self.engine.at(end, finish)
+
+    def _schedule_failed_attempt(
+        self,
+        op: MemOp,
+        route: Route,
+        device: str,
+        category: str,
+        start: float,
+        end: float,
+        attempt: int,
+        done: Callable[[], None],
+    ) -> None:
+        """A transient transfer failure: the attempt holds the links for
+        its full duration, its bytes are ledgered as retried, and the
+        op re-runs after exponential backoff."""
+        injector = self.injector
+        if attempt >= injector.max_retries:
+            label = op.tensor.label
+
+            def exhausted() -> None:
+                raise FaultError(
+                    f"transfer of {label} over {route.src}->{route.dst} "
+                    f"failed {attempt + 1} time(s); retry budget "
+                    f"({injector.max_retries}) exhausted"
+                )
+
+            self.engine.at(end, exhausted)
+            return
+
+        meta = op.tensor
+        stats = self.manager.stats
+
+        def failed() -> None:
+            if op.kind is MemOpKind.P2P:
+                stats.record_retry(op.dst, meta.kind, Direction.P2P_IN, meta.size_bytes)
+                stats.record(op.src, meta.kind, Direction.P2P_OUT, meta.size_bytes)
+            else:
+                direction = (
+                    Direction.SWAP_OUT
+                    if op.kind is MemOpKind.SWAP_OUT
+                    else Direction.SWAP_IN
+                )
+                stats.record_retry(device, meta.kind, direction, meta.size_bytes)
+            self.trace.add(
+                device, start, end, category, meta.label, nbytes=meta.size_bytes
+            )
+            self.engine.after(
+                injector.backoff_delay(attempt),
+                lambda: self._schedule_transfer(op, done, attempt=attempt + 1),
+            )
+
+        self.engine.at(end, failed)
 
     # -- collectives -------------------------------------------------------------
 
@@ -164,10 +249,22 @@ class TransferEngine:
         for route in routes:
             for link in route.links:
                 involved[link.name] = self.links[link.name]
-        bottleneck = min(route.bottleneck_bandwidth for route in routes)
-        latency = max(route.total_latency for route in routes)
-        duration = latency + comm_bytes / bottleneck
+        if self.injector is None:
+            ready = self.engine.now
+            bottleneck = min(route.bottleneck_bandwidth for route in routes)
+            latency = max(route.total_latency for route in routes)
+            duration = latency + comm_bytes / bottleneck
+        else:
+            # The ring runs at the pace of its slowest hop under the
+            # currently-active link faults; a flapped hop defers the
+            # whole collective.
+            timings = [
+                self.injector.transfer_timing(route, comm_bytes, self.engine.now)
+                for route in routes
+            ]
+            ready = max(t for t, _ in timings)
+            duration = max(d for _, d in timings)
         start, end = ResourceTimeline.acquire_all(
-            list(involved.values()), self.engine.now, duration
+            list(involved.values()), ready, duration
         )
         self.engine.at(end, lambda: done(start, end))

@@ -21,7 +21,7 @@ asserts; :meth:`AuditReport.raise_if_failed` converts them into an
 :class:`~repro.errors.AuditError` when exception semantics are wanted.
 """
 
-from repro.validate.audit import audit_run
+from repro.validate.audit import audit_resilient, audit_run
 from repro.validate.differential import (
     DEFAULT_SCHEMES,
     DifferentialReport,
@@ -35,6 +35,7 @@ from repro.validate.invariants import (
     check_event_sanity,
     check_link_feasibility,
     check_memory_profile,
+    check_retry_ledger,
     check_samples,
     check_task_coverage,
 )
@@ -42,6 +43,7 @@ from repro.validate.violations import AuditReport, AuditViolation, ViolationKind
 
 __all__ = [
     "audit_run",
+    "audit_resilient",
     "differential_check",
     "DifferentialReport",
     "SchemeQuantities",
@@ -55,6 +57,7 @@ __all__ = [
     "check_event_sanity",
     "check_link_feasibility",
     "check_memory_profile",
+    "check_retry_ledger",
     "check_samples",
     "check_task_coverage",
 ]

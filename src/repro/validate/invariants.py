@@ -84,9 +84,16 @@ def check_compute_exclusivity(result: RunResult) -> list[AuditViolation]:
     fetches), but a device has one compute stream: overlapping compute
     means the simulated schedule was physically impossible.
     """
+    return check_compute_events(result.trace.events)
+
+
+def check_compute_events(events: list[TraceEvent]) -> list[AuditViolation]:
+    """Compute-exclusivity over a bare event list — also applied to the
+    merged (globally-shifted) trace of a resilient run, where events
+    from different segments must still never overlap on one device."""
     violations: list[AuditViolation] = []
     per_device: dict[str, list[TraceEvent]] = defaultdict(list)
-    for event in result.trace.events:
+    for event in events:
         if event.category in ("compute", "allreduce"):
             per_device[event.device].append(event)
     for device, events in sorted(per_device.items()):
@@ -313,6 +320,39 @@ def check_conservation(result: RunResult) -> list[AuditViolation]:
                         subject=attr,
                         expected=ledger,
                         actual=reported,
+                    )
+                )
+    return violations
+
+
+# -- (d') retry ledger --------------------------------------------------------
+
+
+def check_retry_ledger(result: RunResult) -> list[AuditViolation]:
+    """Retried bytes are a subset of the volume ledger.
+
+    A failed transfer attempt occupies the wire, so its bytes land in
+    *both* ledgers (see :meth:`SwapStats.record_retry`); per device and
+    direction the retry ledger can therefore never exceed the volume
+    ledger.  This is what keeps trace<->ledger conservation exact under
+    fault injection."""
+    violations: list[AuditViolation] = []
+    for device in result.stats.devices():
+        for direction in Direction:
+            retried = result.stats.retried_volume(device, None, direction)
+            if retried <= 0:
+                continue
+            total = result.stats.volume(device, None, direction)
+            if not _leq(retried, total, _BYTE_TOL):
+                violations.append(
+                    AuditViolation(
+                        ViolationKind.RETRY_CONSERVATION,
+                        f"{device}: {retried:.6g} B of {direction.value} "
+                        f"retries exceed the {total:.6g} B volume ledger",
+                        device=device,
+                        subject=direction.value,
+                        expected=total,
+                        actual=retried,
                     )
                 )
     return violations

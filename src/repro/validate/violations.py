@@ -42,6 +42,12 @@ class ViolationKind(enum.Enum):
     TASK_COUNT = "task_count"
     #: Reported sample count disagrees with the plan.
     SAMPLES_MISMATCH = "samples_mismatch"
+    #: Retry ledger inconsistent: retried bytes not a subset of the
+    #: volume ledger, or the fault report disagrees with the segments.
+    RETRY_CONSERVATION = "retry_conservation"
+    #: Fault-report accounting inconsistent with its segments (wall
+    #: clock, credited samples).
+    FAULT_ACCOUNTING = "fault_accounting"
     #: Differential check: schedulers disagree on total samples.
     DIFF_SAMPLES = "diff_samples"
     #: Differential check: schedulers disagree on total compute work.

@@ -1,0 +1,104 @@
+"""Error paths produce actionable exceptions on minimal crafted inputs.
+
+Each test builds the smallest input that trips one failure mode and
+asserts both the exception type and that the message carries enough
+context to act on (device names, task labels, capacities, pending
+work) — regression cover for the "fail loudly and specifically"
+contract the fault-injection subsystem leans on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CapacityError, SchedulingError, SimulationError
+from repro.models import zoo
+from repro.schedulers import build_scheduler
+from repro.schedulers.base import BatchConfig
+from repro.sim.engine import Engine
+from repro.sim.executor import Executor
+from repro.tasks.graph import TaskGraph
+from repro.models.phases import Phase
+from repro.tasks.task import Task, TaskKind
+from repro.units import MB
+
+from tests.conftest import tight_server
+
+
+class TestCapacityError:
+    def test_model_larger_than_gpu_and_message_names_the_device(self):
+        # 100 MB layers on a 60 MB GPU: even one weight tensor cannot
+        # fit, so preparation must fail before any compute runs.
+        model = zoo.synthetic_uniform(num_layers=2)
+        topo = tight_server(1, capacity=60 * MB)
+        plan = build_scheduler("single", model, topo, BatchConfig(1, 1)).plan()
+        with pytest.raises(CapacityError) as exc:
+            Executor(topo, plan).run()
+        message = str(exc.value)
+        assert "gpu0" in message
+        assert "capacity" in message
+
+
+class TestSchedulingError:
+    def test_cycle_is_reported_with_involved_tasks(self):
+        graph = TaskGraph()
+        a = graph.add(Task(0, TaskKind.COMPUTE, "fwd-a", phase=Phase.FORWARD,
+                           device="gpu0"))
+        b = graph.add(Task(1, TaskKind.COMPUTE, "fwd-b", phase=Phase.FORWARD,
+                           device="gpu0", deps=frozenset({0})))
+        a.add_dep(b.tid)
+        with pytest.raises(SchedulingError, match="cycle"):
+            graph.validate()
+
+    def test_unplaced_task_is_named(self):
+        graph = TaskGraph()
+        graph.add(Task(0, TaskKind.COMPUTE, "fwd-orphan", phase=Phase.FORWARD))
+        with pytest.raises(SchedulingError, match="fwd-orphan.*not placed"):
+            graph.validate(require_placement=True)
+
+    def test_plan_rejects_task_ordered_on_wrong_device(self):
+        model = zoo.synthetic_uniform(num_layers=2)
+        topo = tight_server(2)
+        plan = build_scheduler(
+            "dp-baseline", model, topo, BatchConfig(1, 2)
+        ).plan()
+        orders = plan.device_order
+        orders["gpu0"], orders["gpu1"] = orders["gpu1"], orders["gpu0"]
+        with pytest.raises(SchedulingError, match="ordered on .* but placed"):
+            plan.validate()
+
+
+class TestDeadlockDetection:
+    def test_reversed_order_deadlocks_with_diagnostics(self):
+        # Reversing one device's order puts the update first, which
+        # depends on backward, which depends on forward: nothing can
+        # start, and the executor must say who is stuck on what.
+        model = zoo.synthetic_uniform(num_layers=2)
+        topo = tight_server(1)
+        plan = build_scheduler("single", model, topo, BatchConfig(1, 1)).plan()
+        plan.device_order["gpu0"].reverse()
+        with pytest.raises(SimulationError) as exc:
+            Executor(topo, plan).run()
+        message = str(exc.value)
+        assert "deadlock" in message
+        assert "gpu0" in message           # the stuck device
+        assert "missing deps" in message   # what it is waiting for
+
+
+class TestLivelockGuard:
+    def test_message_reports_time_and_pending_events(self):
+        # A self-rescheduling callback never drains the heap; the guard
+        # must trip *before* executing event max_events+1 and report the
+        # simulated time plus how much work was still pending.
+        engine = Engine()
+
+        def respawn():
+            engine.after(0.0, respawn)
+
+        engine.after(0.0, respawn)
+        with pytest.raises(SimulationError) as exc:
+            engine.run(max_events=10)
+        message = str(exc.value)
+        assert "exceeded 10 events" in message
+        assert "t=" in message
+        assert "pending" in message

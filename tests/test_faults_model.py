@@ -1,0 +1,126 @@
+"""FaultPlan schema: validation, typed views, and deterministic generators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    ComputeStraggler,
+    DeviceLoss,
+    FaultPlan,
+    LinkDegradation,
+    LinkFlap,
+    MemoryPressure,
+    TransientTransferError,
+    mttf_loss_plan,
+)
+from repro.faults.model import random_fault_plan
+
+
+class TestValidation:
+    def test_negative_loss_time_rejected(self):
+        with pytest.raises(ConfigError, match="negative time"):
+            DeviceLoss("gpu0", at=-1.0)
+
+    def test_degradation_factor_below_one_rejected(self):
+        with pytest.raises(ConfigError, match="factor must be >= 1"):
+            LinkDegradation("uplink0", factor=0.5, start=0.0)
+
+    def test_flap_must_end(self):
+        with pytest.raises(ConfigError, match="must end"):
+            LinkFlap("uplink0", start=1.0, end=math.inf)
+
+    def test_window_ordering_rejected(self):
+        with pytest.raises(ConfigError, match="ends before it starts"):
+            ComputeStraggler("gpu0", slowdown=2.0, start=5.0, end=1.0)
+
+    @pytest.mark.parametrize("p", [-0.1, 1.0, 1.5])
+    def test_transient_probability_range(self, p):
+        with pytest.raises(ConfigError, match="probability"):
+            TransientTransferError(probability=p)
+
+    @pytest.mark.parametrize("f", [-0.1, 1.0])
+    def test_memory_pressure_fraction_range(self, f):
+        with pytest.raises(ConfigError, match="fraction"):
+            MemoryPressure("gpu0", fraction=f)
+
+
+class TestPlan:
+    def test_typed_views_partition_the_faults(self):
+        plan = FaultPlan(seed=3, faults=(
+            DeviceLoss("gpu1", at=2.0),
+            DeviceLoss("gpu0", at=1.0),
+            LinkDegradation("uplink0", factor=2.0, start=0.0),
+            LinkFlap("pcie0", start=0.0, end=1.0),
+            TransientTransferError(probability=0.1),
+            ComputeStraggler("gpu0", slowdown=3.0),
+            MemoryPressure("gpu1", fraction=0.5),
+        ))
+        assert [l.device for l in plan.device_losses()] == ["gpu0", "gpu1"]
+        assert len(plan.link_degradations()) == 1
+        assert len(plan.link_flaps()) == 1
+        assert len(plan.transient_errors()) == 1
+        assert len(plan.stragglers()) == 1
+        assert len(plan.memory_pressures()) == 1
+        assert plan
+        assert not FaultPlan()
+
+    def test_windows_are_half_open(self):
+        deg = LinkDegradation("uplink0", factor=2.0, start=1.0, end=2.0)
+        assert not deg.active(0.999)
+        assert deg.active(1.0)
+        assert deg.active(1.999)
+        assert not deg.active(2.0)
+
+    def test_rng_is_a_fresh_seeded_stream(self):
+        plan = FaultPlan(seed=42)
+        assert plan.rng().random() == plan.rng().random()
+
+    def test_with_faults_appends_immutably(self):
+        plan = FaultPlan(seed=1)
+        extended = plan.with_faults([DeviceLoss("gpu0", at=1.0)])
+        assert not plan.faults
+        assert len(extended.faults) == 1
+        assert extended.seed == 1
+
+    def test_describe_names_every_fault(self):
+        plan = FaultPlan(seed=9, faults=(DeviceLoss("gpu2", at=4.0),))
+        text = plan.describe()
+        assert "seed 9" in text
+        assert "gpu2" in text
+
+
+class TestGenerators:
+    def test_mttf_plan_is_deterministic_and_periodic(self):
+        devices = ["gpu0", "gpu1", "gpu2", "gpu3"]
+        a = mttf_loss_plan(devices, mttf=2.0, horizon=5.0, seed=7)
+        b = mttf_loss_plan(devices, mttf=2.0, horizon=5.0, seed=7)
+        assert a == b
+        losses = a.device_losses()
+        assert [l.at for l in losses] == [2.0, 4.0]
+        # Victims are distinct (drawn without replacement).
+        assert len({l.device for l in losses}) == len(losses)
+
+    def test_mttf_plan_different_seed_different_victims(self):
+        devices = [f"gpu{i}" for i in range(8)]
+        orders = {
+            tuple(l.device for l in
+                  mttf_loss_plan(devices, 1.0, 3.0, seed=s).device_losses())
+            for s in range(10)
+        }
+        assert len(orders) > 1
+
+    def test_mttf_requires_positive(self):
+        with pytest.raises(ConfigError, match="mttf"):
+            mttf_loss_plan(["gpu0"], mttf=0.0, horizon=1.0)
+
+    def test_random_plan_is_pure_function_of_args(self):
+        kwargs = dict(
+            devices=["gpu0", "gpu1"], links=["uplink0"], seed=5,
+            loss_rate=0.5, transient_p=0.1, straggler_p=0.5,
+            degradation_p=0.5,
+        )
+        assert random_fault_plan(**kwargs) == random_fault_plan(**kwargs)

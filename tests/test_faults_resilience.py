@@ -1,0 +1,208 @@
+"""The resilience layer end to end: checkpointing, mid-run re-planning
+after device loss, recovery failure, the resilient audit, and the
+graceful-degradation claim (harmony beats its baseline under loss)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import HarmonyConfig
+from repro.core.session import HarmonySession
+from repro.experiments import faults_degradation
+from repro.faults import (
+    DeviceLoss,
+    FaultPlan,
+    ResiliencePolicy,
+    TransientTransferError,
+    run_resilient,
+)
+from repro.models import zoo
+from repro.validate import audit_resilient
+
+from tests.conftest import tight_server
+
+
+@pytest.fixture(scope="module")
+def model():
+    return zoo.synthetic_uniform(num_layers=4)
+
+
+@pytest.fixture(scope="module")
+def server():
+    return tight_server(2, capacity=900 * 1024 * 1024)
+
+
+def _iter_time(model, server, scheme="harmony-dp"):
+    cfg = HarmonyConfig(scheme)
+    return HarmonySession(model, server, cfg).run().makespan
+
+
+class TestCheckpointAccounting:
+    def test_checkpoints_charged_between_iterations(self, model, server):
+        result = run_resilient(
+            model, server, HarmonyConfig("harmony-dp"), FaultPlan(seed=0),
+            iterations=3,
+        )
+        report = result.faults
+        # checkpoint_every=1 and no checkpoint after the final iteration.
+        assert report.checkpoints == 2
+        assert report.checkpoint_seconds > 0
+        assert report.total_makespan == pytest.approx(
+            sum(s.duration for s in report.segments) + report.checkpoint_seconds
+        )
+        assert report.recovered and not report.device_losses
+
+    def test_fault_free_plan_reconciles_with_healthy_run(self, model, server):
+        healthy = _iter_time(model, server)
+        report = run_resilient(
+            model, server, HarmonyConfig("harmony-dp"), FaultPlan(seed=0),
+            iterations=2,
+        ).faults
+        assert report.fault_free_makespan == pytest.approx(2 * healthy)
+        # Without faults the only overhead is checkpointing.
+        assert report.overhead_seconds == pytest.approx(
+            report.checkpoint_seconds
+        )
+
+
+class TestDeviceLossRecovery:
+    def test_loss_triggers_replan_onto_survivors(self, model, server):
+        iter_time = _iter_time(model, server)
+        plan = FaultPlan(seed=5, faults=(
+            DeviceLoss("gpu1", at=1.5 * iter_time),
+        ))
+        result = run_resilient(
+            model, server, HarmonyConfig("harmony-dp"), plan, iterations=3
+        )
+        report = result.faults
+        assert report.recovered
+        assert report.replans == 1
+        assert report.device_losses and report.device_losses[0][0] == "gpu1"
+        assert report.recovery_seconds > 0
+        assert report.lost_wall_seconds > 0
+        # The aborted segment is kept for auditing; later segments run
+        # on the shrunken topology.
+        aborted = [s for s in report.segments if s.aborted]
+        assert len(aborted) == 1 and aborted[0].lost_device == "gpu1"
+        final = report.segments[-1]
+        assert final.completed
+        assert "gpu1" not in final.topology.devices
+        assert result.samples == report.samples > 0
+        assert result.makespan == report.total_makespan
+
+    def test_harmony_restarts_from_checkpoint_baseline_from_scratch(
+        self, model, server
+    ):
+        # Same loss after ~1.5 iterations: harmony (usable checkpoint)
+        # redoes nothing already credited; the rigid baseline rolls back
+        # every credited iteration.
+        for scheme, redone in (("harmony-dp", 0), ("dp-baseline", 1)):
+            iter_time = _iter_time(model, server, scheme)
+            plan = FaultPlan(seed=5, faults=(
+                DeviceLoss("gpu1", at=1.5 * iter_time),
+            ))
+            report = run_resilient(
+                model, server, HarmonyConfig(scheme), plan, iterations=3
+            ).faults
+            assert report.recovered, scheme
+            assert report.iterations_redone == redone, scheme
+
+    def test_determinism_across_replans(self, model, server):
+        iter_time = _iter_time(model, server)
+        plan = FaultPlan(seed=9, faults=(
+            DeviceLoss("gpu0", at=1.2 * iter_time),
+            TransientTransferError(probability=0.1),
+        ))
+        cfg = HarmonyConfig("harmony-dp")
+        a = run_resilient(model, server, cfg, plan, iterations=3)
+        b = run_resilient(model, server, cfg, plan, iterations=3)
+        assert a.faults.total_makespan == b.faults.total_makespan
+        assert a.samples == b.samples
+        for sa, sb in zip(a.faults.segments, b.faults.segments):
+            assert sa.result.trace.events == sb.result.trace.events
+
+
+class TestRecoveryFailure:
+    def test_losing_the_last_gpu_fails_gracefully(self, model):
+        server = tight_server(1, capacity=900 * 1024 * 1024)
+        iter_time = _iter_time(model, server, "single")
+        plan = FaultPlan(seed=0, faults=(
+            DeviceLoss("gpu0", at=0.5 * iter_time),
+        ))
+        result = run_resilient(
+            model, server, HarmonyConfig("single"), plan, iterations=2
+        )
+        report = result.faults
+        assert not report.recovered
+        assert "gpu0" in report.failure_reason
+        assert report.device_losses
+
+    def test_exhausted_retry_budget_fails_gracefully(self, model, server):
+        plan = FaultPlan(seed=0, faults=(
+            TransientTransferError(probability=0.95),
+        ))
+        result = run_resilient(
+            model, server, HarmonyConfig("harmony-dp"), plan,
+            policy=ResiliencePolicy(max_retries=0), iterations=1,
+        )
+        report = result.faults
+        assert not report.recovered
+        assert "retry budget" in report.failure_reason
+
+
+class TestResilientAudit:
+    def test_faulty_run_audits_clean(self, model, server):
+        iter_time = _iter_time(model, server)
+        plan = FaultPlan(seed=3, faults=(
+            DeviceLoss("gpu1", at=1.3 * iter_time),
+            TransientTransferError(probability=0.15),
+        ))
+        result = run_resilient(
+            model, server, HarmonyConfig("harmony-dp"), plan, iterations=3
+        )
+        report = audit_resilient(result.faults)
+        assert report.passed, report.render()
+        assert any("partial" not in c and "cross_segment" in c
+                   for c in report.checks)
+        assert "fault_accounting" in report.checks
+
+    def test_session_routes_faulty_config_through_runner(self, model, server):
+        iter_time = _iter_time(model, server)
+        cfg = HarmonyConfig(
+            "harmony-dp",
+            faults=FaultPlan(seed=4, faults=(
+                DeviceLoss("gpu1", at=1.5 * iter_time),
+            )),
+            iterations=3,
+            audit=True,
+        )
+        result = HarmonySession(model, server, cfg).run()
+        assert result.faults is not None
+        assert result.faults.replans == 1
+        assert result.audit is not None and result.audit.passed
+
+
+class TestGracefulDegradationClaim:
+    def test_harmony_degrades_strictly_more_gracefully(self):
+        # The acceptance claim: under the same device-loss schedule,
+        # every harmony scheme retains strictly more of its fault-free
+        # goodput than its corresponding rigid baseline.
+        rows = faults_degradation.run(
+            model=zoo.synthetic_uniform(num_layers=6),
+            num_gpus=4,
+            iterations=4,
+            mttf_iters=(2.5,),
+            transient_probability=0.0,
+            seed=1,
+        )
+        comparisons = faults_degradation.gracefulness(rows)
+        assert comparisons, "no loss struck: the sweep tested nothing"
+        seen = set()
+        for harmony, baseline, mttf, h_ratio, b_ratio in comparisons:
+            assert h_ratio > b_ratio, (
+                f"{harmony} ({h_ratio:.3f}) not more graceful than "
+                f"{baseline} ({b_ratio:.3f}) at mttf={mttf}"
+            )
+            seen.add((harmony, baseline))
+        assert seen == set(faults_degradation.SCHEME_PAIRS)
+        assert all(r.recovered for r in rows)

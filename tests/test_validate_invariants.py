@@ -43,7 +43,7 @@ class TestAuditPasses:
         session = _session(scheme)
         report = session.audit_report()
         assert report.passed, report.render()
-        assert len(report.checks) == 8
+        assert len(report.checks) == 9  # includes the retry-ledger check
 
     @pytest.mark.parametrize("scheme", ["harmony-pp", "dp-baseline", "harmony-dp"])
     def test_prefetch_and_iterations(self, scheme):
