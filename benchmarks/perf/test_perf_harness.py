@@ -1,0 +1,69 @@
+"""Perf-layer benchmarks: the tracked harness of ``repro.perf.bench``
+exercised in quick mode.
+
+Where the figure benchmarks track the *simulated* numbers the paper
+reports, these track the *simulator's own* performance surface: fresh
+single-run latency on the Fig. 4 workload, run-cache hit latency, and
+the serial-vs-parallel sweep parity that ``--jobs N`` relies on.  The
+authoritative tracked record is ``BENCH_sim.json`` at the repo root
+(written by ``python -m repro bench``); this suite keeps the harness
+itself honest under pytest.
+"""
+
+from repro.perf import bench
+
+import pytest
+
+
+def print_report(text: str) -> None:
+    print()
+    print(text)
+
+
+def test_single_run_fig4(once):
+    """The Fig. 4 workload simulates, and the events/sec numerator is
+    the engine's own event counter (nonzero, stable across repeats)."""
+    spec = bench._fig4_workload()
+    timing = once(bench._time_single, spec, 3)
+    print_report(
+        f"fig4: {timing['wall_sec'] * 1e3:.3f} ms, "
+        f"{timing['events']} events, "
+        f"{timing['events_per_sec']:,.0f} events/s"
+    )
+    assert timing["events"] > 0
+    assert timing["trace_events"] > 0
+    assert timing["events_per_sec"] > 0
+
+
+def test_cache_hit_beats_fresh_run(once):
+    """A cache hit (deserialize) must be faster than re-simulating."""
+    timing = once(bench._time_cache, bench._fig4_workload())
+    print_report(
+        f"cache: fresh {timing['fresh_sec'] * 1e3:.3f} ms -> "
+        f"hit {timing['hit_sec'] * 1e3:.3f} ms (x{timing['hit_speedup']:.0f})"
+    )
+    assert timing["hit_speedup"] > 1.0
+    assert timing["hit_rate"] == 1.0
+
+
+def test_sweep_parallel_parity(once):
+    """The jobs=2 sweep must agree with the serial sweep point-for-point
+    (``_time_sweep`` raises if any makespan diverges)."""
+    timing = once(bench._time_sweep, 2, True)
+    print_report(
+        f"sweep: {timing['points']} points, serial {timing['serial_sec']:.3f} s, "
+        f"jobs={timing['jobs']} {timing['parallel_sec']:.3f} s"
+    )
+    assert timing["points"] == 4
+
+
+def test_quick_report_shape(once):
+    """The full quick harness produces the BENCH_sim.json payload with
+    every section the CI gate and the docs reference."""
+    report = once(bench.run_bench, quick=True, jobs=2)
+    print_report(bench.render(report))
+    assert report["schema"] == bench.SCHEMA
+    assert set(report["current"]) == {"fig4", "fig4_scaled", "cache", "sweep"}
+    for name in ("fig4", "fig4_scaled"):
+        assert report["baseline"][name]["events_per_sec"] > 0
+        assert report["speedup_vs_baseline"][name] > 0

@@ -25,18 +25,33 @@ faults
     run fails to recover or fails its audit.  ``--trace-out`` dumps the
     deterministic merged trace of one seeded faulty run (running twice
     with the same seed must produce byte-identical files).
+bench
+    Tracked benchmark harness (``repro.perf``): single-run wall time
+    and events/sec on the Fig. 4 workload, cache hit latency, and
+    parallel-sweep scaling.  ``--out BENCH_sim.json`` records the
+    numbers; ``--check BENCH_sim.json`` is the CI regression gate.
+
+Sweep-shaped commands (``figures``, ``compare``, ``tune``, ``faults``,
+``bench``) accept ``--jobs N`` to fan independent simulations out over
+a process pool; output is byte-identical to ``--jobs 1`` because
+results always come back in submission order.  ``compare``/``tune``/
+``bench`` also accept ``--cache-dir``/``--no-cache`` to control the
+content-addressed run cache (see ``docs/INTERNALS.md``, Performance).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from concurrent.futures import ProcessPoolExecutor
 
 from repro import BatchConfig, HarmonyConfig, HarmonySession, compare_runs
 from repro.core.report import audit_summary
 from repro.errors import AuditError, ReproError
 from repro.hardware import presets
 from repro.models import zoo
+from repro.perf import RunCache, RunSpec, SweepRunner
 from repro.tuner.search import tune
 from repro.units import GB
 from repro.validate import differential_check
@@ -47,29 +62,93 @@ SCHEMES = [
 ]
 
 
-def cmd_figures(_: argparse.Namespace) -> int:
-    from repro.experiments import (
-        fig1_growth,
-        fig2a_dp_swap,
-        fig2b_interconnect,
-        fig2c_pp_imbalance,
-        fig4_schedule,
-        fig5_swap_volumes,
-        sec4_feasibility,
-    )
+def _jobs(args: argparse.Namespace, fallback: int = 1) -> int:
+    """Resolve ``--jobs``: the flag when given, else the command's
+    natural default."""
+    jobs = getattr(args, "jobs", None)
+    return jobs if jobs is not None else fallback
 
-    sections = [
-        ("Fig. 1", lambda: fig1_growth.table().render()),
-        ("Fig. 2(a)", lambda: fig2a_dp_swap.table().render()),
-        ("Fig. 2(b)", lambda: fig2b_interconnect.table().render()),
-        ("Fig. 2(c)", lambda: fig2c_pp_imbalance.table().render()),
-        ("Fig. 4", fig4_schedule.describe),
-        ("Fig. 5", lambda: fig5_swap_volumes.table().render()),
-        ("Section 4", lambda: sec4_feasibility.run().table.render()),
-    ]
-    for title, render in sections:
+
+def _default_cache_dir() -> str:
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def _make_cache(args: argparse.Namespace) -> RunCache | None:
+    """The run cache a command should use: disabled by ``--no-cache``,
+    on-disk under ``--cache-dir`` (bare flag means ``~/.cache/repro``),
+    otherwise in-memory for the life of the process."""
+    if getattr(args, "no_cache", False):
+        return None
+    return RunCache(cache_dir=getattr(args, "cache_dir", None))
+
+
+# Figure sections as top-level functions so ``figures --jobs N`` can
+# ship them to pool workers (closures don't pickle).
+def _render_fig1() -> str:
+    from repro.experiments import fig1_growth
+    return fig1_growth.table().render()
+
+
+def _render_fig2a() -> str:
+    from repro.experiments import fig2a_dp_swap
+    return fig2a_dp_swap.table().render()
+
+
+def _render_fig2b() -> str:
+    from repro.experiments import fig2b_interconnect
+    return fig2b_interconnect.table().render()
+
+
+def _render_fig2c() -> str:
+    from repro.experiments import fig2c_pp_imbalance
+    return fig2c_pp_imbalance.table().render()
+
+
+def _render_fig4() -> str:
+    from repro.experiments import fig4_schedule
+    return fig4_schedule.describe()
+
+
+def _render_fig5() -> str:
+    from repro.experiments import fig5_swap_volumes
+    return fig5_swap_volumes.table().render()
+
+
+def _render_sec4() -> str:
+    from repro.experiments import sec4_feasibility
+    return sec4_feasibility.run().table.render()
+
+
+_FIGURE_SECTIONS = [
+    ("Fig. 1", _render_fig1),
+    ("Fig. 2(a)", _render_fig2a),
+    ("Fig. 2(b)", _render_fig2b),
+    ("Fig. 2(c)", _render_fig2c),
+    ("Fig. 4", _render_fig4),
+    ("Fig. 5", _render_fig5),
+    ("Section 4", _render_sec4),
+]
+
+
+def _render_section(index: int) -> str:
+    """Pool worker: render one figure section to a string."""
+    return _FIGURE_SECTIONS[index][1]()
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    jobs = _jobs(args)
+    indices = range(len(_FIGURE_SECTIONS))
+    if jobs > 1:
+        workers = min(jobs, len(_FIGURE_SECTIONS))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # map preserves section order: output is byte-identical
+            # to the serial run no matter which section finishes first.
+            rendered = list(pool.map(_render_section, indices))
+    else:
+        rendered = [_render_section(i) for i in indices]
+    for (title, _), text in zip(_FIGURE_SECTIONS, rendered):
         print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
-        print(render())
+        print(text)
     return 0
 
 
@@ -92,30 +171,48 @@ def cmd_compare(args: argparse.Namespace) -> int:
     print(model.describe())
     state = model.param_bytes + model.grad_bytes + model.optimizer_bytes
     print(f"training state: {state / GB:.1f} GB; {args.gpus} GPUs x 11 GB\n")
-    results = []
-    for scheme in SCHEMES:
-        session = HarmonySession(
-            model, server, HarmonyConfig(scheme, batch=batch, audit=args.audit)
+    specs = [
+        RunSpec(
+            model, server,
+            HarmonyConfig(scheme, batch=batch, audit=args.audit),
+            label=scheme,
         )
-        try:
-            results.append(session.run())
-        except AuditError as exc:
-            print(f"{scheme}: FAILED AUDIT ({exc})")
+        for scheme in SCHEMES
+    ]
+    runner = SweepRunner(jobs=_jobs(args), cache=_make_cache(args))
+    outcomes = runner.run_all(specs, return_exceptions=True)
+    results = []
+    for scheme, outcome in zip(SCHEMES, outcomes):
+        if isinstance(outcome, AuditError):
+            print(f"{scheme}: FAILED AUDIT ({outcome})")
             return 1
-        except ReproError as exc:
-            print(f"{scheme}: infeasible ({exc})")
+        if isinstance(outcome, ReproError):
+            print(f"{scheme}: infeasible ({outcome})")
+        else:
+            results.append(outcome)
     print(compare_runs(results).render())
     if args.audit:
         print()
         print(audit_summary([r.audit for r in results if r.audit]).render())
+    if runner.cache is not None and args.cache_dir:
+        print(f"\n{runner.cache.describe()}")
     return 0
 
 
 def cmd_tune(args: argparse.Namespace) -> int:
     model, server, batch = _build(args)
-    outcome = tune(model, server, batch.per_replica_batch)
+    cache = _make_cache(args)
+    outcome = tune(
+        model, server, batch.per_replica_batch, cache=cache, jobs=_jobs(args)
+    )
     print(outcome.table().render())
     print(f"\nbest: {outcome.best.label} at {outcome.best.throughput:.3f} samples/s")
+    if cache is not None:
+        print(
+            f"cache: {outcome.cache_hits} hits / "
+            f"{outcome.cache_misses} misses "
+            f"(hill-climb hit rate {100 * outcome.hill_climb_hit_rate:.0f}%)"
+        )
     return 0
 
 
@@ -210,6 +307,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         mttf_iters=mttfs,
         transient_probability=args.transient_probability,
         seed=args.seed,
+        jobs=_jobs(args),
     )
     print(faults_degradation.table(rows).render())
 
@@ -253,6 +351,20 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import bench
+
+    report = bench.run_bench(quick=args.quick, jobs=_jobs(args, fallback=4))
+    print(bench.render(report))
+    if args.out:
+        bench.write_json(report, args.out)
+        print(f"\nwrote {args.out}")
+    if args.check:
+        print()
+        return bench.check_regression(report, args.check)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -260,7 +372,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("figures", help="regenerate every paper figure")
+    jobs_parent = argparse.ArgumentParser(add_help=False)
+    jobs_parent.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan independent simulations out over N worker processes "
+             "(results stay in deterministic order; default 1)",
+    )
+
+    cache_parent = argparse.ArgumentParser(add_help=False)
+    cache_parent.add_argument(
+        "--cache-dir", nargs="?", const=_default_cache_dir(), default=None,
+        metavar="DIR",
+        help="persist the run cache on disk (bare flag: ~/.cache/repro)",
+    )
+    cache_parent.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-addressed run cache entirely",
+    )
+
+    sub.add_parser(
+        "figures", parents=[jobs_parent], help="regenerate every paper figure"
+    )
     sub.add_parser("zoo", help="list the model zoo (Fig. 1 data)")
 
     def add_workload(p: argparse.ArgumentParser) -> None:
@@ -269,14 +401,20 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--microbatch-size", type=int, default=1)
         p.add_argument("--microbatches", type=int, default=4)
 
-    compare_p = sub.add_parser("compare", help="run all schemes head-to-head")
+    compare_p = sub.add_parser(
+        "compare", parents=[jobs_parent, cache_parent],
+        help="run all schemes head-to-head",
+    )
     add_workload(compare_p)
     compare_p.add_argument(
         "--audit", action="store_true",
         help="audit every run's physical consistency as it executes",
     )
 
-    tune_p = sub.add_parser("tune", help="search task granularity")
+    tune_p = sub.add_parser(
+        "tune", parents=[jobs_parent, cache_parent],
+        help="search task granularity",
+    )
     add_workload(tune_p)
 
     timeline_p = sub.add_parser("timeline", help="print a schedule timeline")
@@ -301,7 +439,8 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     faults_p = sub.add_parser(
-        "faults", help="MTTF sweep: goodput degradation under fault injection"
+        "faults", parents=[jobs_parent],
+        help="MTTF sweep: goodput degradation under fault injection",
     )
     faults_p.add_argument(
         "--model", choices=zoo.names(), default=None,
@@ -328,6 +467,24 @@ def main(argv: list[str] | None = None) -> int:
         help="dump the deterministic trace of one seeded faulty run",
     )
 
+    bench_p = sub.add_parser(
+        "bench", parents=[jobs_parent, cache_parent],
+        help="benchmark the simulator (events/sec, cache, sweep scaling)",
+    )
+    bench_p.add_argument(
+        "--quick", action="store_true",
+        help="fewer repeats and a smaller sweep grid (CI smoke mode)",
+    )
+    bench_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the JSON report (the tracked file is BENCH_sim.json)",
+    )
+    bench_p.add_argument(
+        "--check", default=None, metavar="PATH",
+        help="regression gate: exit nonzero if measured events/sec falls "
+             ">30%% below the committed baseline in PATH",
+    )
+
     args = parser.parse_args(argv)
     handlers = {
         "figures": cmd_figures,
@@ -337,6 +494,7 @@ def main(argv: list[str] | None = None) -> int:
         "timeline": cmd_timeline,
         "audit": cmd_audit,
         "faults": cmd_faults,
+        "bench": cmd_bench,
     }
     try:
         return handlers[args.command](args)

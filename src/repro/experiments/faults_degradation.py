@@ -13,7 +13,12 @@ gracefully than their corresponding baseline under the same fault plan.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.faults.report import FaultReport
 
 from repro.core.config import HarmonyConfig
 from repro.faults.model import FaultPlan, TransientTransferError, mttf_loss_plan
@@ -57,6 +62,14 @@ def _iteration_time(
     return Executor(topology, plan, options=ExecOptions()).run().makespan
 
 
+def _run_cell(payload) -> "FaultReport":
+    """Process-pool worker for one (MTTF, scheme) cell (top-level for
+    pickling); only the fault report travels back to the parent."""
+    model, topology, config, plan, iterations = payload
+    result = run_resilient(model, topology, config, plan, iterations=iterations)
+    return result.faults
+
+
 def run(
     model: ModelGraph | None = None,
     num_gpus: int = 4,
@@ -65,9 +78,15 @@ def run(
     transient_probability: float = 0.02,
     seed: int = 1,
     batch: BatchConfig | None = None,
+    jobs: int = 1,
 ) -> list[DegradationRow]:
     """Sweep fault rates over every scheme pair; rows are grouped by
-    MTTF so the table reads as Fig.-style columns per scheme."""
+    MTTF so the table reads as Fig.-style columns per scheme.
+
+    Every (MTTF, scheme) cell is an independent resilient run whose
+    fault plan is fully determined by ``seed``, so with ``jobs > 1``
+    the cells fan out over a process pool; results come back in cell
+    order, keeping the table byte-identical to a serial sweep."""
     model = model if model is not None else zoo.synthetic_uniform(num_layers=8)
     topology = presets.gtx1080ti_server(num_gpus=num_gpus)
     batch = batch if batch is not None else BatchConfig()
@@ -77,45 +96,55 @@ def run(
         for scheme in schemes
     }
 
+    cells: list[tuple[float, str]] = [
+        (mttf, scheme) for mttf in mttf_iters for scheme in schemes
+    ]
+    payloads = []
+    for mttf, scheme in cells:
+        faults: tuple = ()
+        if transient_probability > 0:
+            faults = (
+                TransientTransferError(probability=transient_probability),
+            )
+        if mttf != float("inf"):
+            # MTTF measured in this scheme's own iteration times, so
+            # every scheme faces proportionally equal fault pressure.
+            horizon = iter_time[scheme] * iterations
+            plan = mttf_loss_plan(
+                [g.name for g in topology.gpus()],
+                mttf=mttf * iter_time[scheme],
+                horizon=horizon,
+                seed=seed,
+                extra=faults,
+            )
+        else:
+            plan = FaultPlan(seed=seed, faults=faults)
+        config = HarmonyConfig(scheme, batch=batch)
+        payloads.append((model, topology, config, plan, iterations))
+
+    if jobs > 1 and len(payloads) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+            # pool.map preserves input order: parallel rows land in the
+            # same (mttf, scheme) order the serial loop produces.
+            reports = list(pool.map(_run_cell, payloads))
+    else:
+        reports = [_run_cell(p) for p in payloads]
+
     rows: list[DegradationRow] = []
-    for mttf in mttf_iters:
-        for scheme in schemes:
-            faults: tuple = ()
-            if transient_probability > 0:
-                faults = (
-                    TransientTransferError(probability=transient_probability),
-                )
-            if mttf != float("inf"):
-                # MTTF measured in this scheme's own iteration times, so
-                # every scheme faces proportionally equal fault pressure.
-                horizon = iter_time[scheme] * iterations
-                plan = mttf_loss_plan(
-                    [g.name for g in topology.gpus()],
-                    mttf=mttf * iter_time[scheme],
-                    horizon=horizon,
-                    seed=seed,
-                    extra=faults,
-                )
-            else:
-                plan = FaultPlan(seed=seed, faults=faults)
-            config = HarmonyConfig(scheme, batch=batch)
-            result = run_resilient(
-                model, topology, config, plan, iterations=iterations
+    for (mttf, scheme), report in zip(cells, reports):
+        rows.append(
+            DegradationRow(
+                scheme=scheme,
+                mttf_iters=mttf,
+                losses=len(report.device_losses),
+                replans=report.replans,
+                iterations_redone=report.iterations_redone,
+                retried_gb=report.retried_bytes / GB,
+                goodput=report.goodput,
+                goodput_ratio=report.goodput_ratio,
+                recovered=report.recovered,
             )
-            report = result.faults
-            rows.append(
-                DegradationRow(
-                    scheme=scheme,
-                    mttf_iters=mttf,
-                    losses=len(report.device_losses),
-                    replans=report.replans,
-                    iterations_redone=report.iterations_redone,
-                    retried_gb=report.retried_bytes / GB,
-                    goodput=report.goodput,
-                    goodput_ratio=report.goodput_ratio,
-                    recovered=report.recovered,
-                )
-            )
+        )
     return rows
 
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from repro.errors import TopologyError
 from repro.hardware.device import DeviceKind, DeviceSpec
 from repro.hardware.links import LinkSpec
+from repro.util.lazy import lazy_attr
 
 
 @dataclass(frozen=True)
@@ -35,13 +36,15 @@ class Route:
     dst: str
     links: tuple[LinkSpec, ...]
 
-    @property
+    # Cached: routes are immutable and cached per topology, and these two
+    # are read on every transfer over the route.
+    @lazy_attr
     def bottleneck_bandwidth(self) -> float:
         if not self.links:
             return float("inf")
         return min(link.bandwidth_bytes_per_sec for link in self.links)
 
-    @property
+    @lazy_attr
     def total_latency(self) -> float:
         return sum(link.latency_sec for link in self.links)
 

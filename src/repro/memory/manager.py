@@ -19,7 +19,6 @@ engine decides when each operation's transfer occupies which links.
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -33,9 +32,10 @@ from repro.tensors.registry import TensorRegistry
 from repro.tensors.state import TensorRuntime, TensorState
 from repro.tensors.tensor import TensorKind, TensorMeta
 from repro.units import fmt_bytes
+from repro.util.enums import FastEnum
 
 
-class MemOpKind(enum.Enum):
+class MemOpKind(FastEnum):
     SWAP_OUT = "swap_out"   # device -> host transfer
     SWAP_IN = "swap_in"     # host -> device transfer
     P2P = "p2p"             # device -> device transfer
@@ -47,7 +47,7 @@ class MemOpKind(enum.Enum):
         return self.value
 
 
-@dataclass
+@dataclass(slots=True)
 class MemOp:
     """One planned memory operation on one tensor.
 
@@ -116,9 +116,10 @@ class MemoryManager:
 
 
     def _log_usage(self, device: str | None) -> None:
-        if device is None or device not in self.pools:
+        pool = self.pools.get(device)
+        if pool is None:
             return
-        self.usage_log[device].append((self.clock(), self.pools[device].used))
+        self.usage_log[device].append((self.clock(), pool.used))
 
     # -- residency planning ----------------------------------------------------
 
@@ -127,12 +128,13 @@ class MemoryManager:
         return self._use_seq
 
     def runtime(self, tid: int) -> TensorRuntime:
-        rt = self.runtimes.get(tid)
-        if rt is None:
+        try:
+            return self.runtimes[tid]
+        except KeyError:
             rt = TensorRuntime(self.registry.by_id(tid))
             self.runtimes[tid] = rt
             self._home[tid] = None
-        return rt
+            return rt
 
     def pool(self, device: str) -> DevicePool:
         try:
@@ -181,8 +183,11 @@ class MemoryManager:
         incoming: list[MemOp] = []
         incoming_bytes = 0.0
         seq = self._next_use()
-        for tid in touched:
-            rt = self.runtime(tid)
+        runtimes = self.runtimes
+        runtime = self.runtime
+        # get-or-create with a dict fast path: runtimes are always truthy.
+        rts = [runtimes.get(tid) or runtime(tid) for tid in touched]
+        for tid, rt in zip(touched, rts):
             rt.last_use = seq
             meta = rt.meta
             if tid in evicted_ids:
@@ -230,8 +235,8 @@ class MemoryManager:
                 )
 
         # Pin before selecting victims so this task's tensors survive.
-        for tid in touched:
-            self.runtime(tid).pinned += 1
+        for rt in rts:
+            rt.pinned += 1
 
         try:
             if self.policy.keep_resident:
@@ -250,8 +255,8 @@ class MemoryManager:
                         f"(capacity {fmt_bytes(self.pool(device).capacity)})"
                     )
         except CapacityError:
-            for tid in touched:
-                self.runtime(tid).pinned -= 1
+            for rt in rts:
+                rt.pinned -= 1
             raise
         return waits + evictions + incoming
 
@@ -264,8 +269,8 @@ class MemoryManager:
         not exist yet materialize directly in host memory."""
         ops: list[MemOp] = []
         seq = self._next_use()
-        for tid in touched:
-            rt = self.runtime(tid)
+        rts = [self.runtime(tid) for tid in touched]
+        for tid, rt in zip(touched, rts):
             rt.last_use = seq
             if rt.state is TensorState.ON_DEVICE:
                 ops.append(
@@ -289,8 +294,8 @@ class MemoryManager:
                 raise SimulationError(
                     f"host task {task.label} touches freed tensor {rt.meta.label}"
                 )
-        for tid in touched:
-            self.runtime(tid).pinned += 1
+        for rt in rts:
+            rt.pinned += 1
         return ops
 
     def _plan_evictions(
@@ -342,8 +347,9 @@ class MemoryManager:
         ``device`` — in-flight swap-outs and p2p moves away."""
         waits: list[MemOp] = []
         total = 0.0
+        runtimes = self.runtimes
         for tid in self.pool(device).resident_tensors():
-            rt = self.runtime(tid)
+            rt = runtimes[tid]
             leaving = rt.state is TensorState.SWAPPING_OUT or (
                 rt.state is TensorState.SWAPPING_IN and rt.device != device
             )
@@ -354,9 +360,10 @@ class MemoryManager:
 
     def _victim_order(self, device: str) -> list[TensorRuntime]:
         pool = self.pool(device)
+        runtimes = self.runtimes
         candidates = [
             rt
-            for rt in (self.runtime(tid) for tid in pool.resident_tensors())
+            for rt in (runtimes[tid] for tid in pool.resident_tensors())
             if rt.state is TensorState.ON_DEVICE and rt.pinned == 0
         ]
         if self.policy.eviction == "largest_first":
@@ -404,7 +411,7 @@ class MemoryManager:
     def op_begin(self, op: MemOp) -> bool:
         """Apply an op's start-of-transfer effects.  Returns False when
         the op has become a no-op (state already satisfied)."""
-        rt = self.runtime(op.tensor.tid)
+        rt = self.runtimes.get(op.tensor.tid) or self.runtime(op.tensor.tid)
         kind = op.kind
         if kind is MemOpKind.SWAP_OUT:
             if rt.state is not TensorState.ON_DEVICE:
@@ -417,7 +424,7 @@ class MemoryManager:
         if kind is MemOpKind.SWAP_IN:
             if rt.state is TensorState.ON_DEVICE and rt.device == op.dst:
                 return False
-            self.pool(op.dst).reserve(rt.meta.tid, rt.meta.size_bytes)
+            self.pools[op.dst].reserve(rt.meta.tid, rt.meta.size_bytes)
             rt.begin_swap_in(op.dst)
             self._log_usage(op.dst)
             return True
@@ -429,12 +436,12 @@ class MemoryManager:
                 # to a host fetch.
                 op.kind = MemOpKind.SWAP_IN
                 op.src = None
-                self.pool(op.dst).reserve(rt.meta.tid, rt.meta.size_bytes)
+                self.pools[op.dst].reserve(rt.meta.tid, rt.meta.size_bytes)
                 rt.begin_swap_in(op.dst)
                 self._log_usage(op.dst)
                 return True
             op.src = rt.device
-            self.pool(op.dst).reserve(rt.meta.tid, rt.meta.size_bytes)
+            self.pools[op.dst].reserve(rt.meta.tid, rt.meta.size_bytes)
             rt.begin_move(op.dst)
             self._log_usage(op.dst)
             return True
@@ -452,58 +459,58 @@ class MemoryManager:
                 return True
             device = rt.device
             rt.drop()
-            self.pool(device).release(rt.meta.tid)
+            self.pools[device].release(rt.meta.tid)
             self._log_usage(device)
             self.stats.record(device, rt.meta.kind, Direction.DROP, rt.meta.size_bytes)
             return True
         if kind is MemOpKind.ALLOC:
-            self.pool(op.dst).reserve(rt.meta.tid, rt.meta.size_bytes)
+            self.pools[op.dst].reserve(rt.meta.tid, rt.meta.size_bytes)
             rt.materialize_on_device(op.dst)
             self._log_usage(op.dst)
-            self._assign_home(rt.meta.tid, op.dst)
+            self._assign_home(rt.meta.tid, op.dst, rt.meta.size_bytes)
             return True
         raise SimulationError(f"op_begin on unexpected op {op}")
 
     def op_finish(self, op: MemOp) -> None:
         """Apply an op's end-of-transfer effects and wake waiters."""
-        rt = self.runtime(op.tensor.tid)
+        rt = self.runtimes.get(op.tensor.tid) or self.runtime(op.tensor.tid)
         meta = rt.meta
         if op.kind is MemOpKind.SWAP_OUT:
             rt.finish_swap_out()
             rt.host_device = self.topology.host_of(op.src).name
-            self.pool(op.src).release(meta.tid)
+            self.pools[op.src].release(meta.tid)
             self._log_usage(op.src)
             self.stats.record(op.src, meta.kind, Direction.SWAP_OUT, meta.size_bytes)
         elif op.kind is MemOpKind.SWAP_IN:
             rt.finish_swap_in()
             rt.dirty = False  # host copy is current right after a swap-in
             self.stats.record(op.dst, meta.kind, Direction.SWAP_IN, meta.size_bytes)
-            self._assign_home(meta.tid, op.dst)
+            self._assign_home(meta.tid, op.dst, meta.size_bytes)
         elif op.kind is MemOpKind.P2P:
             rt.finish_swap_in()
-            self.pool(op.src).release(meta.tid)
+            self.pools[op.src].release(meta.tid)
             self._log_usage(op.src)
             self.stats.record(op.dst, meta.kind, Direction.P2P_IN, meta.size_bytes)
             self.stats.record(op.src, meta.kind, Direction.P2P_OUT, meta.size_bytes)
-            self._assign_home(meta.tid, op.dst)
+            self._assign_home(meta.tid, op.dst, meta.size_bytes)
         else:
             raise SimulationError(f"op_finish on non-transfer op {op}")
-        self._fire_waiters(meta.tid)
+        if self._waiters:  # guard: the waiter map is almost always empty
+            self._fire_waiters(meta.tid)
 
-    def _assign_home(self, tid: int, device: str) -> None:
+    def _assign_home(self, tid: int, device: str, size: float) -> None:
         old = self._home[tid]
         if old == device:
             return
-        size = self.runtime(tid).meta.size_bytes
         if old is not None:
-            self.pool(old).unassign_demand(size)
-        self.pool(device).assign_demand(size)
+            self.pools[old].unassign_demand(size)
+        self.pools[device].assign_demand(size)
         self._home[tid] = device
 
-    def _unassign_home(self, tid: int) -> None:
+    def _unassign_home(self, tid: int, size: float) -> None:
         old = self._home[tid]
         if old is not None:
-            self.pool(old).unassign_demand(self.runtime(tid).meta.size_bytes)
+            self.pools[old].unassign_demand(size)
             self._home[tid] = None
 
     # -- execution-time victim substitution ----------------------------------------
@@ -538,8 +545,10 @@ class MemoryManager:
         self._waiters.setdefault(tid, []).append(callback)
 
     def _fire_waiters(self, tid: int) -> None:
-        for callback in self._waiters.pop(tid, []):
-            callback()
+        callbacks = self._waiters.pop(tid, None)
+        if callbacks:
+            for callback in callbacks:
+                callback()
 
     def in_flight(self, tid: int) -> bool:
         return self.runtime(tid).in_flight
@@ -552,20 +561,25 @@ class MemoryManager:
         touched = list(tensors) if tensors is not None else list(task.touched)
         touched_set = set(touched)
         seq = self._next_use()
+        runtimes = self.runtimes
+        runtime = self.runtime
+        waiters = self._waiters
+        rt_of = {}
         for tid in touched:
-            rt = self.runtime(tid)
+            rt = runtimes.get(tid) or runtime(tid)
+            rt_of[tid] = rt
             if rt.pinned <= 0:
                 raise SimulationError(
                     f"task {task.label}: unpinning unpinned tensor {rt.meta.label}"
                 )
             rt.pinned -= 1
             rt.last_use = seq
-            if rt.pinned == 0:
+            if rt.pinned == 0 and waiters:
                 self._fire_waiters(tid)
         for tid in task.writes:
             if tid not in touched_set:
                 continue
-            rt = self.runtime(tid)
+            rt = rt_of[tid]
             if rt.state is TensorState.ON_DEVICE:
                 rt.mark_written()
         for tid in task.frees:
@@ -582,9 +596,9 @@ class MemoryManager:
             raise SimulationError(f"freeing in-flight tensor {rt.meta.label}")
         rt.free()
         if device is not None:
-            self.pool(device).release(tid)
+            self.pools[device].release(tid)
             self._log_usage(device)
-        self._unassign_home(tid)
+        self._unassign_home(tid, rt.meta.size_bytes)
 
     # -- end-of-iteration flush ------------------------------------------------------
 

@@ -10,15 +10,15 @@ closed-form model — fall out of one ledger.
 
 from __future__ import annotations
 
-import enum
 from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.tensors.tensor import TensorKind
 from repro.units import GB
+from repro.util.enums import FastEnum
 
 
-class Direction(enum.Enum):
+class Direction(FastEnum):
     SWAP_IN = "swap_in"        # host -> device over the host link
     SWAP_OUT = "swap_out"      # device -> host over the host link
     P2P_IN = "p2p_in"          # device -> device (receiving side)

@@ -7,10 +7,10 @@ names those phases for the cost model, swap model, and task system.
 
 from __future__ import annotations
 
-import enum
+from repro.util.enums import FastEnum
 
 
-class Phase(enum.Enum):
+class Phase(FastEnum):
     FORWARD = "fwd"
     BACKWARD = "bwd"
     UPDATE = "upd"

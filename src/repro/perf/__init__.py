@@ -1,0 +1,32 @@
+"""Performance layer: run fingerprinting, caching, and parallel sweeps.
+
+The CLI commands and the tuner all reduce to the same shape of work —
+evaluate many independent ``(model, topology, config)`` points — and
+this package gives that shape its economics:
+
+* :mod:`repro.perf.fingerprint` — a stable content address for one run
+  spec (canonical hash of config + topology + model graph + a scheduler
+  version salt), so "the same simulation" is a checkable identity.
+* :mod:`repro.perf.cache` — :class:`RunCache`, an in-memory tier with
+  an optional on-disk tier keyed by those fingerprints.  A cache hit is
+  byte-identical to a fresh run (tested) because entries round-trip
+  through the same serialized form.
+* :mod:`repro.perf.runner` — :class:`SweepRunner`, which fans a list of
+  :class:`RunSpec` out across a ``ProcessPoolExecutor`` with
+  deterministic (submission-order) result ordering, consulting the
+  cache first.
+* :mod:`repro.perf.bench` — the tracked benchmark harness behind
+  ``python -m repro bench`` and the repo-root ``BENCH_sim.json``.
+"""
+
+from repro.perf.cache import RunCache
+from repro.perf.fingerprint import SCHEDULER_VERSION, fingerprint
+from repro.perf.runner import RunSpec, SweepRunner
+
+__all__ = [
+    "RunCache",
+    "RunSpec",
+    "SweepRunner",
+    "SCHEDULER_VERSION",
+    "fingerprint",
+]

@@ -1,0 +1,275 @@
+"""The tracked benchmark harness behind ``python -m repro bench``.
+
+Measures four things on the paper's Fig. 4 workload (4 layers x 100 MB
+on two 550 MB GPUs, harmony-pp, 2 microbatches) and a scaled variant
+(8 layers, 8 microbatches):
+
+* **single-run wall time** — build + plan + simulate, min over
+  repeats (min is the right statistic for a noisy shared host: every
+  source of interference only adds time);
+* **events/sec** — engine events executed per wall-clock second, the
+  size-independent throughput figure the CI regression gate tracks;
+* **cache behaviour** — fresh-run vs cache-hit latency and the hit
+  rate counters of a :class:`~repro.perf.cache.RunCache`;
+* **parallel-sweep scaling** — a small scheme x microbatch grid run
+  serially and through :class:`~repro.perf.runner.SweepRunner` with
+  ``--jobs N``.
+
+``write_json`` emits ``BENCH_sim.json`` (committed at the repo root)
+so the repo carries a perf trajectory; ``check_regression`` is the CI
+gate — it fails only when measured events/sec falls more than 30%
+below the committed *baseline* (pre-optimization) figure, a one-sided
+test chosen because CI runners are typically faster than the machine
+that recorded the baseline, and absolute cross-machine comparisons
+only support a conservative lower bound.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+
+from repro.core.config import HarmonyConfig, Parallelism
+from repro.core.session import HarmonySession
+from repro.errors import ReproError
+from repro.hardware import presets
+from repro.hardware.device import DeviceKind, DeviceSpec
+from repro.models import zoo
+from repro.perf.cache import RunCache
+from repro.perf.fingerprint import SCHEDULER_VERSION, fingerprint
+from repro.perf.runner import RunSpec, SweepRunner
+from repro.schedulers.base import BatchConfig
+from repro.units import MB, TFLOP
+
+SCHEMA = 1
+
+#: Pre-optimization reference numbers, measured at the commit preceding
+#: the performance layer with the same harness methodology (fresh
+#: subprocess, interleaved A/B with the optimized tree, min over
+#: repeats) on the machine that recorded the committed BENCH_sim.json.
+#: Event counts are identical pre/post (golden traces unchanged), so
+#: baseline events/sec is derived from the same event count.
+PRE_PR_BASELINE = {
+    "commit": "d53bb73",
+    "note": (
+        "pre-optimization simulator, same host and methodology as "
+        "'current' in the committed BENCH_sim.json (min wall time over "
+        "7 interleaved A/B rounds of 30/8 repeats)"
+    ),
+    "fig4": {"wall_sec": 2.410e-3},
+    "fig4_scaled": {"wall_sec": 17.711e-3},
+}
+
+
+def _fig4_workload(num_layers: int = 4, num_microbatches: int = 2) -> RunSpec:
+    """The Fig. 4 setting (see :mod:`repro.experiments.fig4_schedule`):
+    a model whose training state dwarfs two small GPUs."""
+    model = zoo.synthetic_uniform(
+        num_layers=num_layers,
+        param_bytes_per_layer=100 * MB,
+        activation_bytes=25 * MB,
+    )
+    topology = presets.commodity_server(
+        num_gpus=2,
+        gpu_factory=lambda name: DeviceSpec(
+            name, DeviceKind.GPU, 550 * MB, 4.5 * TFLOP
+        ),
+    )
+    config = HarmonyConfig(
+        parallelism=Parallelism.HARMONY_PP,
+        batch=BatchConfig(microbatch_size=1, num_microbatches=num_microbatches),
+    )
+    return RunSpec(model, topology, config, label=f"fig4-{num_layers}L-{num_microbatches}mb")
+
+
+def _sweep_grid(quick: bool) -> list[RunSpec]:
+    counts = (2, 4) if quick else (2, 4, 6, 8)
+    specs = []
+    for num_microbatches in counts:
+        for scheme in ("harmony-pp", "pp-baseline"):
+            spec = _fig4_workload(num_microbatches=num_microbatches)
+            spec.config = HarmonyConfig(
+                parallelism=scheme, batch=spec.config.batch
+            )
+            spec.label = f"{scheme}-{num_microbatches}mb"
+            specs.append(spec)
+    return specs
+
+
+def _time_single(spec: RunSpec, repeats: int) -> dict:
+    """Min wall time of a full fresh experiment (build -> plan -> run)."""
+    best = float("inf")
+    events = 0
+    trace_events = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        session = HarmonySession(spec.model, spec.topology, spec.config)
+        result = session.run()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+        events = result.events_processed
+        trace_events = len(result.trace.events)
+    return {
+        "wall_sec": best,
+        "events": events,
+        "trace_events": trace_events,
+        "events_per_sec": events / best if best > 0 else 0.0,
+        "repeats": repeats,
+    }
+
+
+def _time_cache(spec: RunSpec, lookups: int = 5) -> dict:
+    cache = RunCache()
+    key = "result:" + fingerprint(spec.model, spec.topology, spec.config)
+
+    t0 = time.perf_counter()
+    result = HarmonySession(spec.model, spec.topology, spec.config).run()
+    fresh_sec = time.perf_counter() - t0
+    cache.put(key, result)
+
+    best_hit = float("inf")
+    for _ in range(lookups):
+        t0 = time.perf_counter()
+        hit = cache.get(key)
+        best_hit = min(best_hit, time.perf_counter() - t0)
+    assert hit is not None
+    return {
+        "fresh_sec": fresh_sec,
+        "hit_sec": best_hit,
+        "hit_speedup": fresh_sec / best_hit if best_hit > 0 else 0.0,
+        "hit_rate": cache.hit_rate,
+        "counters": cache.counters(),
+    }
+
+
+def _time_sweep(jobs: int, quick: bool) -> dict:
+    specs = _sweep_grid(quick)
+
+    t0 = time.perf_counter()
+    serial = SweepRunner(jobs=1).run_all(specs)
+    serial_sec = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = SweepRunner(jobs=jobs).run_all(specs)
+    parallel_sec = time.perf_counter() - t0
+
+    if [r.makespan for r in serial] != [r.makespan for r in parallel]:
+        raise ReproError("parallel sweep diverged from the serial sweep")
+    return {
+        "points": len(specs),
+        "jobs": jobs,
+        "serial_sec": serial_sec,
+        "parallel_sec": parallel_sec,
+        "scaling": serial_sec / parallel_sec if parallel_sec > 0 else 0.0,
+    }
+
+
+def run_bench(quick: bool = False, jobs: int = 4) -> dict:
+    """The full harness; returns the ``BENCH_sim.json`` payload."""
+    single_repeats = 5 if quick else 20
+    scaled_repeats = 3 if quick else 8
+    fig4 = _time_single(_fig4_workload(), single_repeats)
+    scaled = _time_single(
+        _fig4_workload(num_layers=8, num_microbatches=8), scaled_repeats
+    )
+    current = {
+        "fig4": fig4,
+        "fig4_scaled": scaled,
+        "cache": _time_cache(_fig4_workload()),
+        "sweep": _time_sweep(jobs, quick),
+    }
+    baseline = json.loads(json.dumps(PRE_PR_BASELINE))  # deep copy
+    # Golden traces are unchanged, so pre/post execute the same events:
+    # baseline events/sec follows from its wall time and today's count.
+    for name in ("fig4", "fig4_scaled"):
+        wall = baseline[name]["wall_sec"]
+        baseline[name]["events_per_sec"] = (
+            current[name]["events"] / wall if wall > 0 else 0.0
+        )
+    return {
+        "schema": SCHEMA,
+        "scheduler_version": SCHEDULER_VERSION,
+        "quick": quick,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "baseline": baseline,
+        "current": current,
+        "speedup_vs_baseline": {
+            name: baseline[name]["wall_sec"] / current[name]["wall_sec"]
+            for name in ("fig4", "fig4_scaled")
+            if current[name]["wall_sec"] > 0
+        },
+    }
+
+
+def render(report: dict) -> str:
+    cur = report["current"]
+    speedup = report["speedup_vs_baseline"]
+    lines = [
+        f"benchmark harness (scheduler_version={report['scheduler_version']}, "
+        f"{'quick' if report['quick'] else 'full'} mode)",
+        "",
+        "single run (build + plan + simulate, min wall time):",
+    ]
+    for name in ("fig4", "fig4_scaled"):
+        c = cur[name]
+        lines.append(
+            f"  {name:<12} {c['wall_sec'] * 1e3:8.3f} ms   "
+            f"{c['events_per_sec']:>12,.0f} events/s   "
+            f"({c['events']} events, x{speedup.get(name, 0):.2f} vs "
+            f"pre-optimization baseline)"
+        )
+    cache = cur["cache"]
+    lines += [
+        "",
+        "run cache:",
+        f"  fresh {cache['fresh_sec'] * 1e3:.3f} ms -> hit "
+        f"{cache['hit_sec'] * 1e3:.3f} ms "
+        f"(x{cache['hit_speedup']:.0f}), hit rate "
+        f"{100 * cache['hit_rate']:.0f}%",
+    ]
+    sweep = cur["sweep"]
+    lines += [
+        "",
+        f"sweep scaling ({sweep['points']} grid points):",
+        f"  jobs=1 {sweep['serial_sec']:.3f} s -> jobs={sweep['jobs']} "
+        f"{sweep['parallel_sec']:.3f} s (x{sweep['scaling']:.2f})",
+    ]
+    return "\n".join(lines)
+
+
+def write_json(report: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def check_regression(
+    report: dict, committed_path: str, threshold: float = 0.30
+) -> int:
+    """CI gate: measured fig4 events/sec must not fall more than
+    ``threshold`` below the committed baseline figure.  Returns a
+    process exit code (0 ok, 1 regression)."""
+    try:
+        with open(committed_path) as fh:
+            committed = json.load(fh)
+    except OSError as exc:
+        print(f"bench check: cannot read {committed_path}: {exc}", file=sys.stderr)
+        return 1
+    reference = committed["baseline"]["fig4"].get("events_per_sec")
+    if not reference:
+        wall = committed["baseline"]["fig4"]["wall_sec"]
+        reference = committed["current"]["fig4"]["events"] / wall
+    measured = report["current"]["fig4"]["events_per_sec"]
+    floor = (1.0 - threshold) * reference
+    verdict = "ok" if measured >= floor else "REGRESSION"
+    print(
+        f"bench check: {measured:,.0f} events/s vs committed baseline "
+        f"{reference:,.0f} (floor {floor:,.0f}): {verdict}"
+    )
+    return 0 if measured >= floor else 1

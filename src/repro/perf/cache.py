@@ -1,0 +1,162 @@
+"""The content-addressed run cache.
+
+:class:`RunCache` maps fingerprints (see
+:mod:`repro.perf.fingerprint`) to serialized run payloads — usually
+:class:`~repro.sim.result.RunResult`, but any picklable value (the
+tuner caches :class:`~repro.tuner.profiler.ProfilePoint`).
+
+Two tiers:
+
+* **memory** — always on; entries live for the process.
+* **disk** — optional, rooted at ``cache_dir`` (the CLI's
+  ``--cache-dir``, conventionally ``~/.cache/repro``); entries survive
+  across processes and are written atomically (temp file + rename) so
+  concurrent sweep workers never observe torn blobs.
+
+Every lookup stores and returns payloads through the *same* serialized
+form (``pickle.dumps`` at store, ``pickle.loads`` at hit), which is
+what makes the byte-identical guarantee testable: a hit is a fresh
+deserialization, never a shared mutable object that an earlier caller
+may have decorated (e.g. attached an audit report to).
+
+Invalidation is by construction: the fingerprint already contains the
+scheduler version salt, so semantics changes miss instead of serving
+stale entries.  The ``invalidations`` counter ledgers the one remaining
+case — a disk entry that exists but fails to load (corrupt, truncated,
+or written by an incompatible Python) is deleted and treated as a miss.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Any, Callable
+
+
+class RunCache:
+    """In-memory (+ optional on-disk) fingerprint -> payload cache."""
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None):
+        self._memory: dict[str, bytes] = {}
+        self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            os.makedirs(self.cache_dir, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.invalidations = 0
+
+    # -- tiers -----------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        # Two-level fan-out keeps directories small on big sweeps.
+        return os.path.join(self.cache_dir, key[:2], f"{key}.pkl")
+
+    def _disk_read(self, key: str) -> bytes | None:
+        if self.cache_dir is None:
+            return None
+        try:
+            with open(self._path(key), "rb") as fh:
+                return fh.read()
+        except OSError:
+            return None
+
+    def _disk_write(self, key: str, blob: bytes) -> None:
+        if self.cache_dir is None:
+            return
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- public ----------------------------------------------------------
+
+    def get(self, key: str) -> Any | None:
+        """The cached payload for ``key``, freshly deserialized, or
+        ``None`` on a miss.  Counts one hit or one miss."""
+        blob = self._memory.get(key)
+        if blob is None:
+            blob = self._disk_read(key)
+            if blob is not None:
+                try:
+                    payload = pickle.loads(blob)
+                except Exception:
+                    # Torn/incompatible disk entry: drop it.
+                    self.invalidations += 1
+                    try:
+                        os.unlink(self._path(key))
+                    except OSError:
+                        pass
+                    self.misses += 1
+                    return None
+                self._memory[key] = blob  # promote to the memory tier
+                self.hits += 1
+                return payload
+        if blob is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return pickle.loads(blob)
+
+    def put(self, key: str, payload: Any) -> None:
+        """Serialize and store ``payload`` in every enabled tier."""
+        blob = pickle.dumps(payload)
+        self._memory[key] = blob
+        self._disk_write(key, blob)
+        self.stores += 1
+
+    def get_or_run(self, key: str, compute: Callable[[], Any]) -> Any:
+        """``get(key)``, falling back to ``compute()`` + ``put``.
+
+        The returned value on a miss is a cache round-trip of the
+        computed payload, so hit and miss callers observe identical
+        (deserialized) objects.
+        """
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        payload = compute()
+        self.put(key, payload)
+        return pickle.loads(self._memory[key])
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or self._disk_read(key) is not None
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear(self) -> None:
+        """Drop the memory tier (disk entries are left in place)."""
+        self._memory.clear()
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+        }
+
+    def describe(self) -> str:
+        tier = f", disk={self.cache_dir}" if self.cache_dir else ""
+        return (
+            f"run cache: {self.hits} hits / {self.misses} misses "
+            f"({100 * self.hit_rate:.0f}%), {len(self._memory)} entries"
+            f"{tier}"
+        )

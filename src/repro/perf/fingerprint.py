@@ -1,0 +1,123 @@
+"""Content addressing for simulation runs.
+
+A run is fully determined by its inputs — the model graph, the server
+topology, and the :class:`~repro.core.config.HarmonyConfig` — plus the
+simulator's own semantics.  :func:`fingerprint` hashes a canonical form
+of all four into a stable hex digest, so two specs collide exactly when
+they would simulate identically:
+
+* every dataclass field that shapes the run is included (enums by
+  value, floats by ``repr`` so no precision is lost);
+* derived caches and memoized attributes (leading-underscore fields,
+  ``lazy_attr`` values) are excluded;
+* :data:`SCHEDULER_VERSION` is mixed in as a salt — bump it whenever a
+  change alters what any scheduler or the executor produces, and every
+  previously cached run silently misses instead of serving stale
+  results.
+
+Anything unhashable (a user-supplied callable smuggled into a config)
+raises :class:`FingerprintError`; callers treat such specs as
+uncacheable rather than guessing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+from repro.core.config import HarmonyConfig
+from repro.errors import ReproError
+from repro.hardware.topology import Topology
+from repro.models.graph import ModelGraph
+
+#: Salt mixed into every fingerprint.  Bump on any change to scheduler,
+#: decomposer, executor, memory-manager, or cost-model *semantics* (a
+#: change that could alter a RunResult); pure refactors keep it.
+SCHEDULER_VERSION = "2026.08-pr3"
+
+
+class FingerprintError(ReproError):
+    """The spec contains something with no canonical form."""
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to JSON-serializable primitives, deterministically."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips doubles exactly; json's float formatting
+        # also does, but being explicit keeps the canonical form
+        # independent of the serializer.
+        return ["f", repr(obj)]
+    if isinstance(obj, enum.Enum):
+        return ["enum", type(obj).__name__, _canonical(obj.value)]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+            if not f.name.startswith("_")
+        }
+        return ["dc", type(obj).__name__, fields]
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(_canonical(item) for item in obj)
+    if isinstance(obj, dict):
+        items = [(_canonical(k), _canonical(v)) for k, v in obj.items()]
+        items.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+        return ["map", items]
+    raise FingerprintError(
+        f"cannot canonicalize {type(obj).__name__!r} for fingerprinting"
+    )
+
+
+def _canonical_topology(topology: Topology) -> Any:
+    """The topology's identity: nodes, link specs, and wiring.
+
+    ``Topology`` is a dataclass, but its route/host caches and adjacency
+    are derived or order-sensitive representations, so the canonical
+    form is rebuilt from first principles: sorted devices, sorted
+    switches, and sorted (link spec, endpoint pair) edges.
+    """
+    edges: dict[str, tuple[str, str]] = {}
+    for node, neighbors in topology._adjacency.items():
+        for neighbor, link_name in neighbors:
+            edges[link_name] = tuple(sorted((node, neighbor)))
+    return {
+        "name": topology.name,
+        "devices": [
+            _canonical(topology.devices[name]) for name in sorted(topology.devices)
+        ],
+        "switches": sorted(topology.switches),
+        "links": [
+            [_canonical(topology.links[name]), list(edges.get(name, ()))]
+            for name in sorted(topology.links)
+        ],
+    }
+
+
+def canonical_spec(
+    model: ModelGraph, topology: Topology, config: HarmonyConfig
+) -> dict:
+    """The full canonical form of one run spec (pre-hash, for tests)."""
+    return {
+        "version": SCHEDULER_VERSION,
+        "model": _canonical(model),
+        "topology": _canonical_topology(topology),
+        "config": _canonical(config),
+    }
+
+
+def fingerprint(
+    model: ModelGraph, topology: Topology, config: HarmonyConfig
+) -> str:
+    """Stable content address of one run spec (sha256 hex digest)."""
+    blob = json.dumps(
+        canonical_spec(model, topology, config),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

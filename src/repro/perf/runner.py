@@ -1,0 +1,124 @@
+"""Parallel sweep execution with deterministic ordering.
+
+A sweep is a list of :class:`RunSpec` — independent ``(model,
+topology, config)`` points.  :class:`SweepRunner` evaluates them:
+
+* cache first — specs whose fingerprint is already in the
+  :class:`~repro.perf.cache.RunCache` never reach a worker;
+* misses fan out across a ``ProcessPoolExecutor`` (``jobs > 1``) or
+  run inline (``jobs = 1``, also the fallback when the platform cannot
+  fork/spawn workers);
+* results come back **in submission order** regardless of completion
+  order — the determinism rule that makes ``--jobs 4`` output
+  byte-identical to ``--jobs 1``.
+
+Workers re-raise nothing: each returns either the result or the
+:class:`~repro.errors.ReproError` the simulation raised, and the
+parent re-raises (default) or hands exceptions back in-slot
+(``return_exceptions=True`` — how ``compare`` reports infeasible
+schemes without abandoning the sweep).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.config import HarmonyConfig
+from repro.errors import ReproError
+from repro.hardware.topology import Topology
+from repro.models.graph import ModelGraph
+from repro.perf.cache import RunCache
+from repro.perf.fingerprint import FingerprintError, fingerprint
+from repro.sim.result import RunResult
+
+
+@dataclass
+class RunSpec:
+    """One point of a sweep."""
+
+    model: ModelGraph
+    topology: Topology
+    config: HarmonyConfig = field(default_factory=HarmonyConfig)
+    label: str = ""
+
+
+def _execute_spec(spec: RunSpec) -> RunResult | ReproError:
+    """Worker entry point: simulate one spec, returning (never raising)
+    domain errors so one infeasible point cannot poison the pool."""
+    # Imported here, not at module top: workers import this module by
+    # name, and the session layer pulls in the full scheduler stack.
+    from repro.core.session import HarmonySession
+
+    try:
+        return HarmonySession(spec.model, spec.topology, spec.config).run()
+    except ReproError as exc:
+        return exc
+
+
+class SweepRunner:
+    """Evaluate run specs across processes, results in spec order."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: RunCache | None = None,
+    ):
+        if jobs < 1:
+            raise ReproError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+
+    def _key(self, spec: RunSpec) -> str | None:
+        if self.cache is None:
+            return None
+        try:
+            return "result:" + fingerprint(spec.model, spec.topology, spec.config)
+        except FingerprintError:
+            return None  # uncacheable spec; simulate it every time
+
+    def run_all(
+        self, specs: list[RunSpec], return_exceptions: bool = False
+    ) -> list[RunResult | ReproError]:
+        """All specs' results, index-aligned with ``specs``.
+
+        With ``return_exceptions`` the slot of a failed spec holds the
+        :class:`ReproError` instead; otherwise the first failure (in
+        spec order) is raised after the sweep drains.
+        """
+        results: list[RunResult | ReproError | None] = [None] * len(specs)
+        pending: list[int] = []
+        for i, spec in enumerate(specs):
+            key = self._key(spec)
+            cached = self.cache.get(key) if key is not None else None
+            if cached is not None:
+                results[i] = cached
+            else:
+                pending.append(i)
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                computed = [_execute_spec(specs[i]) for i in pending]
+            else:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    # pool.map preserves input order — completion order
+                    # never leaks into the result list.
+                    computed = list(
+                        pool.map(_execute_spec, [specs[i] for i in pending])
+                    )
+            for i, outcome in zip(pending, computed):
+                results[i] = outcome
+                key = self._key(specs[i])
+                if key is not None and isinstance(outcome, RunResult):
+                    self.cache.put(key, outcome)
+
+        if not return_exceptions:
+            for outcome in results:
+                if isinstance(outcome, ReproError):
+                    raise outcome
+        return results  # type: ignore[return-value]
+
+    def describe(self) -> str:
+        cache = f"; {self.cache.describe()}" if self.cache is not None else ""
+        return f"sweep runner: jobs={self.jobs}{cache}"

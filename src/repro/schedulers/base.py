@@ -80,7 +80,10 @@ class Scheduler(abc.ABC):
         for task in itasks.graph:
             if task.kind is TaskKind.COMPUTE and task.device is None:
                 raise SchedulingError(f"task {task.label} left unplaced by {self.name}")
-        plan = Plan(
+        # Not validated here: the executor validates every plan it is
+        # given (Plan.validate walks the whole graph and device orders,
+        # and running it twice per simulation is measurable).
+        return Plan(
             label=self.name,
             graph=itasks.graph,
             registry=itasks.registry,
@@ -91,8 +94,6 @@ class Scheduler(abc.ABC):
             microbatch_size=itasks.microbatch_size,
             notes=notes or {},
         )
-        plan.validate()
-        return plan
 
     @staticmethod
     def _place_replica_tasks(

@@ -8,6 +8,10 @@ submitted while the resource is busy queues FIFO behind it.  This
 serialization is deliberately simple and is exactly the mechanism that
 surfaces the paper's Fig. 2(a) bottleneck: all GPUs' swap traffic
 queues on the one host uplink.
+
+Both classes sit on the simulator's innermost loop, so they use
+``__slots__`` and keep per-event allocation to the one heap tuple the
+ordering contract requires (see ``docs/INTERNALS.md`` §Performance).
 """
 
 from __future__ import annotations
@@ -28,23 +32,27 @@ class Engine:
     strikes nor inflates the clock.
     """
 
+    __slots__ = ("_heap", "now", "_seq", "_live", "events_processed")
+
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, bool, Callable[[], None]]] = []
-        self._now = 0.0
+        #: Current simulated time.  A plain attribute (not a property):
+        #: it is read on every schedule/log call in the inner loop.
+        self.now = 0.0
         self._seq = 0
         self._live = 0  # non-daemon events in the heap
-
-    @property
-    def now(self) -> float:
-        return self._now
+        #: Total events executed over the engine's lifetime — the
+        #: denominator-free counter behind the benchmark harness's
+        #: events/sec metric.
+        self.events_processed = 0
 
     def at(
         self, time: float, callback: Callable[[], None], daemon: bool = False
     ) -> None:
         """Schedule ``callback`` at absolute simulated ``time``."""
-        if time < self._now - 1e-12:
+        if time < self.now - 1e-12:
             raise SimulationError(
-                f"cannot schedule event in the past ({time} < {self._now})"
+                f"cannot schedule event in the past ({time} < {self.now})"
             )
         heapq.heappush(self._heap, (time, self._seq, daemon, callback))
         self._seq += 1
@@ -56,23 +64,27 @@ class Engine:
     ) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self.at(self._now + delay, callback, daemon=daemon)
+        self.at(self.now + delay, callback, daemon=daemon)
 
     def run(self, max_events: int = 100_000_000) -> None:
         """Drain the event heap (down to trailing daemon events)."""
+        heap = self._heap
+        pop = heapq.heappop
         events = 0
-        while self._heap and self._live > 0:
+        while heap and self._live > 0:
             if events >= max_events:
                 raise SimulationError(
-                    f"exceeded {max_events} events at t={self._now} with "
-                    f"{len(self._heap)} event(s) still pending; likely livelock"
+                    f"exceeded {max_events} events at t={self.now} with "
+                    f"{len(heap)} event(s) still pending; likely livelock"
                 )
-            time, __, daemon, callback = heapq.heappop(self._heap)
+            time, __, daemon, callback = pop(heap)
             if not daemon:
                 self._live -= 1
-            self._now = max(self._now, time)
+            if time > self.now:
+                self.now = time
             callback()
             events += 1
+        self.events_processed += events
 
     @property
     def pending_events(self) -> int:
@@ -81,6 +93,8 @@ class Engine:
 
 class ResourceTimeline:
     """A serially-shared resource: FIFO occupancy with busy accounting."""
+
+    __slots__ = ("name", "free_at", "busy_seconds")
 
     def __init__(self, name: str):
         self.name = name
@@ -91,7 +105,7 @@ class ResourceTimeline:
         """Queue ``duration`` of exclusive use; returns (start, end)."""
         if duration < 0:
             raise SimulationError(f"{self.name}: negative duration")
-        start = max(now, self.free_at)
+        start = now if now > self.free_at else self.free_at
         end = start + duration
         self.free_at = end
         self.busy_seconds += duration
@@ -103,9 +117,15 @@ class ResourceTimeline:
     ) -> tuple[float, float]:
         """Occupy several resources together (a multi-link route or a
         collective): starts when the last becomes free."""
+        if duration < 0:
+            names = ", ".join(r.name for r in resources) or "no resources"
+            raise SimulationError(f"{names}: negative duration")
         if not resources:
             return now, now + duration
-        start = max(now, max(r.free_at for r in resources))
+        start = now
+        for r in resources:
+            if r.free_at > start:
+                start = r.free_at
         end = start + duration
         for r in resources:
             r.free_at = end

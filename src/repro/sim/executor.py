@@ -76,7 +76,7 @@ class ExecOptions:
             raise SimulationError("iterations must be >= 1")
 
 
-@dataclass
+@dataclass(slots=True)
 class _DeviceState:
     name: str
     order: list[int]
@@ -122,6 +122,10 @@ class Executor:
             dev: _DeviceState(dev, list(order))
             for dev, order in plan.device_order.items()
         }
+        # Frozen sorted view: _advance_all runs after every task, and the
+        # device set never changes mid-run.
+        self._device_names = tuple(sorted(self.devstates))
+        self._tasks = plan.graph.tasks  # validated: every ordered tid exists
         self._device_of_replica = dict(plan.replica_device)
         self.done: set[int] = set()
         self._arrivals: dict[int, set[str]] = {}
@@ -135,7 +139,7 @@ class Executor:
         for iteration in range(self.options.iterations):
             if iteration > 0:
                 self._reset_iteration()
-            for dev in sorted(self.devstates):
+            for dev in self._device_names:
                 self._advance(dev)
             self.engine.run()
             self._check_complete()
@@ -184,7 +188,7 @@ class Executor:
     # -- scheduling loop ------------------------------------------------------
 
     def _advance_all(self) -> None:
-        for dev in sorted(self.devstates):
+        for dev in self._device_names:
             self._advance(dev)
 
     def _advance(self, dev: str) -> None:
@@ -192,7 +196,7 @@ class Executor:
         if st.run_idx >= len(st.order):
             return
         tid = st.order[st.run_idx]
-        task = self.plan.graph.task(tid)
+        task = self._tasks[tid]
         if task.kind is TaskKind.ALLREDUCE:
             self._advance_allreduce(dev, task)
             return
@@ -326,7 +330,7 @@ class Executor:
         if len(self.done) == len(self.plan.graph):
             return
         diagnostics = []
-        for dev in sorted(self.devstates):
+        for dev in self._device_names:
             st = self.devstates[dev]
             if st.run_idx < len(st.order):
                 task = self.plan.graph.task(st.order[st.run_idx])
@@ -382,6 +386,7 @@ class Executor:
             devices=devices,
             link_busy={name: tl.busy_seconds for name, tl in self.links.items()},
             num_tasks=len(self.plan.graph),
+            events_processed=self.engine.events_processed,
             memory_profile={
                 dev: list(log) for dev, log in self.manager.usage_log.items()
             },

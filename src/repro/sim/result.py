@@ -59,6 +59,9 @@ class RunResult:
     devices: dict[str, DeviceReport]
     link_busy: dict[str, float] = field(default_factory=dict)
     num_tasks: int = 0
+    #: Engine events executed to produce this result — the numerator of
+    #: the benchmark harness's events/sec metric (see ``repro.perf``).
+    events_processed: int = 0
     #: Per-device (time, bytes-resident) samples taken at every
     #: allocation/eviction — the memory-usage-over-time curve.
     memory_profile: dict[str, list[tuple[float, float]]] = field(

@@ -8,10 +8,12 @@ chart used to reproduce the paper's Fig. 4 schedule diagram.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.errors import SimulationError
 
 CATEGORIES = ("compute", "swap_in", "swap_out", "p2p", "allreduce")
+_CATEGORY_SET = frozenset(CATEGORIES)
 
 _GLYPH = {
     "compute": "#",
@@ -22,8 +24,12 @@ _GLYPH = {
 }
 
 
-@dataclass(frozen=True)
-class TraceEvent:
+class TraceEvent(NamedTuple):
+    """One timed event.  A NamedTuple rather than a dataclass: traces
+    collect thousands of these per run and tuple construction is a
+    single C call, where a frozen dataclass pays one ``object.__setattr__``
+    per field."""
+
     device: str
     start: float
     end: float
@@ -52,7 +58,7 @@ class Trace:
         label: str,
         nbytes: float = 0.0,
     ) -> None:
-        if category not in CATEGORIES:
+        if category not in _CATEGORY_SET:
             raise ValueError(f"unknown trace category {category!r}")
         if end < start:
             raise SimulationError(

@@ -18,6 +18,7 @@ from repro.memory.manager import MemOp, MemOpKind, MemoryManager
 from repro.memory.stats import Direction
 from repro.sim.engine import Engine, ResourceTimeline
 from repro.sim.trace import Trace
+from repro.tensors.state import TensorState
 
 if TYPE_CHECKING:
     from repro.faults.injector import FaultInjector
@@ -56,6 +57,10 @@ class TransferEngine:
         self.trace = trace
         self.links = links
         self.injector = injector
+        # Route -> timelines, keyed by route identity: the topology's
+        # route cache keeps every Route alive and unique per (src, dst),
+        # and each transfer over it needs the same timeline list.
+        self._route_timelines: dict[int, list[ResourceTimeline]] = {}
 
     # -- routes -------------------------------------------------------------
 
@@ -74,67 +79,95 @@ class TransferEngine:
         raise SimulationError(f"no route for op {op}")
 
     def _timelines(self, route: Route) -> list[ResourceTimeline]:
-        return [self.links[link.name] for link in route.links]
+        cached = self._route_timelines.get(id(route))
+        if cached is None:
+            cached = [self.links[link.name] for link in route.links]
+            self._route_timelines[id(route)] = cached
+        return cached
 
     # -- execution -------------------------------------------------------------
 
     def execute_chain(self, ops: Sequence[MemOp], done: Callable[[], None]) -> None:
-        """Run ``ops`` strictly in order, then call ``done``."""
-        remaining = list(ops)
+        """Run ``ops`` strictly in order, then call ``done``.
+
+        Synchronous ops (waits that need no wait, allocations, drops,
+        satisfied transfers) are consumed in a loop rather than through
+        continuation recursion — most ops in a chain complete instantly,
+        and the loop spends one iteration where the recursive form spent
+        three frames.  ``step`` may re-enter itself through a nested
+        substitute chain; the shared cursor keeps every op exactly-once.
+        """
+        n = len(ops)
+        cursor = 0
+        execute = self._execute_op
 
         def step() -> None:
-            if not remaining:
-                done()
-                return
-            self.execute_op(remaining.pop(0), step)
+            nonlocal cursor
+            while cursor < n:
+                op = ops[cursor]
+                cursor += 1
+                if not execute(op, step):
+                    return  # async: step re-runs when the op completes
+            done()
 
         step()
 
     def execute_op(self, op: MemOp, done: Callable[[], None]) -> None:
-        if op.kind is MemOpKind.WAIT:
-            if self.manager.in_flight(op.tensor.tid):
-                self.manager.add_waiter(op.tensor.tid, done)
-            else:
-                done()
-            return
-        if op.kind is MemOpKind.ALLOC:
-            self.manager.op_begin(op)
+        """Run one op; ``done`` fires when it completes (possibly now)."""
+        if self._execute_op(op, done):
             done()
-            return
+
+    def _execute_op(self, op: MemOp, cont: Callable[[], None]) -> bool:
+        """Start one op.  Returns True if it completed synchronously;
+        otherwise ``cont`` has been registered to fire on completion."""
+        manager = self.manager
+        if op.kind is MemOpKind.WAIT:
+            rt = manager.runtime(op.tensor.tid)
+            if (
+                rt.state is TensorState.SWAPPING_IN
+                or rt.state is TensorState.SWAPPING_OUT
+            ):
+                manager.add_waiter(op.tensor.tid, cont)
+                return False
+            return True
+        if op.kind is MemOpKind.ALLOC:
+            manager.op_begin(op)
+            return True
         # Eviction ops can race with a concurrent task on another device
         # pinning the victim: substitute another victim, or wait for the
         # pin to release if nothing else is evictable.
         if op.kind in (MemOpKind.DROP, MemOpKind.SWAP_OUT) and not op.forced:
-            rt = self.manager.runtime(op.tensor.tid)
+            rt = manager.runtime(op.tensor.tid)
             if rt.pinned > 0 and rt.resident_on == op.src:
-                substitutes = self.manager.substitute_victims(op)
+                substitutes = manager.substitute_victims(op)
                 if substitutes is None:
-                    self.manager.add_waiter(
-                        op.tensor.tid, lambda: self.execute_op(op, done)
+                    manager.add_waiter(
+                        op.tensor.tid, lambda: self.execute_op(op, cont)
                     )
                 else:
-                    self.execute_chain(substitutes, done)
-                return
+                    self.execute_chain(substitutes, cont)
+                return False
         if op.kind is MemOpKind.DROP:
-            self.manager.op_begin(op)
+            manager.op_begin(op)
             if op.kind is MemOpKind.DROP:  # not degraded to a write-back
-                done()
-                return
+                return True
             # op_begin degraded the drop to a SWAP_OUT (the tensor was
             # dirtied since planning); fall through to transfer it.
-            self._schedule_transfer(op, done)
-            return
+            self._schedule_transfer(op, cont)
+            return False
         # Transfer op: if the tensor is mid-flight elsewhere (e.g. a peer
         # is still writing it back to host), retry when that completes.
-        if self.manager.in_flight(op.tensor.tid):
-            self.manager.add_waiter(
-                op.tensor.tid, lambda: self.execute_op(op, done)
-            )
-            return
-        if not self.manager.op_begin(op):
-            done()  # state already satisfied; nothing to move
-            return
-        self._schedule_transfer(op, done)
+        rt = manager.runtime(op.tensor.tid)
+        if (
+            rt.state is TensorState.SWAPPING_IN
+            or rt.state is TensorState.SWAPPING_OUT
+        ):
+            manager.add_waiter(op.tensor.tid, lambda: self.execute_op(op, cont))
+            return False
+        if not manager.op_begin(op):
+            return True  # state already satisfied; nothing to move
+        self._schedule_transfer(op, cont)
+        return False
 
     def _schedule_transfer(
         self, op: MemOp, done: Callable[[], None], attempt: int = 0

@@ -9,14 +9,14 @@ over a list of tasks.
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass, field
 
 from repro.errors import SchedulingError
 from repro.models.phases import Phase
+from repro.util.enums import FastEnum
 
 
-class TaskKind(enum.Enum):
+class TaskKind(FastEnum):
     COMPUTE = "compute"
     ALLREDUCE = "allreduce"
 
@@ -79,6 +79,15 @@ class Task:
     device: str | None = None
     samples: int = 0
     _extra_deps: set[int] = field(default_factory=set, repr=False)
+    # Lazily-built caches for the two derived views the executor reads
+    # on every wake-up; ``add_dep`` is the only mutation that can
+    # invalidate them (reads/writes/deps are fixed at construction).
+    _all_deps_cache: frozenset[int] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _touched_cache: tuple[int, ...] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.kind is TaskKind.COMPUTE and self.phase is None:
@@ -90,7 +99,15 @@ class Task:
 
     @property
     def all_deps(self) -> frozenset[int]:
-        return self.deps | frozenset(self._extra_deps)
+        cached = self._all_deps_cache
+        if cached is None:
+            cached = (
+                frozenset(self.deps | self._extra_deps)
+                if self._extra_deps
+                else self.deps
+            )
+            self._all_deps_cache = cached
+        return cached
 
     def add_dep(self, tid: int) -> None:
         """Add a scheduling-induced dependency (e.g. gradient-accumulation
@@ -98,11 +115,16 @@ class Task:
         if tid == self.tid:
             raise SchedulingError(f"task {self.label}: self-dependency")
         self._extra_deps.add(tid)
+        self._all_deps_cache = None
 
     @property
     def touched(self) -> tuple[int, ...]:
         """All tensors that must be resident for this task."""
-        return tuple(dict.fromkeys(self.reads + self.writes))
+        cached = self._touched_cache
+        if cached is None:
+            cached = tuple(dict.fromkeys(self.reads + self.writes))
+            self._touched_cache = cached
+        return cached
 
     def place(self, device: str) -> None:
         self.device = device

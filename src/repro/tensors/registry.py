@@ -57,14 +57,8 @@ class TensorRegistry:
         if self.optimizer_shards < 1:
             raise ModelError("optimizer_shards must be >= 1")
 
-    def _get_or_create(
-        self, kind: TensorKind, layer: int, microbatch: int | None,
-        replica: int, size_bytes: float,
-    ) -> TensorMeta:
-        key = (kind, layer, microbatch, replica)
-        existing = self._by_key.get(key)
-        if existing is not None:
-            return existing
+    def _create(self, key: _Key, size_bytes: float) -> TensorMeta:
+        kind, layer, microbatch, replica = key
         meta = TensorMeta(
             tid=len(self._by_id),
             kind=kind,
@@ -80,24 +74,29 @@ class TensorRegistry:
     # -- persistent state --------------------------------------------------
 
     def weight(self, layer: int, replica: int = 0) -> TensorMeta:
+        key = (TensorKind.WEIGHT, layer, None, replica)
+        meta = self._by_key.get(key)
+        if meta is not None:
+            return meta
         spec = self.model.layer(layer)
-        return self._get_or_create(
-            TensorKind.WEIGHT, layer, None, replica,
-            spec.param_bytes / self.weight_shards,
-        )
+        return self._create(key, spec.param_bytes / self.weight_shards)
 
     def weight_grad(self, layer: int, replica: int = 0) -> TensorMeta:
+        key = (TensorKind.WEIGHT_GRAD, layer, None, replica)
+        meta = self._by_key.get(key)
+        if meta is not None:
+            return meta
         spec = self.model.layer(layer)
-        return self._get_or_create(
-            TensorKind.WEIGHT_GRAD, layer, None, replica,
-            spec.grad_bytes / self.weight_shards,
-        )
+        return self._create(key, spec.grad_bytes / self.weight_shards)
 
     def opt_state(self, layer: int, replica: int = 0) -> TensorMeta:
+        key = (TensorKind.OPT_STATE, layer, None, replica)
+        meta = self._by_key.get(key)
+        if meta is not None:
+            return meta
         spec = self.model.layer(layer)
-        return self._get_or_create(
-            TensorKind.OPT_STATE, layer, None, replica,
-            spec.optimizer_bytes / self.weight_shards / self.optimizer_shards,
+        return self._create(
+            key, spec.optimizer_bytes / self.weight_shards / self.optimizer_shards
         )
 
     # -- per-microbatch tensors ---------------------------------------------
@@ -105,30 +104,37 @@ class TensorRegistry:
     def activation(self, boundary: int, microbatch: int, replica: int = 0) -> TensorMeta:
         """Activation at ``boundary`` (output of layer ``boundary``;
         boundary ``-1`` is the input data batch)."""
+        key = (TensorKind.ACTIVATION, boundary, microbatch, replica)
+        meta = self._by_key.get(key)
+        if meta is not None:
+            return meta
         if boundary == -1:
             size = self.model.layer(0).in_bytes(self.microbatch_size)
         else:
             size = self.model.layer(boundary).out_bytes(self.microbatch_size)
-        return self._get_or_create(
-            TensorKind.ACTIVATION, boundary, microbatch, replica, size
-        )
+        return self._create(key, size)
 
     def act_grad(self, boundary: int, microbatch: int, replica: int = 0) -> TensorMeta:
         """Activation gradient at ``boundary`` (layer ``boundary``'s dY,
         layer ``boundary + 1``'s dX)."""
+        key = (TensorKind.ACT_GRAD, boundary, microbatch, replica)
+        meta = self._by_key.get(key)
+        if meta is not None:
+            return meta
         if boundary == -1:
             size = self.model.layer(0).in_bytes(self.microbatch_size)
         else:
             size = self.model.layer(boundary).out_bytes(self.microbatch_size)
-        return self._get_or_create(
-            TensorKind.ACT_GRAD, boundary, microbatch, replica, size
-        )
+        return self._create(key, size)
 
     def stash(self, layer: int, microbatch: int, replica: int = 0) -> TensorMeta:
+        key = (TensorKind.STASH, layer, microbatch, replica)
+        meta = self._by_key.get(key)
+        if meta is not None:
+            return meta
         spec = self.model.layer(layer)
-        return self._get_or_create(
-            TensorKind.STASH, layer, microbatch, replica,
-            spec.stash_bytes(self.microbatch_size) / self.weight_shards,
+        return self._create(
+            key, spec.stash_bytes(self.microbatch_size) / self.weight_shards
         )
 
     def checkpoint(self, layer: int, microbatch: int, replica: int = 0) -> TensorMeta:
@@ -138,32 +144,36 @@ class TensorRegistry:
         the backward pass recomputes everything else.  Shares the STASH
         kind — a run uses either full stashes or checkpoints, never both
         for the same layer."""
+        key = (TensorKind.STASH, layer, microbatch, replica)
+        meta = self._by_key.get(key)
+        if meta is not None:
+            return meta
         spec = self.model.layer(layer)
-        return self._get_or_create(
-            TensorKind.STASH, layer, microbatch, replica,
-            spec.in_bytes(self.microbatch_size),
-        )
+        return self._create(key, spec.in_bytes(self.microbatch_size))
 
     def act_part(self, boundary: int, microbatch: int, shard: int) -> TensorMeta:
         """One shard's partial output at ``boundary`` (1/shards of the
         full activation); all-gathered into full per-shard copies."""
+        key = (TensorKind.ACT_PART, boundary, microbatch, shard)
+        meta = self._by_key.get(key)
+        if meta is not None:
+            return meta
         size = self.model.layer(boundary).out_bytes(self.microbatch_size)
-        return self._get_or_create(
-            TensorKind.ACT_PART, boundary, microbatch, shard,
-            size / self.weight_shards,
-        )
+        return self._create(key, size / self.weight_shards)
 
     def grad_part(self, boundary: int, microbatch: int, shard: int) -> TensorMeta:
         """One shard's partial input-gradient contribution at
         ``boundary`` (full-sized: every shard contributes a dense
         partial sum that the all-reduce combines)."""
+        key = (TensorKind.GRAD_PART, boundary, microbatch, shard)
+        meta = self._by_key.get(key)
+        if meta is not None:
+            return meta
         if boundary == -1:
             size = self.model.layer(0).in_bytes(self.microbatch_size)
         else:
             size = self.model.layer(boundary).out_bytes(self.microbatch_size)
-        return self._get_or_create(
-            TensorKind.GRAD_PART, boundary, microbatch, shard, size
-        )
+        return self._create(key, size)
 
     # -- queries -------------------------------------------------------------
 

@@ -23,14 +23,14 @@ hard-wired behaviour.
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass, field
 
 from repro.errors import TensorStateError
 from repro.tensors.tensor import TensorMeta
+from repro.util.enums import FastEnum
 
 
-class TensorState(enum.Enum):
+class TensorState(FastEnum):
     UNMATERIALIZED = "unmaterialized"
     ON_HOST = "on_host"
     SWAPPING_IN = "swapping_in"
@@ -52,7 +52,7 @@ _ALLOWED: dict[TensorState, frozenset[TensorState]] = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class TensorRuntime:
     """Mutable lifetime record for one tensor during a simulation.
 
@@ -95,6 +95,11 @@ class TensorRuntime:
 
     # -- transitions -----------------------------------------------------
 
+    # Where a transition method's own precondition check already pins the
+    # source state down to one value, the target is recorded directly (the
+    # _ALLOWED lookup would re-prove what the precondition guarantees);
+    # methods reachable from several states keep the full _transition.
+
     def materialize_on_host(self) -> None:
         """Initial placement of persistent state (weights, K) in host
         memory before training starts."""
@@ -103,7 +108,8 @@ class TensorRuntime:
                 f"{self.meta.label}: materialize_on_host requires "
                 f"UNMATERIALIZED, is {self.state.value}"
             )
-        self._transition(TensorState.ON_HOST)
+        self._history.append(self.state)
+        self.state = TensorState.ON_HOST
         self.dirty = False
 
     def materialize_on_device(self, device: str) -> None:
@@ -117,7 +123,8 @@ class TensorRuntime:
             raise TensorStateError(
                 f"{self.meta.label}: swap-in requires ON_HOST, is {self.state.value}"
             )
-        self._transition(TensorState.SWAPPING_IN)
+        self._history.append(self.state)
+        self.state = TensorState.SWAPPING_IN
         self.device = device
 
     def begin_move(self, device: str) -> None:
@@ -126,7 +133,8 @@ class TensorRuntime:
             raise TensorStateError(
                 f"{self.meta.label}: p2p move requires ON_DEVICE, is {self.state.value}"
             )
-        self._transition(TensorState.SWAPPING_IN)
+        self._history.append(self.state)
+        self.state = TensorState.SWAPPING_IN
         self.device = device
 
     def finish_swap_in(self) -> None:
@@ -135,7 +143,8 @@ class TensorRuntime:
                 f"{self.meta.label}: finish_swap_in requires SWAPPING_IN, "
                 f"is {self.state.value}"
             )
-        self._transition(TensorState.ON_DEVICE)
+        self._history.append(self.state)
+        self.state = TensorState.ON_DEVICE
 
     def begin_swap_out(self, force: bool = False) -> None:
         """Start a write-back.  ``force`` lets the owning task's own
@@ -151,7 +160,8 @@ class TensorRuntime:
                 f"{self.meta.label}: finish_swap_out requires SWAPPING_OUT, "
                 f"is {self.state.value}"
             )
-        self._transition(TensorState.ON_HOST)
+        self._history.append(self.state)
+        self.state = TensorState.ON_HOST
         self.device = None
         self.dirty = False
 

@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
 
 from repro.errors import ModelError
+from repro.util.enums import FastEnum
+from repro.util.lazy import lazy_attr
 
 
-class TensorKind(enum.Enum):
+class TensorKind(FastEnum):
     """The tensor classes of the paper's swap model (Fig. 5(a)).
 
     ``ACTIVATION`` tensors live at *boundaries*: the activation at
@@ -84,11 +85,13 @@ class TensorMeta:
         if not persistent and self.microbatch is None:
             raise ModelError(f"tensor {self.label}: per-microbatch kinds need one")
 
-    @property
+    # Cached: identity is immutable, and both are read on every memory
+    # operation touching the tensor.
+    @lazy_attr
     def persistent(self) -> bool:
         return self.kind in PERSISTENT_KINDS
 
-    @property
+    @lazy_attr
     def label(self) -> str:
         mb = "" if self.microbatch is None else f"/mb{self.microbatch}"
         rep = f"@r{self.replica}" if self.replica else ""

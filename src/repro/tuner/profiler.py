@@ -50,6 +50,24 @@ class ProfilePoint:
         )
 
 
+def profile_config(
+    pack_size: int,
+    microbatch_size: int,
+    num_microbatches: int,
+    parallelism: Parallelism | str = Parallelism.HARMONY_PP,
+    prefetch: bool = False,
+    pack_size_bwd: int | None = None,
+) -> HarmonyConfig:
+    """The exact session config a profile point simulates — the tuner
+    fingerprints this to content-address points in its run cache."""
+    return HarmonyConfig(
+        parallelism=parallelism,
+        batch=BatchConfig(microbatch_size, num_microbatches),
+        options=HarmonyOptions(pack_size=pack_size, pack_size_bwd=pack_size_bwd),
+        prefetch=prefetch,
+    )
+
+
 def profile_configuration(
     model: ModelGraph,
     topology: Topology,
@@ -63,11 +81,9 @@ def profile_configuration(
     """Simulate one configuration; infeasible configurations (working
     set exceeds device memory) are reported, not raised — the tuner
     treats them as fenced-off regions of the search space."""
-    config = HarmonyConfig(
-        parallelism=parallelism,
-        batch=BatchConfig(microbatch_size, num_microbatches),
-        options=HarmonyOptions(pack_size=pack_size, pack_size_bwd=pack_size_bwd),
-        prefetch=prefetch,
+    config = profile_config(
+        pack_size, microbatch_size, num_microbatches,
+        parallelism=parallelism, prefetch=prefetch, pack_size_bwd=pack_size_bwd,
     )
     session = HarmonySession(model, topology, config)
     try:

@@ -6,26 +6,51 @@ multi-dimensional problem.  This tuner takes the profile-guided view:
 enumerate the feasible grid for a fixed per-replica mini-batch, then
 hill-climb pack size around the best grid point (including a distinct
 backward pack size, motivated by backward's 2-3x footprint).
+
+The search is embarrassingly parallel and highly redundant — the grid
+fans out over a process pool (``jobs``), and every profiled point is
+content-addressed in a :class:`~repro.perf.cache.RunCache` so the
+hill-climb's revisits (and any later search over the same workload)
+are cache hits instead of fresh simulations.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.config import Parallelism
 from repro.errors import ConfigError
 from repro.hardware.topology import Topology
 from repro.models.graph import ModelGraph
-from repro.tuner.profiler import ProfilePoint, profile_configuration
+from repro.perf.cache import RunCache
+from repro.perf.fingerprint import FingerprintError, fingerprint
+from repro.tuner.profiler import (
+    ProfilePoint,
+    profile_config,
+    profile_configuration,
+)
 from repro.util.tables import Table
 
 
 def _splits(minibatch: int) -> list[tuple[int, int]]:
-    """All (microbatch_size, num_microbatches) factorizations."""
+    """All (microbatch_size, num_microbatches) factorizations.
+
+    Divisors come in pairs (d, minibatch // d), so enumerating up to
+    √minibatch finds them all — O(√n) instead of scanning every
+    candidate size, which matters when the tuner is pointed at large
+    per-replica mini-batches.
+    """
     out = []
-    for size in range(1, minibatch + 1):
+    size = 1
+    while size * size <= minibatch:
         if minibatch % size == 0:
             out.append((size, minibatch // size))
+            partner = minibatch // size
+            if partner != size:
+                out.append((partner, size))
+        size += 1
+    out.sort()
     return out
 
 
@@ -40,14 +65,129 @@ def _pack_candidates(num_layers: int) -> list[int]:
     return sorted(set(sizes))
 
 
+# A combo is one point of the search space:
+# (pack_size, microbatch_size, num_microbatches, prefetch, pack_size_bwd)
+_Combo = tuple[int, int, int, bool, "int | None"]
+
+
+def _profile_combo(
+    payload: tuple[ModelGraph, Topology, Parallelism | str, _Combo],
+) -> ProfilePoint:
+    """Process-pool worker: profile one combo (top-level for pickling)."""
+    model, topology, parallelism, combo = payload
+    pack, mb_size, m, prefetch, bwd = combo
+    return profile_configuration(
+        model, topology, pack, mb_size, m,
+        parallelism=parallelism, prefetch=prefetch, pack_size_bwd=bwd,
+    )
+
+
+class _Profiler:
+    """Cache-aware, optionally parallel evaluator of profile points.
+
+    Every evaluation goes through here so the search phases share one
+    pair of hit/miss counters; batches fan out over a process pool and
+    come back in submission order (the determinism rule shared with
+    :class:`~repro.perf.runner.SweepRunner`).
+    """
+
+    def __init__(
+        self,
+        model: ModelGraph,
+        topology: Topology,
+        parallelism: Parallelism | str,
+        cache: RunCache | None = None,
+        jobs: int = 1,
+    ):
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.model = model
+        self.topology = topology
+        self.parallelism = parallelism
+        self.cache = cache
+        self.jobs = jobs
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, combo: _Combo) -> str | None:
+        if self.cache is None:
+            return None
+        pack, mb_size, m, prefetch, bwd = combo
+        try:
+            config = profile_config(
+                pack, mb_size, m, parallelism=self.parallelism,
+                prefetch=prefetch, pack_size_bwd=bwd,
+            )
+            return "profile:" + fingerprint(self.model, self.topology, config)
+        except FingerprintError:
+            return None  # uncacheable workload; simulate every time
+
+    def one(
+        self,
+        pack: int,
+        mb_size: int,
+        m: int,
+        prefetch: bool = False,
+        bwd: int | None = None,
+    ) -> ProfilePoint:
+        return self.many([(pack, mb_size, m, prefetch, bwd)])[0]
+
+    def many(self, combos: list[_Combo]) -> list[ProfilePoint]:
+        points: list[ProfilePoint | None] = [None] * len(combos)
+        pending: list[int] = []
+        keys = [self._key(combo) for combo in combos]
+        for i, key in enumerate(keys):
+            cached = self.cache.get(key) if key is not None else None
+            if cached is not None:
+                self.hits += 1
+                points[i] = cached
+            else:
+                self.misses += 1
+                pending.append(i)
+        if pending:
+            payloads = [
+                (self.model, self.topology, self.parallelism, combos[i])
+                for i in pending
+            ]
+            if self.jobs > 1 and len(pending) > 1:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    computed = list(pool.map(_profile_combo, payloads))
+            else:
+                computed = [_profile_combo(p) for p in payloads]
+            for i, point in zip(pending, computed):
+                points[i] = point
+                if keys[i] is not None:
+                    self.cache.put(keys[i], point)
+        return points  # type: ignore[return-value]
+
+
 @dataclass
 class TuneResult:
     best: ProfilePoint
     points: list[ProfilePoint] = field(default_factory=list)
+    #: Run-cache accounting over the whole search / just the hill-climb
+    #: refinement (all zero when the tuner ran without a cache).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    hill_hits: int = 0
+    hill_misses: int = 0
 
     @property
     def feasible_points(self) -> list[ProfilePoint]:
         return [p for p in self.points if p.feasible]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def hill_climb_hit_rate(self) -> float:
+        """Fraction of hill-climb probes served from the run cache —
+        the revisit savings the cache exists for."""
+        total = self.hill_hits + self.hill_misses
+        return self.hill_hits / total if total else 0.0
 
     def table(self) -> Table:
         table = Table(
@@ -77,6 +217,8 @@ def tune(
     prefetch_options: tuple[bool, ...] = (False,),
     refine: bool = True,
     search_bwd_pack: bool = False,
+    cache: RunCache | None = None,
+    jobs: int = 1,
 ) -> TuneResult:
     """Grid-search microbatch splits x pack sizes x prefetch, then
     hill-climb pack size around the winner.
@@ -84,19 +226,23 @@ def tune(
     ``search_bwd_pack`` additionally probes *smaller backward pack
     sizes* at the winner: the paper notes a fixed pack has 2-3x the
     footprint in the backward pass, "motivating the need for different
-    pack and microbatch sizes across these passes"."""
+    pack and microbatch sizes across these passes".
+
+    ``jobs`` fans the grid out over a process pool; ``cache`` makes
+    repeated probes (hill-climb revisits, re-runs of the same search)
+    cache hits.  Both leave the selected ``best`` point bit-identical
+    to a serial, uncached search.
+    """
     if minibatch_per_replica < 1:
         raise ConfigError("minibatch_per_replica must be >= 1")
-    points: list[ProfilePoint] = []
-    for mb_size, m in _splits(minibatch_per_replica):
-        for pack in _pack_candidates(len(model)):
-            for prefetch in prefetch_options:
-                points.append(
-                    profile_configuration(
-                        model, topology, pack, mb_size, m,
-                        parallelism=parallelism, prefetch=prefetch,
-                    )
-                )
+    profiler = _Profiler(model, topology, parallelism, cache=cache, jobs=jobs)
+    combos: list[_Combo] = [
+        (pack, mb_size, m, prefetch, None)
+        for mb_size, m in _splits(minibatch_per_replica)
+        for pack in _pack_candidates(len(model))
+        for prefetch in prefetch_options
+    ]
+    points = profiler.many(combos)
     feasible = [p for p in points if p.feasible]
     if not feasible:
         raise ConfigError(
@@ -104,20 +250,29 @@ def tune(
             "on this topology at any profiled granularity"
         )
     best = max(feasible, key=lambda p: p.throughput)
+    hill_hits = hill_misses = 0
     if refine:
-        best, extra = _hill_climb(model, topology, best, parallelism)
-        points += extra
+        hits0, misses0 = profiler.hits, profiler.misses
+        best, extra = _hill_climb(model, best, profiler)
+        points = points + extra
+        hill_hits = profiler.hits - hits0
+        hill_misses = profiler.misses - misses0
     if search_bwd_pack:
-        best, extra = _refine_bwd_pack(model, topology, best, parallelism)
-        points += extra
-    return TuneResult(best=best, points=points)
+        best, extra = _refine_bwd_pack(best, profiler)
+        points = points + extra
+    return TuneResult(
+        best=best,
+        points=points,
+        cache_hits=profiler.hits,
+        cache_misses=profiler.misses,
+        hill_hits=hill_hits,
+        hill_misses=hill_misses,
+    )
 
 
 def _refine_bwd_pack(
-    model: ModelGraph,
-    topology: Topology,
     start: ProfilePoint,
-    parallelism: Parallelism | str,
+    profiler: _Profiler,
 ) -> tuple[ProfilePoint, list[ProfilePoint]]:
     """Probe backward pack sizes smaller than the forward winner's
     (backward working sets are the larger ones, so only shrinking can
@@ -129,10 +284,9 @@ def _refine_bwd_pack(
         - {start.pack_size}
     )
     for bwd in candidates:
-        point = profile_configuration(
-            model, topology, start.pack_size, start.microbatch_size,
-            start.num_microbatches, parallelism=parallelism,
-            prefetch=start.prefetch, pack_size_bwd=bwd,
+        point = profiler.one(
+            start.pack_size, start.microbatch_size, start.num_microbatches,
+            prefetch=start.prefetch, bwd=bwd,
         )
         extra.append(point)
         if point.feasible and point.throughput > best.throughput:
@@ -142,27 +296,40 @@ def _refine_bwd_pack(
 
 def _hill_climb(
     model: ModelGraph,
-    topology: Topology,
     start: ProfilePoint,
-    parallelism: Parallelism | str,
+    profiler: _Profiler,
 ) -> tuple[ProfilePoint, list[ProfilePoint]]:
-    """Local search over pack size (+/-1 steps) from the grid winner."""
+    """Local search over pack size (+/-1 steps) from the grid winner.
+
+    With a cache the climb re-probes already-visited pack sizes (the
+    grid winner itself and the direction it came from) — those are
+    exactly the revisits that become cache hits.  Without a cache it
+    skips them, matching the cost of the classic seen-set version.
+    Either way a revisit can never beat the incumbent (the comparison
+    is strict), so the selected point is identical.
+    """
     best = start
     extra: list[ProfilePoint] = []
-    seen = {start.pack_size}
+    visited = {start.pack_size}
+    revisit = profiler.cache is not None
     improved = True
     while improved:
         improved = False
-        for candidate in (best.pack_size - 1, best.pack_size + 1):
-            if candidate < 1 or candidate > len(model) or candidate in seen:
+        for candidate in (
+            best.pack_size - 1, best.pack_size, best.pack_size + 1
+        ):
+            if candidate < 1 or candidate > len(model):
                 continue
-            seen.add(candidate)
-            point = profile_configuration(
-                model, topology, candidate, best.microbatch_size,
-                best.num_microbatches, parallelism=parallelism,
+            first_visit = candidate not in visited
+            if not first_visit and not revisit:
+                continue
+            point = profiler.one(
+                candidate, best.microbatch_size, best.num_microbatches,
                 prefetch=best.prefetch,
             )
-            extra.append(point)
+            if first_visit:
+                visited.add(candidate)
+                extra.append(point)
             if point.feasible and point.throughput > best.throughput:
                 best = point
                 improved = True

@@ -1,0 +1,23 @@
+"""Enum base with identity hashing for hot dictionary keys.
+
+``enum.Enum.__hash__`` is a Python-level method (``hash(self._name_)``),
+and the simulator keys its hottest dictionaries — the swap-volume
+ledger, the tensor state-machine transition table, the memory-op
+category map — by enum members.  Enum members are singletons, so
+identity hashing is exactly as correct and dispatches through the C
+``object.__hash__`` slot instead, which removes one of the largest flat
+costs in the simulator profile.
+
+Hash values are only stable within a process, which is all a dict needs
+(pickling rebuilds dicts by rehashing on load).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FastEnum(enum.Enum):
+    """Enum whose members hash by identity (C slot, no Python frame)."""
+
+    __hash__ = object.__hash__

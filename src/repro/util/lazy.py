@@ -1,0 +1,34 @@
+"""A lock-free cached property.
+
+``functools.cached_property`` acquires an RLock on every first access
+on Python 3.11 and older; tensor metadata and routes pay that cost once
+per attribute per instance, and a simulation creates thousands of such
+instances.  This descriptor does the same instance-``__dict__`` caching
+with no locking — safe here because the simulator is single-threaded
+(and the computed values are deterministic, so even a race would only
+recompute the same value).
+"""
+
+from __future__ import annotations
+
+
+class lazy_attr:
+    """Compute once on first access, then read straight from the
+    instance ``__dict__`` (works on frozen dataclasses, which only
+    block ``__setattr__``)."""
+
+    __slots__ = ("fn", "name")
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.name = fn.__name__
+
+    def __set_name__(self, owner, name) -> None:
+        self.name = name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        value = self.fn(obj)
+        obj.__dict__[self.name] = value
+        return value

@@ -13,7 +13,6 @@ and the CLI exposes it as ``python -m repro audit``.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import TYPE_CHECKING
 
 from repro.hardware.topology import Topology
@@ -115,8 +114,7 @@ def audit_resilient(fault_report: "FaultReport") -> AuditReport:
 
     report.checks.append("cross_segment_exclusivity")
     merged = [
-        replace(
-            event,
+        event._replace(
             start=event.start + segment.started_at,
             end=event.end + segment.started_at,
         )

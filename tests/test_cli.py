@@ -43,3 +43,39 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestPerfCli:
+    def test_figures_jobs_parity(self, capsys):
+        assert main(["figures"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["figures", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_compare_jobs_parity(self, capsys):
+        argv = ["compare", "lenet", "--gpus", "2", "--microbatches", "2"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "4"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_tune_reports_cache_stats(self, capsys):
+        argv = ["tune", "lenet", "--gpus", "2", "--microbatches", "2"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "hill-climb hit rate" in out
+        assert main(argv + ["--no-cache"]) == 0
+        assert "hill-climb hit rate" not in capsys.readouterr().out
+
+    def test_bench_quick_writes_and_checks_report(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_sim.json"
+        assert main(["bench", "--quick", "--jobs", "2", "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "events/s" in out and "run cache" in out
+        report = json.loads(path.read_text())
+        assert report["current"]["fig4"]["events"] > 0
+        # The gate passes against the report it just wrote.
+        assert main(["bench", "--quick", "--check", str(path)]) == 0
+        assert "bench check" in capsys.readouterr().out

@@ -102,3 +102,31 @@ class TestLivelockGuard:
         assert "exceeded 10 events" in message
         assert "t=" in message
         assert "pending" in message
+
+
+class TestResourceTimelineValidation:
+    def test_acquire_rejects_negative_duration_and_names_the_resource(self):
+        from repro.sim.engine import ResourceTimeline
+
+        link = ResourceTimeline("link:gpu0->cpu")
+        with pytest.raises(SimulationError, match="link:gpu0->cpu.*negative"):
+            link.acquire(now=1.0, duration=-0.5)
+        # The failed acquire must not corrupt the timeline's accounting.
+        assert link.free_at == 0.0
+        assert link.busy_seconds == 0.0
+
+    def test_acquire_all_rejects_negative_duration_and_names_every_resource(self):
+        from repro.sim.engine import ResourceTimeline
+
+        route = [ResourceTimeline("link:a"), ResourceTimeline("link:b")]
+        with pytest.raises(SimulationError, match="link:a, link:b.*negative"):
+            ResourceTimeline.acquire_all(route, now=0.0, duration=-1e-9)
+        for link in route:
+            assert link.free_at == 0.0
+            assert link.busy_seconds == 0.0
+
+    def test_acquire_all_rejects_negative_duration_on_empty_route(self):
+        from repro.sim.engine import ResourceTimeline
+
+        with pytest.raises(SimulationError, match="no resources.*negative"):
+            ResourceTimeline.acquire_all([], now=0.0, duration=-1.0)

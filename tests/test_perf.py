@@ -1,0 +1,257 @@
+"""Performance layer (``repro.perf``): content-addressed fingerprints,
+the two-tier run cache, parallel sweeps, and the cached tuner search.
+
+The load-bearing guarantees under test:
+
+* a cache hit is **indistinguishable** from a fresh simulation — same
+  metrics, byte-identical trace, same swap ledgers;
+* ``--jobs N`` output is byte-identical to serial output (results
+  return in submission order, never completion order);
+* the fingerprint moves when anything semantically relevant moves
+  (model, topology, config, scheduler version) and stays put when
+  nothing does;
+* the cached/parallel tuner picks the same ``best`` as the serial
+  uncached search, with the hill-climb's revisits served from cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import BatchConfig, HarmonyConfig, HarmonySession, compare_runs
+from repro.errors import ReproError
+from repro.hardware import presets
+from repro.models import zoo
+from repro.perf import RunCache, RunSpec, SweepRunner, fingerprint
+from repro.perf.fingerprint import SCHEDULER_VERSION, FingerprintError
+from repro.sim.trace import to_chrome_trace
+from repro.tuner.search import tune
+from repro.units import MB
+
+
+def small_workload(scheme: str = "harmony-pp", microbatches: int = 2):
+    model = zoo.synthetic_uniform(num_layers=4)
+    topology = presets.gtx1080ti_server(num_gpus=2)
+    config = HarmonyConfig(scheme, batch=BatchConfig(1, microbatches))
+    return model, topology, config
+
+
+def chrome_json(result) -> str:
+    return json.dumps(to_chrome_trace(result.trace), sort_keys=True)
+
+
+class TestFingerprint:
+    def test_deterministic_and_hex(self):
+        model, topo, config = small_workload()
+        a = fingerprint(model, topo, config)
+        b = fingerprint(model, topo, config)
+        assert a == b
+        assert len(a) == 64 and int(a, 16) >= 0
+
+    def test_sensitive_to_config(self):
+        model, topo, config = small_workload()
+        base = fingerprint(model, topo, config)
+        _, _, other_batch = small_workload(microbatches=4)
+        _, _, other_scheme = small_workload(scheme="pp-baseline")
+        assert fingerprint(model, topo, other_batch) != base
+        assert fingerprint(model, topo, other_scheme) != base
+
+    def test_sensitive_to_model_and_topology(self):
+        model, topo, config = small_workload()
+        base = fingerprint(model, topo, config)
+        bigger = zoo.synthetic_uniform(num_layers=5)
+        more_gpus = presets.gtx1080ti_server(num_gpus=4)
+        assert fingerprint(bigger, topo, config) != base
+        assert fingerprint(model, more_gpus, config) != base
+
+    def test_sensitive_to_scheduler_version_salt(self, monkeypatch):
+        # Bumping SCHEDULER_VERSION must invalidate every key — that is
+        # the whole invalidation story for semantics changes.
+        model, topo, config = small_workload()
+        base = fingerprint(model, topo, config)
+        import importlib
+
+        fp_mod = importlib.import_module("repro.perf.fingerprint")
+        monkeypatch.setattr(fp_mod, "SCHEDULER_VERSION", SCHEDULER_VERSION + "-next")
+        assert fingerprint(model, topo, config) != base
+
+    def test_unfingerprintable_object_raises(self):
+        model, topo, _ = small_workload()
+        with pytest.raises(FingerprintError):
+            fingerprint(model, topo, object())
+
+
+class TestRunCache:
+    def test_hit_is_equal_but_never_the_same_object(self):
+        model, topo, config = small_workload()
+        result = HarmonySession(model, topo, config).run()
+        cache = RunCache()
+        cache.put("result:k", result)
+        first = cache.get("result:k")
+        second = cache.get("result:k")
+        assert first is not result and first is not second
+        assert first.makespan == result.makespan
+        # Mutating a returned hit must not poison later hits.
+        first.devices.clear()
+        assert cache.get("result:k").devices == result.devices
+
+    def test_disk_tier_survives_a_new_process_worth_of_state(self, tmp_path):
+        model, topo, config = small_workload()
+        result = HarmonySession(model, topo, config).run()
+        key = "result:" + fingerprint(model, topo, config)
+        RunCache(cache_dir=str(tmp_path)).put(key, result)
+        fresh_instance = RunCache(cache_dir=str(tmp_path))
+        hit = fresh_instance.get(key)
+        assert hit is not None
+        assert hit.makespan == result.makespan
+        assert fresh_instance.counters()["hits"] == 1
+
+    def test_corrupt_disk_entry_is_invalidated_not_raised(self, tmp_path):
+        cache = RunCache(cache_dir=str(tmp_path))
+        key = "result:" + "ab" * 32
+        path = os.path.join(str(tmp_path), key[:2], f"{key}.pkl")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as fh:
+            fh.write(b"not a pickle")
+        assert cache.get(key) is None
+        assert cache.invalidations == 1
+        assert not os.path.exists(path)
+
+    def test_counters_and_hit_rate(self):
+        cache = RunCache()
+        assert cache.get("result:missing") is None
+        cache.put("result:x", {"v": 1})
+        assert cache.get("result:x") == {"v": 1}
+        assert cache.counters() == {
+            "hits": 1, "misses": 1, "stores": 1, "invalidations": 0,
+        }
+        assert cache.hit_rate == 0.5
+
+
+class TestFreshVsCachedEquality:
+    def test_cached_result_matches_fresh_run_bit_for_bit(self):
+        model, topo, config = small_workload()
+        cache = RunCache()
+        spec = RunSpec(model, topo, config)
+        runner = SweepRunner(jobs=1, cache=cache)
+        (fresh,) = runner.run_all([spec])
+        (cached,) = runner.run_all([spec])
+        assert cache.hits == 1
+        assert cached.label == fresh.label
+        assert cached.makespan == fresh.makespan
+        assert cached.samples == fresh.samples
+        assert cached.num_tasks == fresh.num_tasks
+        assert cached.events_processed == fresh.events_processed
+        assert cached.devices == fresh.devices
+        assert cached.link_busy == fresh.link_busy
+        # Trace: byte-identical chrome export.
+        assert chrome_json(cached) == chrome_json(fresh)
+        # SwapStats ledgers: every aggregate the experiments read.
+        assert cached.stats.swap_out_volume() == fresh.stats.swap_out_volume()
+        assert cached.stats.swap_in_volume() == fresh.stats.swap_in_volume()
+        assert cached.stats.host_traffic() == fresh.stats.host_traffic()
+        assert cached.stats.p2p_volume() == fresh.stats.p2p_volume()
+
+
+class TestSweepRunner:
+    def grid(self) -> list[RunSpec]:
+        model = zoo.synthetic_uniform(num_layers=4)
+        topo = presets.gtx1080ti_server(num_gpus=2)
+        return [
+            RunSpec(
+                model, topo,
+                HarmonyConfig(scheme, batch=BatchConfig(1, m)),
+                label=f"{scheme}-{m}",
+            )
+            for scheme in ("harmony-pp", "pp-baseline")
+            for m in (2, 4)
+        ]
+
+    def test_jobs4_matches_jobs1_tables_and_traces(self):
+        specs = self.grid()
+        serial = SweepRunner(jobs=1).run_all(specs)
+        parallel = SweepRunner(jobs=4).run_all(specs)
+        assert [r.makespan for r in serial] == [r.makespan for r in parallel]
+        assert (
+            compare_runs(serial).render() == compare_runs(parallel).render()
+        )
+        for a, b in zip(serial, parallel):
+            assert chrome_json(a) == chrome_json(b)
+
+    def test_infeasible_spec_fills_its_slot_with_the_error(self):
+        from tests.conftest import tight_server
+
+        model = zoo.synthetic_uniform(num_layers=4)
+        # A 60 MB device cannot hold even one of the 100 MB layers.
+        tiny = tight_server(1, capacity=60 * MB)
+        specs = self.grid()
+        specs.insert(1, RunSpec(model, tiny, specs[0].config, label="doomed"))
+        outcomes = SweepRunner(jobs=2).run_all(specs, return_exceptions=True)
+        assert isinstance(outcomes[1], ReproError)
+        assert all(
+            not isinstance(o, ReproError)
+            for i, o in enumerate(outcomes) if i != 1
+        )
+        with pytest.raises(ReproError):
+            SweepRunner(jobs=2).run_all(specs)
+
+    def test_warm_cache_serves_the_whole_sweep(self):
+        specs = self.grid()
+        cache = RunCache()
+        first = SweepRunner(jobs=1, cache=cache).run_all(specs)
+        stores = cache.stores
+        again = SweepRunner(jobs=4, cache=cache).run_all(specs)
+        assert cache.hits == len(specs)
+        assert cache.stores == stores  # nothing re-simulated
+        assert [r.makespan for r in again] == [r.makespan for r in first]
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ReproError, match="jobs"):
+            SweepRunner(jobs=0)
+
+
+class TestFaultsSweepParity:
+    def test_parallel_faults_rows_match_serial(self):
+        from repro.experiments import faults_degradation
+
+        kwargs = dict(iterations=2, mttf_iters=(float("inf"), 2.5))
+        serial = faults_degradation.run(jobs=1, **kwargs)
+        parallel = faults_degradation.run(jobs=3, **kwargs)
+        assert serial == parallel
+        assert (
+            faults_degradation.table(serial).render()
+            == faults_degradation.table(parallel).render()
+        )
+
+
+class TestTunerCache:
+    def workload(self):
+        model = zoo.synthetic_uniform(num_layers=4)
+        topo = presets.gtx1080ti_server(num_gpus=2)
+        return model, topo
+
+    def test_cached_search_picks_identical_best(self):
+        model, topo = self.workload()
+        base = tune(model, topo, 4)
+        cached = tune(model, topo, 4, cache=RunCache(), jobs=2)
+        assert cached.best == base.best
+        assert cached.points == base.points
+        assert cached.table().render() == base.table().render()
+
+    def test_hill_climb_revisits_hit_the_cache(self):
+        model, topo = self.workload()
+        outcome = tune(model, topo, 4, cache=RunCache())
+        assert outcome.hill_hits + outcome.hill_misses > 0
+        assert outcome.hill_climb_hit_rate > 0.5
+
+    def test_repeat_search_is_all_hits(self):
+        model, topo = self.workload()
+        cache = RunCache()
+        first = tune(model, topo, 4, cache=cache)
+        second = tune(model, topo, 4, cache=cache)
+        assert second.best == first.best
+        assert second.cache_misses == 0
+        assert second.cache_hit_rate == 1.0

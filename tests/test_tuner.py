@@ -166,10 +166,11 @@ class TestAnnealing:
 class TestBwdPackSearch:
     def test_probes_smaller_backward_packs(self, model, topo):
         from repro.tuner.profiler import profile_configuration
-        from repro.tuner.search import _refine_bwd_pack
+        from repro.tuner.search import _Profiler, _refine_bwd_pack
 
         start = profile_configuration(model, topo, 4, 1, 4)
-        best, probed = _refine_bwd_pack(model, topo, start, "harmony-pp")
+        profiler = _Profiler(model, topo, "harmony-pp")
+        best, probed = _refine_bwd_pack(start, profiler)
         assert probed
         assert all(p.pack_size_bwd < start.pack_size for p in probed)
         assert best.throughput >= start.throughput

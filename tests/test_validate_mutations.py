@@ -83,7 +83,7 @@ class TestMutations:
                     continue
                 new_start = (a.start + a.end) / 2
                 if _dep_end(result, plan, tasks[b.label]) <= new_start + _TOL:
-                    events[ib] = dataclasses.replace(b, start=new_start)
+                    events[ib] = b._replace(start=new_start)
                     report = _audit(run)
                     assert report.kinds() == {ViolationKind.COMPUTE_OVERLAP}
                     flagged = report.by_kind(ViolationKind.COMPUTE_OVERLAP)
@@ -145,7 +145,7 @@ class TestMutations:
                 continue
             task = tasks[e.label]
             if task.all_deps and _dep_end(result, plan, task) > 10 * _TOL:
-                events[i] = dataclasses.replace(e, start=0.0, end=0.0)
+                events[i] = e._replace(start=0.0, end=0.0)
                 report = _audit(run)
                 assert report.kinds() == {ViolationKind.DEPENDENCY_ORDER}
                 flagged = report.by_kind(ViolationKind.DEPENDENCY_ORDER)

@@ -100,9 +100,7 @@ def test_conflicting_compute_shift_never_goes_unnoticed(event_pick, shift_frac):
     ]
     idx = compute[event_pick % len(compute)]
     original = events[idx]
-    events[idx] = dataclasses.replace(
-        original, start=conflict_floor(idx) * (1 - shift_frac)
-    )
+    events[idx] = original._replace(start=conflict_floor(idx) * (1 - shift_frac))
     report = audit_run(result, topo, plan)
     assert not report.passed
 
@@ -118,6 +116,6 @@ def test_inflated_ledger_never_goes_unnoticed(scale):
         i for i, e in enumerate(events)
         if e.category in ("swap_in", "swap_out") and e.nbytes > 0
     )
-    events[idx] = dataclasses.replace(events[idx], nbytes=events[idx].nbytes * scale)
+    events[idx] = events[idx]._replace(nbytes=events[idx].nbytes * scale)
     report = audit_run(result, topo, plan)
     assert not report.passed
