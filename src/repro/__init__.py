@@ -32,11 +32,14 @@ from repro.errors import (
     ConfigError,
     DeviceLostError,
     FaultError,
+    JournalError,
     ModelError,
+    PoisonedSpecError,
     ReproError,
     SchedulingError,
     SimulationError,
     TopologyError,
+    WorkerError,
 )
 from repro.faults import (
     FaultPlan,
@@ -45,6 +48,7 @@ from repro.faults import (
     mttf_loss_plan,
     run_resilient,
 )
+from repro.supervisor import RetryPolicy, Supervisor, SupervisorReport
 from repro.validate import (
     AuditReport,
     AuditViolation,
@@ -84,5 +88,11 @@ __all__ = [
     "AuditError",
     "FaultError",
     "DeviceLostError",
+    "WorkerError",
+    "PoisonedSpecError",
+    "JournalError",
+    "Supervisor",
+    "RetryPolicy",
+    "SupervisorReport",
     "__version__",
 ]

@@ -30,6 +30,11 @@ bench
     and events/sec on the Fig. 4 workload, cache hit latency, and
     parallel-sweep scaling.  ``--out BENCH_sim.json`` records the
     numbers; ``--check BENCH_sim.json`` is the CI regression gate.
+resume
+    Re-run the command recorded in a ``--journal`` file, replaying
+    every spec the interrupted run completed and executing only the
+    remainder.  Output (minus ``supervisor:`` status lines) is
+    byte-identical to an uninterrupted run.
 
 Sweep-shaped commands (``figures``, ``compare``, ``tune``, ``faults``,
 ``bench``) accept ``--jobs N`` to fan independent simulations out over
@@ -37,6 +42,15 @@ a process pool; output is byte-identical to ``--jobs 1`` because
 results always come back in submission order.  ``compare``/``tune``/
 ``bench`` also accept ``--cache-dir``/``--no-cache`` to control the
 content-addressed run cache (see ``docs/INTERNALS.md``, Performance).
+
+The same sweep-shaped commands accept ``--journal PATH`` to run under
+the crash-safe supervisor (``repro.supervisor``): every spec outcome
+is journaled to an fsync'd JSONL write-ahead log, crashed workers are
+respawned, hung specs are killed after ``--spec-timeout`` seconds, and
+flaky specs retry with backoff until ``--max-attempts`` before being
+quarantined.  The supervisor prints a ``supervisor:`` report after the
+sweep; all of its status lines carry that prefix so determinism checks
+can filter them out.
 """
 
 from __future__ import annotations
@@ -48,7 +62,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 from repro import BatchConfig, HarmonyConfig, HarmonySession, compare_runs
 from repro.core.report import audit_summary
-from repro.errors import AuditError, ReproError
+from repro.errors import AuditError, PoisonedSpecError, ReproError
 from repro.hardware import presets
 from repro.models import zoo
 from repro.perf import RunCache, RunSpec, SweepRunner
@@ -80,6 +94,31 @@ def _make_cache(args: argparse.Namespace) -> RunCache | None:
     if getattr(args, "no_cache", False):
         return None
     return RunCache(cache_dir=getattr(args, "cache_dir", None))
+
+
+def _make_supervisor(
+    args: argparse.Namespace,
+    cache: RunCache | None = None,
+    jobs: int | None = None,
+):
+    """The durable-execution layer behind ``--journal``/``--spec-timeout``;
+    ``None`` when neither was given (commands keep their plain pool
+    paths, whose behavior predates the supervisor)."""
+    journal = getattr(args, "journal", None)
+    timeout = getattr(args, "spec_timeout", None)
+    if journal is None and timeout is None:
+        return None
+    from repro.supervisor import RetryPolicy, Supervisor
+
+    return Supervisor(
+        jobs=jobs if jobs is not None else _jobs(args),
+        cache=cache,
+        policy=RetryPolicy(
+            max_attempts=getattr(args, "max_attempts", 3), timeout=timeout
+        ),
+        journal=journal,
+        command=getattr(args, "_argv", None),
+    )
 
 
 # Figure sections as top-level functions so ``figures --jobs N`` can
@@ -138,7 +177,19 @@ def _render_section(index: int) -> str:
 def cmd_figures(args: argparse.Namespace) -> int:
     jobs = _jobs(args)
     indices = range(len(_FIGURE_SECTIONS))
-    if jobs > 1:
+    sup = _make_supervisor(args)
+    if sup is not None:
+        from repro.supervisor import Task
+
+        tasks = [
+            Task(
+                key=f"figure:{title}", fn=_render_section, payload=i,
+                label=title,
+            )
+            for i, (title, _) in enumerate(_FIGURE_SECTIONS)
+        ]
+        rendered = sup.run_tasks(tasks)
+    elif jobs > 1:
         workers = min(jobs, len(_FIGURE_SECTIONS))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             # map preserves section order: output is byte-identical
@@ -149,6 +200,8 @@ def cmd_figures(args: argparse.Namespace) -> int:
     for (title, _), text in zip(_FIGURE_SECTIONS, rendered):
         print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
         print(text)
+    if sup is not None:
+        print(sup.report.render())
     return 0
 
 
@@ -179,14 +232,22 @@ def cmd_compare(args: argparse.Namespace) -> int:
         )
         for scheme in SCHEMES
     ]
-    runner = SweepRunner(jobs=_jobs(args), cache=_make_cache(args))
-    outcomes = runner.run_all(specs, return_exceptions=True)
+    cache = _make_cache(args)
+    sup = _make_supervisor(args, cache=cache)
+    if sup is not None:
+        outcomes = sup.run_specs(specs, return_exceptions=True)
+    else:
+        outcomes = SweepRunner(jobs=_jobs(args), cache=cache).run_all(
+            specs, return_exceptions=True
+        )
     results = []
     for scheme, outcome in zip(SCHEMES, outcomes):
         if isinstance(outcome, AuditError):
             print(f"{scheme}: FAILED AUDIT ({outcome})")
             return 1
-        if isinstance(outcome, ReproError):
+        if isinstance(outcome, PoisonedSpecError):
+            print(f"{scheme}: QUARANTINED ({outcome})")
+        elif isinstance(outcome, ReproError):
             print(f"{scheme}: infeasible ({outcome})")
         else:
             results.append(outcome)
@@ -194,16 +255,22 @@ def cmd_compare(args: argparse.Namespace) -> int:
     if args.audit:
         print()
         print(audit_summary([r.audit for r in results if r.audit]).render())
-    if runner.cache is not None and args.cache_dir:
-        print(f"\n{runner.cache.describe()}")
+    if cache is not None and args.cache_dir:
+        print(f"\n{cache.describe()}")
+    if sup is not None:
+        print(sup.report.render())
     return 0
 
 
 def cmd_tune(args: argparse.Namespace) -> int:
     model, server, batch = _build(args)
     cache = _make_cache(args)
+    # The profiler does its own cache accounting, so the supervisor
+    # runs cache-blind: a replay comes from the journal, not the cache.
+    sup = _make_supervisor(args, cache=None)
     outcome = tune(
-        model, server, batch.per_replica_batch, cache=cache, jobs=_jobs(args)
+        model, server, batch.per_replica_batch, cache=cache,
+        jobs=_jobs(args), supervisor=sup,
     )
     print(outcome.table().render())
     print(f"\nbest: {outcome.best.label} at {outcome.best.throughput:.3f} samples/s")
@@ -213,6 +280,8 @@ def cmd_tune(args: argparse.Namespace) -> int:
             f"{outcome.cache_misses} misses "
             f"(hill-climb hit rate {100 * outcome.hill_climb_hit_rate:.0f}%)"
         )
+    if sup is not None:
+        print(sup.report.render())
     return 0
 
 
@@ -300,6 +369,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         else zoo.synthetic_uniform(num_layers=8)
     )
     mttfs = tuple(args.mttf) if args.mttf else (float("inf"), 8.0, 4.0, 2.5)
+    sup = _make_supervisor(args)
     rows = faults_degradation.run(
         model=model,
         num_gpus=args.gpus,
@@ -308,8 +378,11 @@ def cmd_faults(args: argparse.Namespace) -> int:
         transient_probability=args.transient_probability,
         seed=args.seed,
         jobs=_jobs(args),
+        supervisor=sup,
     )
     print(faults_degradation.table(rows).render())
+    if sup is not None:
+        print(sup.report.render())
 
     comparisons = faults_degradation.gracefulness(rows)
     if comparisons:
@@ -354,8 +427,15 @@ def cmd_faults(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf import bench
 
-    report = bench.run_bench(quick=args.quick, jobs=_jobs(args, fallback=4))
+    # Sections run one at a time under the supervisor (jobs=1) so the
+    # wall-clock measurements aren't perturbed by sibling sections.
+    sup = _make_supervisor(args, jobs=1)
+    report = bench.run_bench(
+        quick=args.quick, jobs=_jobs(args, fallback=4), supervisor=sup
+    )
     print(bench.render(report))
+    if sup is not None:
+        print(sup.report.render())
     if args.out:
         bench.write_json(report, args.out)
         print(f"\nwrote {args.out}")
@@ -363,6 +443,44 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print()
         return bench.check_regression(report, args.check)
     return 0
+
+
+def _rewrite_journal_path(argv: list[str], path: str) -> list[str]:
+    """Point the recorded command's ``--journal`` at the file we are
+    resuming from — the journal may have been renamed or moved since
+    the interrupted run wrote its header."""
+    out = list(argv)
+    for i, token in enumerate(out):
+        if token == "--journal" and i + 1 < len(out):
+            out[i + 1] = path
+            return out
+        if token.startswith("--journal="):
+            out[i] = f"--journal={path}"
+            return out
+    return out + ["--journal", path]
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    from repro.supervisor import load_journal
+
+    state = load_journal(args.journal)
+    if not state.command:
+        print(
+            f"error: {args.journal} records no command to resume "
+            "(missing or torn journal header)",
+            file=sys.stderr,
+        )
+        return 1
+    if state.command[0] == "resume":
+        print(
+            f"error: {args.journal} was written by a resume command; "
+            "refusing to recurse",
+            file=sys.stderr,
+        )
+        return 1
+    argv = _rewrite_journal_path(list(state.command), args.journal)
+    print(f"supervisor: resuming `repro {' '.join(argv)}` ({state.describe()})")
+    return main(argv)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -390,8 +508,28 @@ def main(argv: list[str] | None = None) -> int:
         help="disable the content-addressed run cache entirely",
     )
 
+    journal_parent = argparse.ArgumentParser(add_help=False)
+    journal_parent.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="run under the crash-safe supervisor, journaling every spec "
+             "outcome to PATH (fsync'd JSONL); re-running with the same "
+             "journal — or `repro resume --journal PATH` — replays "
+             "completed specs and executes only the remainder",
+    )
+    journal_parent.add_argument(
+        "--spec-timeout", type=float, default=None, metavar="SECONDS",
+        help="watchdog: kill the worker pool and retry any spec that runs "
+             "longer than this (implies the supervisor; default: no limit)",
+    )
+    journal_parent.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="quarantine a spec after N failed attempts (crash, hang, or "
+             "retryable error; default 3)",
+    )
+
     sub.add_parser(
-        "figures", parents=[jobs_parent], help="regenerate every paper figure"
+        "figures", parents=[jobs_parent, journal_parent],
+        help="regenerate every paper figure",
     )
     sub.add_parser("zoo", help="list the model zoo (Fig. 1 data)")
 
@@ -402,7 +540,7 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--microbatches", type=int, default=4)
 
     compare_p = sub.add_parser(
-        "compare", parents=[jobs_parent, cache_parent],
+        "compare", parents=[jobs_parent, cache_parent, journal_parent],
         help="run all schemes head-to-head",
     )
     add_workload(compare_p)
@@ -412,7 +550,7 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     tune_p = sub.add_parser(
-        "tune", parents=[jobs_parent, cache_parent],
+        "tune", parents=[jobs_parent, cache_parent, journal_parent],
         help="search task granularity",
     )
     add_workload(tune_p)
@@ -439,7 +577,7 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     faults_p = sub.add_parser(
-        "faults", parents=[jobs_parent],
+        "faults", parents=[jobs_parent, journal_parent],
         help="MTTF sweep: goodput degradation under fault injection",
     )
     faults_p.add_argument(
@@ -468,7 +606,7 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     bench_p = sub.add_parser(
-        "bench", parents=[jobs_parent, cache_parent],
+        "bench", parents=[jobs_parent, cache_parent, journal_parent],
         help="benchmark the simulator (events/sec, cache, sweep scaling)",
     )
     bench_p.add_argument(
@@ -485,7 +623,21 @@ def main(argv: list[str] | None = None) -> int:
              ">30%% below the committed baseline in PATH",
     )
 
-    args = parser.parse_args(argv)
+    resume_p = sub.add_parser(
+        "resume",
+        help="re-run the command recorded in a journal, replaying every "
+             "spec it completed before being interrupted",
+    )
+    resume_p.add_argument(
+        "--journal", required=True, metavar="PATH",
+        help="journal written by an interrupted --journal run",
+    )
+
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
+    args = parser.parse_args(raw_argv)
+    # The exact argv, recorded in the journal header so `repro resume`
+    # can re-invoke the interrupted command.
+    args._argv = raw_argv
     handlers = {
         "figures": cmd_figures,
         "zoo": cmd_zoo,
@@ -495,6 +647,7 @@ def main(argv: list[str] | None = None) -> int:
         "audit": cmd_audit,
         "faults": cmd_faults,
         "bench": cmd_bench,
+        "resume": cmd_resume,
     }
     try:
         return handlers[args.command](args)

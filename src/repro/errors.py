@@ -71,6 +71,85 @@ class DeviceLostError(FaultError):
         super().__init__(f"device {device} lost at t={at:.6g}s")
 
 
+class WorkerError(ReproError):
+    """An unexpected (non-:class:`ReproError`) exception escaped a sweep
+    worker.
+
+    Raw third-party exceptions are not guaranteed to survive the pickle
+    round-trip back to the parent process (and an unpicklable exception
+    tears down the whole pool), so workers wrap them in this flat,
+    always-picklable record: the failing spec's label, the original
+    exception type and message, and the formatted traceback text.
+
+    The supervisor treats a ``WorkerError`` as *possibly transient* —
+    it retries the spec under the backoff policy — whereas ordinary
+    :class:`ReproError` outcomes are deterministic domain results
+    (infeasible spec, audit failure) and are never retried.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        exc_type: str,
+        exc_message: str,
+        traceback_text: str = "",
+    ):
+        self.label = label
+        self.exc_type = exc_type
+        self.exc_message = exc_message
+        self.traceback_text = traceback_text
+        super().__init__(
+            f"worker failed on {label or 'spec'}: {exc_type}: {exc_message}"
+        )
+
+    def __reduce__(self):
+        # BaseException pickles via ``(cls, self.args)``; our args hold
+        # the formatted message, not the constructor signature, so spell
+        # the reconstruction out.
+        return (
+            type(self),
+            (self.label, self.exc_type, self.exc_message, self.traceback_text),
+        )
+
+    @classmethod
+    def from_exception(cls, label: str, exc: BaseException) -> "WorkerError":
+        import traceback
+
+        return cls(
+            label,
+            type(exc).__name__,
+            str(exc),
+            traceback.format_exc(),
+        )
+
+
+class PoisonedSpecError(ReproError):
+    """A spec was quarantined: every attempt the supervisor's retry
+    budget allowed ended in a crash, hang, or unexpected worker error.
+
+    The sweep completes with this error in the spec's result slot
+    instead of aborting; ``history`` carries one line per failed
+    attempt so the quarantine decision is auditable.
+    """
+
+    def __init__(self, label: str, attempts: int, history=()):
+        self.label = label
+        self.attempts = attempts
+        self.history = tuple(history)
+        tail = f"; last failure: {self.history[-1]}" if self.history else ""
+        super().__init__(
+            f"spec {label or '?'} quarantined after "
+            f"{attempts} attempt(s){tail}"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.label, self.attempts, self.history))
+
+
+class JournalError(ReproError):
+    """A sweep journal is unusable (missing header, unreadable file)."""
+
+
 class AuditError(ReproError):
     """A finished run failed its post-hoc physical-consistency audit.
 

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.faults.report import FaultReport
+    from repro.supervisor import Supervisor
 
 from repro.core.config import HarmonyConfig
 from repro.faults.model import FaultPlan, TransientTransferError, mttf_loss_plan
@@ -79,6 +80,7 @@ def run(
     seed: int = 1,
     batch: BatchConfig | None = None,
     jobs: int = 1,
+    supervisor: "Supervisor | None" = None,
 ) -> list[DegradationRow]:
     """Sweep fault rates over every scheme pair; rows are grouped by
     MTTF so the table reads as Fig.-style columns per scheme.
@@ -86,7 +88,10 @@ def run(
     Every (MTTF, scheme) cell is an independent resilient run whose
     fault plan is fully determined by ``seed``, so with ``jobs > 1``
     the cells fan out over a process pool; results come back in cell
-    order, keeping the table byte-identical to a serial sweep."""
+    order, keeping the table byte-identical to a serial sweep.  With a
+    ``supervisor`` the cells run as journaled, watchdogged tasks
+    instead — an interrupted MTTF sweep resumes from its last
+    completed cell (the CLI's ``--journal``)."""
     model = model if model is not None else zoo.synthetic_uniform(num_layers=8)
     topology = presets.gtx1080ti_server(num_gpus=num_gpus)
     batch = batch if batch is not None else BatchConfig()
@@ -122,7 +127,31 @@ def run(
         config = HarmonyConfig(scheme, batch=batch)
         payloads.append((model, topology, config, plan, iterations))
 
-    if jobs > 1 and len(payloads) > 1:
+    if supervisor is not None:
+        from repro.perf.fingerprint import FingerprintError, fingerprint
+        from repro.supervisor import Task
+
+        tasks = []
+        for (mttf, scheme), payload in zip(cells, payloads):
+            model_, topology_, config, _, _ = payload
+            try:
+                content = fingerprint(model_, topology_, config)
+            except FingerprintError:
+                content = "nokey"
+            tasks.append(
+                Task(
+                    key=(
+                        f"faults:{content}:mttf={mttf:g}:iters={iterations}"
+                        f":seed={seed}:tp={transient_probability:g}"
+                    ),
+                    fn=_run_cell,
+                    payload=payload,
+                    label=f"{scheme}@mttf={mttf:g}",
+                    cacheable=True,
+                )
+            )
+        reports = supervisor.run_tasks(tasks)
+    elif jobs > 1 and len(payloads) > 1:
         with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
             # pool.map preserves input order: parallel rows land in the
             # same (mttf, scheme) order the serial loop produces.

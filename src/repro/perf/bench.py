@@ -167,20 +167,55 @@ def _time_sweep(jobs: int, quick: bool) -> dict:
     }
 
 
-def run_bench(quick: bool = False, jobs: int = 4) -> dict:
-    """The full harness; returns the ``BENCH_sim.json`` payload."""
-    single_repeats = 5 if quick else 20
-    scaled_repeats = 3 if quick else 8
-    fig4 = _time_single(_fig4_workload(), single_repeats)
-    scaled = _time_single(
-        _fig4_workload(num_layers=8, num_microbatches=8), scaled_repeats
-    )
-    current = {
-        "fig4": fig4,
-        "fig4_scaled": scaled,
-        "cache": _time_cache(_fig4_workload()),
-        "sweep": _time_sweep(jobs, quick),
-    }
+#: The harness sections, in report order.
+_SECTIONS = ("fig4", "fig4_scaled", "cache", "sweep")
+
+
+def _bench_section(payload: tuple[str, bool, int]) -> dict:
+    """Measure one section (top-level so a supervisor worker can run
+    it); ``payload`` is ``(section name, quick, jobs)``."""
+    name, quick, jobs = payload
+    if name == "fig4":
+        return _time_single(_fig4_workload(), 5 if quick else 20)
+    if name == "fig4_scaled":
+        return _time_single(
+            _fig4_workload(num_layers=8, num_microbatches=8),
+            3 if quick else 8,
+        )
+    if name == "cache":
+        return _time_cache(_fig4_workload())
+    if name == "sweep":
+        return _time_sweep(jobs, quick)
+    raise ReproError(f"unknown bench section: {name!r}")
+
+
+def run_bench(quick: bool = False, jobs: int = 4, supervisor=None) -> dict:
+    """The full harness; returns the ``BENCH_sim.json`` payload.
+
+    With a ``supervisor`` (the CLI's ``--journal``) each section runs
+    as a journaled task, so a crashed benchmark resumes at section
+    granularity.  Replayed sections report the wall times recorded
+    before the interruption — a resumed benchmark is a completion of
+    the original measurement, not a fresh one.
+    """
+    payloads = [(name, quick, jobs) for name in _SECTIONS]
+    if supervisor is not None:
+        from repro.supervisor import Task
+
+        tasks = [
+            Task(
+                key=f"bench:{name}:quick={quick}:jobs={jobs}",
+                fn=_bench_section,
+                payload=payload,
+                label=f"bench:{name}",
+            )
+            for payload in payloads
+            for name in (payload[0],)
+        ]
+        sections = supervisor.run_tasks(tasks)
+    else:
+        sections = [_bench_section(payload) for payload in payloads]
+    current = dict(zip(_SECTIONS, sections))
     baseline = json.loads(json.dumps(PRE_PR_BASELINE))  # deep copy
     # Golden traces are unchanged, so pre/post execute the same events:
     # baseline events/sec follows from its wall time and today's count.

@@ -24,6 +24,10 @@ scheduler version salt, so semantics changes miss instead of serving
 stale entries.  The ``invalidations`` counter ledgers the one remaining
 case — a disk entry that exists but fails to load (corrupt, truncated,
 or written by an incompatible Python) is deleted and treated as a miss.
+Symmetrically, ``write_errors`` counts disk-tier stores that failed
+(cache dir deleted, disk full, permissions): the cache keeps serving
+from memory, but the first failure warns once so a dead cache dir is
+not silently absorbed as a 0% hit rate across processes.
 """
 
 from __future__ import annotations
@@ -31,11 +35,21 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import warnings
 from typing import Any, Callable
+
+#: Distinguished miss marker.  ``get(key, RunCache.MISS)`` is the
+#: ambiguity-free lookup: a legitimately cached falsy payload (``None``,
+#: ``0``, ``[]``) comes back as itself, never conflated with a miss.
+_MISS = object()
 
 
 class RunCache:
     """In-memory (+ optional on-disk) fingerprint -> payload cache."""
+
+    #: Sentinel returned by ``get(key, default=RunCache.MISS)`` so
+    #: callers can cache falsy payloads without re-computing them.
+    MISS = _MISS
 
     def __init__(self, cache_dir: str | os.PathLike | None = None):
         self._memory: dict[str, bytes] = {}
@@ -46,6 +60,8 @@ class RunCache:
         self.misses = 0
         self.stores = 0
         self.invalidations = 0
+        self.write_errors = 0
+        self._warned_write_error = False
 
     # -- tiers -----------------------------------------------------------
 
@@ -66,23 +82,46 @@ class RunCache:
         if self.cache_dir is None:
             return
         path = self._path(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        tmp = None
         try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
             with os.fdopen(fd, "wb") as fh:
                 fh.write(blob)
             os.replace(tmp, path)
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+        except OSError as exc:
+            # The memory tier still holds the entry; count the failure
+            # and warn once so a dead cache dir surfaces instead of
+            # silently degrading every future process to cold misses.
+            self.write_errors += 1
+            if not self._warned_write_error:
+                self._warned_write_error = True
+                warnings.warn(
+                    f"run cache: disk write to {self.cache_dir} failed "
+                    f"({exc}); caching continues in memory only, further "
+                    f"failures are counted in counters()['write_errors']",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
 
     # -- public ----------------------------------------------------------
 
-    def get(self, key: str) -> Any | None:
+    def get(self, key: str, default: Any = None) -> Any:
         """The cached payload for ``key``, freshly deserialized, or
-        ``None`` on a miss.  Counts one hit or one miss."""
+        ``default`` on a miss.  Counts one hit or one miss.
+
+        Pass ``default=RunCache.MISS`` when a cached payload may itself
+        be falsy — the sentinel is the only value ``get`` never returns
+        for a hit, so ``result is RunCache.MISS`` is an unambiguous
+        miss test.
+        """
         blob = self._memory.get(key)
         if blob is None:
             blob = self._disk_read(key)
@@ -97,13 +136,13 @@ class RunCache:
                     except OSError:
                         pass
                     self.misses += 1
-                    return None
+                    return default
                 self._memory[key] = blob  # promote to the memory tier
                 self.hits += 1
                 return payload
         if blob is None:
             self.misses += 1
-            return None
+            return default
         self.hits += 1
         return pickle.loads(blob)
 
@@ -119,10 +158,12 @@ class RunCache:
 
         The returned value on a miss is a cache round-trip of the
         computed payload, so hit and miss callers observe identical
-        (deserialized) objects.
+        (deserialized) objects.  The lookup uses the :data:`MISS`
+        sentinel, so a legitimately cached falsy payload (``None``,
+        ``0``, ``[]``) is a hit, not an eternal recompute.
         """
-        cached = self.get(key)
-        if cached is not None:
+        cached = self.get(key, _MISS)
+        if cached is not _MISS:
             return cached
         payload = compute()
         self.put(key, payload)
@@ -151,12 +192,18 @@ class RunCache:
             "misses": self.misses,
             "stores": self.stores,
             "invalidations": self.invalidations,
+            "write_errors": self.write_errors,
         }
 
     def describe(self) -> str:
         tier = f", disk={self.cache_dir}" if self.cache_dir else ""
+        errors = (
+            f", {self.write_errors} disk write error(s)"
+            if self.write_errors
+            else ""
+        )
         return (
             f"run cache: {self.hits} hits / {self.misses} misses "
             f"({100 * self.hit_rate:.0f}%), {len(self._memory)} entries"
-            f"{tier}"
+            f"{tier}{errors}"
         )

@@ -12,11 +12,19 @@ topology, config)`` points.  :class:`SweepRunner` evaluates them:
   order — the determinism rule that makes ``--jobs 4`` output
   byte-identical to ``--jobs 1``.
 
-Workers re-raise nothing: each returns either the result or the
-:class:`~repro.errors.ReproError` the simulation raised, and the
-parent re-raises (default) or hands exceptions back in-slot
+Workers re-raise nothing: each returns either the result, the
+:class:`~repro.errors.ReproError` the simulation raised, or — for an
+unexpected non-domain exception — a picklable
+:class:`~repro.errors.WorkerError` wrapping it, and the parent
+re-raises (default) or hands exceptions back in-slot
 (``return_exceptions=True`` — how ``compare`` reports infeasible
-schemes without abandoning the sweep).
+schemes without abandoning the sweep).  One buggy spec therefore can
+never tear down the pool or lose the rest of the sweep.
+
+For crash/hang tolerance on top of this (worker watchdogs, retries,
+pool respawn, resumable journals) wrap the sweep in
+:class:`repro.supervisor.Supervisor` instead of calling
+:class:`SweepRunner` directly.
 """
 
 from __future__ import annotations
@@ -25,12 +33,14 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.config import HarmonyConfig
-from repro.errors import ReproError
+from repro.errors import ReproError, WorkerError
 from repro.hardware.topology import Topology
 from repro.models.graph import ModelGraph
 from repro.perf.cache import RunCache
 from repro.perf.fingerprint import FingerprintError, fingerprint
 from repro.sim.result import RunResult
+
+_MISS = RunCache.MISS
 
 
 @dataclass
@@ -43,9 +53,28 @@ class RunSpec:
     label: str = ""
 
 
+def spec_key(spec: RunSpec) -> str | None:
+    """The run-cache/journal key for ``spec``, or ``None`` when the spec
+    has no canonical content address (uncacheable)."""
+    try:
+        return "result:" + fingerprint(spec.model, spec.topology, spec.config)
+    except FingerprintError:
+        return None
+    except Exception:
+        # A malformed spec (wrong types smuggled into the dataclass) has
+        # no address either; let the worker report the real failure.
+        return None
+
+
 def _execute_spec(spec: RunSpec) -> RunResult | ReproError:
     """Worker entry point: simulate one spec, returning (never raising)
-    domain errors so one infeasible point cannot poison the pool."""
+    domain errors so one infeasible point cannot poison the pool.
+
+    Unexpected non-domain exceptions are wrapped in a picklable
+    :class:`~repro.errors.WorkerError` rather than re-raised: a raw
+    third-party exception may not survive the pickle trip back to the
+    parent, and an unpicklable one aborts the entire pool.
+    """
     # Imported here, not at module top: workers import this module by
     # name, and the session layer pulls in the full scheduler stack.
     from repro.core.session import HarmonySession
@@ -54,6 +83,8 @@ def _execute_spec(spec: RunSpec) -> RunResult | ReproError:
         return HarmonySession(spec.model, spec.topology, spec.config).run()
     except ReproError as exc:
         return exc
+    except Exception as exc:  # noqa: BLE001 — the wrap is the point
+        return WorkerError.from_exception(spec.label, exc)
 
 
 class SweepRunner:
@@ -72,10 +103,7 @@ class SweepRunner:
     def _key(self, spec: RunSpec) -> str | None:
         if self.cache is None:
             return None
-        try:
-            return "result:" + fingerprint(spec.model, spec.topology, spec.config)
-        except FingerprintError:
-            return None  # uncacheable spec; simulate it every time
+        return spec_key(spec)  # None = uncacheable; simulate every time
 
     def run_all(
         self, specs: list[RunSpec], return_exceptions: bool = False
@@ -90,8 +118,8 @@ class SweepRunner:
         pending: list[int] = []
         for i, spec in enumerate(specs):
             key = self._key(spec)
-            cached = self.cache.get(key) if key is not None else None
-            if cached is not None:
+            cached = self.cache.get(key, _MISS) if key is not None else _MISS
+            if cached is not _MISS:
                 results[i] = cached
             else:
                 pending.append(i)

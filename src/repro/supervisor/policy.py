@@ -1,0 +1,83 @@
+"""Retry and watchdog policy for supervised sweeps.
+
+One :class:`RetryPolicy` answers the three questions the supervisor
+asks about every spec:
+
+* how long may one attempt run before the watchdog declares it hung
+  (``timeout``, wall-clock seconds, ``None`` = no limit);
+* how many attempts does a spec get before it is quarantined as poison
+  (``max_attempts``);
+* how long to wait before re-submitting a failed attempt — exponential
+  backoff (``backoff_base * backoff_factor ** (attempt - 1)``, capped
+  at ``backoff_max``) plus *deterministic* jitter.
+
+The jitter is a pure function of ``(key, attempt)`` — a hash, not a
+random draw — so a resumed sweep schedules retries identically to an
+uninterrupted one and tests never race a RNG.  Jitter still does its
+usual job (de-synchronizing retries of *different* specs) because
+different keys hash to different fractions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervisor retries, times out, and quarantines specs."""
+
+    #: Attempts per spec before quarantine (1 = never retry).
+    max_attempts: int = 3
+    #: Per-attempt wall-clock budget in seconds; ``None`` disables the
+    #: watchdog.  Reclaiming a hung worker requires recycling the whole
+    #: pool, so a timeout costs every in-flight spec a resubmission.
+    timeout: float | None = None
+    #: First retry delay in seconds.
+    backoff_base: float = 0.1
+    #: Multiplier applied per subsequent attempt.
+    backoff_factor: float = 2.0
+    #: Ceiling on the un-jittered delay.
+    backoff_max: float = 5.0
+    #: Jitter fraction: the delay is scaled by up to ``1 + jitter``.
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigError(f"timeout must be > 0, got {self.timeout}")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ConfigError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.jitter < 0:
+            raise ConfigError(f"jitter must be >= 0, got {self.jitter}")
+
+    def backoff_delay(self, key: str, attempt: int) -> float:
+        """Seconds to wait before re-submitting ``key``'s next attempt,
+        given that ``attempt`` (1-based) just failed."""
+        base = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
+        )
+        digest = hashlib.sha256(f"{key}:{attempt}".encode()).hexdigest()
+        fraction = int(digest[:8], 16) / 0xFFFFFFFF
+        return base * (1.0 + self.jitter * fraction)
+
+    def describe(self) -> str:
+        watchdog = (
+            f"{self.timeout:g}s watchdog" if self.timeout else "no watchdog"
+        )
+        return (
+            f"retry policy: {self.max_attempts} attempt(s), {watchdog}, "
+            f"backoff {self.backoff_base:g}s x{self.backoff_factor:g} "
+            f"(cap {self.backoff_max:g}s, jitter {self.jitter:g})"
+        )

@@ -1,0 +1,581 @@
+"""Crash-safe sweep supervision: the durable execution layer.
+
+:class:`Supervisor` runs a list of :class:`Task` (or
+:class:`~repro.perf.runner.RunSpec`) to completion *no matter what the
+workers do*:
+
+* a worker that segfaults or is OOM-killed breaks the process pool —
+  the supervisor respawns the pool and re-submits every in-flight task
+  instead of raising ``BrokenProcessPool`` out of the sweep;
+* a worker that hangs trips the per-task watchdog
+  (:class:`~repro.supervisor.policy.RetryPolicy.timeout`); reclaiming a
+  hung process requires recycling the pool, so the timed-out task is
+  charged an attempt and every innocent in-flight task is re-submitted
+  with its attempt refunded;
+* transient failures retry under exponential backoff with
+  deterministic jitter;
+* a task that keeps failing is **quarantined** after
+  ``max_attempts`` — its result slot carries a structured
+  :class:`~repro.errors.PoisonedSpecError` and the rest of the sweep
+  completes normally;
+* deterministic domain failures (a returned or raised
+  :class:`~repro.errors.ReproError` that is not a
+  :class:`~repro.errors.WorkerError`) are *results*, never retried —
+  exactly the contract of :class:`~repro.perf.runner.SweepRunner`.
+
+With a journal (see :mod:`repro.supervisor.journal`) every terminal
+outcome is fsync'd as it lands, so a crash or Ctrl-C loses at most the
+attempts currently in flight; re-running the same invocation with the
+same ``--journal`` replays completed tasks and executes only the
+remainder, byte-identical to an uninterrupted run (payloads round-trip
+through pickle exactly like run-cache hits).
+
+Results always come back in submission order, regardless of
+completion, retry, or replay order — the same determinism rule the
+rest of :mod:`repro.perf` lives by.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ConfigError, PoisonedSpecError, ReproError, WorkerError
+from repro.perf.cache import RunCache
+from repro.supervisor.journal import (
+    DONE,
+    FAILED,
+    POISONED,
+    JournalState,
+    JournalWriter,
+    load_journal,
+)
+from repro.supervisor.policy import RetryPolicy
+from repro.supervisor.report import SupervisorReport
+
+_MISS = RunCache.MISS
+_UNSET = object()
+
+
+@dataclass
+class Task:
+    """One unit of supervised work.
+
+    ``fn`` must be a module-level callable (it crosses the process
+    boundary by reference) taking ``payload`` and returning the
+    outcome; returning a :class:`~repro.errors.ReproError` marks a
+    deterministic failure, raising anything else marks a retryable one.
+    ``key`` is the task's durable identity — journal replay and cache
+    lookups match on it, so it must be stable across processes.
+    """
+
+    key: str
+    fn: Callable[[Any], Any]
+    payload: Any
+    label: str = ""
+    cacheable: bool = False
+
+    @property
+    def display(self) -> str:
+        return self.label or self.key
+
+
+class Supervisor:
+    """Durable, watchdogged, resumable executor for sweep-shaped work.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes (>= 1).  Even ``jobs=1`` runs tasks in a
+        child process — crash isolation is the point; inline execution
+        is only a fallback for platforms without multiprocessing.
+    cache:
+        Optional :class:`~repro.perf.cache.RunCache` consulted before
+        execution and updated after, for tasks with ``cacheable=True``.
+    policy:
+        :class:`~repro.supervisor.policy.RetryPolicy`; default retries
+        twice with backoff and no watchdog.
+    journal:
+        Path to the write-ahead journal.  If the file already holds
+        outcomes they are replayed; new outcomes are appended.
+    command:
+        CLI argv recorded in a fresh journal's header so ``python -m
+        repro resume`` can re-invoke the sweep.
+    mp_context:
+        Optional ``multiprocessing`` context for the pool (tests pin
+        ``fork``).
+    sleep, clock:
+        Injectable time sources (tests stub them).
+    on_outcome:
+        Optional callback ``(index, outcome)`` fired after each task
+        *executed this process* reaches a terminal outcome.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: RunCache | None = None,
+        policy: RetryPolicy | None = None,
+        journal: str | os.PathLike | None = None,
+        command: list[str] | None = None,
+        mp_context=None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        on_outcome: Callable[[int, Any], None] | None = None,
+    ):
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.journal_path = os.fspath(journal) if journal is not None else None
+        self.command = list(command) if command is not None else None
+        self.mp_context = mp_context
+        self._sleep = sleep
+        self._clock = clock
+        self.on_outcome = on_outcome
+        self._state: JournalState = (
+            load_journal(self.journal_path)
+            if self.journal_path is not None
+            else JournalState(path="")
+        )
+        self._writer: JournalWriter | None = None
+        self._counters = {
+            "tasks": 0,
+            "replayed": 0,
+            "cache_hits": 0,
+            "executed": 0,
+            "attempts": 0,
+            "retries": 0,
+            "respawns": 0,
+            "timeouts": 0,
+            "failures": 0,
+        }
+        self._quarantined: list[str] = []
+        self._history: dict[str, tuple[str, ...]] = {}
+        self._recovery_wall = 0.0
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def report(self) -> SupervisorReport:
+        """Cumulative accounting across every ``run_*`` call so far."""
+        return SupervisorReport(
+            tasks=self._counters["tasks"],
+            replayed=self._counters["replayed"],
+            cache_hits=self._counters["cache_hits"],
+            executed=self._counters["executed"],
+            attempts=self._counters["attempts"],
+            retries=self._counters["retries"],
+            respawns=self._counters["respawns"],
+            timeouts=self._counters["timeouts"],
+            failures=self._counters["failures"],
+            quarantined=tuple(self._quarantined),
+            recovery_wall_sec=self._recovery_wall,
+            journal_path=self.journal_path,
+            history=dict(self._history),
+        )
+
+    def describe(self) -> str:
+        journal = f"; journal={self.journal_path}" if self.journal_path else ""
+        return (
+            f"supervisor: jobs={self.jobs}; {self.policy.describe()}{journal}"
+        )
+
+    # -- entry points ----------------------------------------------------
+
+    def run_specs(self, specs, return_exceptions: bool = False) -> list:
+        """Supervised analogue of
+        :meth:`repro.perf.runner.SweepRunner.run_all`: cache-first,
+        results in spec order, domain errors in-slot or re-raised."""
+        from repro.perf.runner import _execute_spec, spec_key
+
+        tasks = []
+        for i, spec in enumerate(specs):
+            key = spec_key(spec)
+            cacheable = key is not None
+            if key is None:
+                key = f"spec:{i}:{spec.label or 'unlabelled'}"
+            tasks.append(
+                Task(
+                    key=key,
+                    fn=_execute_spec,
+                    payload=spec,
+                    label=spec.label or f"spec {i}",
+                    cacheable=cacheable,
+                )
+            )
+        return self.run_tasks(tasks, return_exceptions=return_exceptions)
+
+    def run_tasks(self, tasks: list[Task], return_exceptions: bool = False) -> list:
+        """All tasks' outcomes, index-aligned with ``tasks``.
+
+        Slots hold the task's return value, a deterministic
+        :class:`~repro.errors.ReproError`, or a
+        :class:`~repro.errors.PoisonedSpecError` for quarantined tasks.
+        Without ``return_exceptions`` the first error (in task order)
+        is raised after the sweep drains.
+        """
+        self._counters["tasks"] += len(tasks)
+        if self.journal_path is not None and self._writer is None:
+            self._writer = JournalWriter(self.journal_path)
+            self._writer.header(self.command)
+
+        results: list[Any] = [_UNSET] * len(tasks)
+        attempts: dict[int, int] = {}
+        pending: list[int] = []
+        for i, task in enumerate(tasks):
+            recorded = self._state.outcomes.get(task.key)
+            if recorded is not None and recorded.replayable:
+                try:
+                    results[i] = recorded.payload()
+                except Exception:
+                    recorded = None  # undecodable payload: re-execute
+                else:
+                    self._counters["replayed"] += 1
+                    continue
+            if task.cacheable and self.cache is not None:
+                hit = self.cache.get(task.key, _MISS)
+                if hit is not _MISS:
+                    results[i] = hit
+                    self._counters["cache_hits"] += 1
+                    self._journal_outcome(task, DONE, 0, hit)
+                    continue
+            # Journal attempt records survive crashes the outcome did
+            # not: inherit the spent budget, but always leave at least
+            # one fresh attempt (an interrupted attempt is not evidence
+            # of poison — the interruption may have been the user's).
+            attempts[i] = min(
+                self._state.attempts.get(task.key, 0),
+                self.policy.max_attempts - 1,
+            )
+            pending.append(i)
+
+        if pending:
+            self._counters["executed"] += len(pending)
+            self._drive(tasks, pending, attempts, results)
+
+        assert all(value is not _UNSET for value in results)
+        if not return_exceptions:
+            for value in results:
+                if isinstance(value, ReproError):
+                    raise value
+        return results
+
+    # -- journal ---------------------------------------------------------
+
+    def _journal_outcome(
+        self, task: Task, status: str, attempt_count: int, payload: Any
+    ) -> None:
+        if self._writer is None or task.key in self._state.outcomes:
+            return
+        self._state.outcomes[task.key] = self._writer.outcome(
+            task.key, status, attempt_count, payload
+        )
+
+    # -- the drive loop --------------------------------------------------
+
+    def _new_pool(self, workers: int) -> ProcessPoolExecutor | None:
+        """A fresh pool, or ``None`` when this platform cannot run
+        worker processes at all (inline fallback, no watchdog)."""
+        try:
+            return ProcessPoolExecutor(
+                max_workers=workers, mp_context=self.mp_context
+            )
+        except (OSError, NotImplementedError, ImportError):
+            return None
+
+    def _kill_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down even if its workers are hung: cancel what
+        can be cancelled, then SIGTERM (and as a last resort SIGKILL)
+        every worker process."""
+        t0 = self._clock()
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in processes:
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        for proc in processes:
+            try:
+                proc.join(timeout=2.0)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=2.0)
+            except Exception:
+                pass
+        self._recovery_wall += self._clock() - t0
+
+    def _drive(
+        self,
+        tasks: list[Task],
+        pending: list[int],
+        attempts: dict[int, int],
+        results: list[Any],
+    ) -> None:
+        workers = max(1, min(self.jobs, len(pending)))
+        queue: deque[int] = deque(pending)
+        ready_at: dict[int, float] = {}
+        histories: dict[int, list[str]] = {i: [] for i in pending}
+        inflight: dict[Any, int] = {}
+        deadlines: dict[Any, float | None] = {}
+        started: dict[Any, float] = {}
+        watchdog = self.policy.timeout
+        pool: ProcessPoolExecutor | None = None
+
+        def settle(i: int, value: Any, t0: float | None) -> None:
+            task = tasks[i]
+            if isinstance(value, WorkerError):
+                retryable(
+                    i,
+                    f"worker error: {value.exc_type}: {value.exc_message}",
+                    t0,
+                )
+                return
+            results[i] = value
+            if isinstance(value, ReproError):
+                self._counters["failures"] += 1
+                self._journal_outcome(task, FAILED, attempts[i], value)
+            else:
+                if task.cacheable and self.cache is not None:
+                    self.cache.put(task.key, value)
+                self._journal_outcome(task, DONE, attempts[i], value)
+            if self.on_outcome is not None:
+                self.on_outcome(i, value)
+
+        def retryable(i: int, reason: str, t0: float | None) -> None:
+            now = self._clock()
+            if t0 is not None:
+                self._recovery_wall += max(0.0, now - t0)
+            histories[i].append(f"attempt {attempts[i]}: {reason}")
+            if attempts[i] >= self.policy.max_attempts:
+                task = tasks[i]
+                error = PoisonedSpecError(
+                    task.display, attempts[i], histories[i]
+                )
+                results[i] = error
+                self._quarantined.append(task.display)
+                self._history[task.display] = tuple(histories[i])
+                self._journal_outcome(task, POISONED, attempts[i], error)
+                if self.on_outcome is not None:
+                    self.on_outcome(i, error)
+            else:
+                self._counters["retries"] += 1
+                ready_at[i] = now + self.policy.backoff_delay(
+                    tasks[i].key, attempts[i]
+                )
+                queue.append(i)
+
+        def recycle(culprit_reasons: dict[int, str], refund_victims: bool) -> None:
+            """Tear down the pool, salvaging finished work and
+            re-queueing everything else."""
+            nonlocal pool
+            for fut in list(inflight):
+                i = inflight.pop(fut)
+                deadlines.pop(fut, None)
+                t0 = started.pop(fut, None)
+                fut.cancel()
+                finished = (
+                    fut.done()
+                    and not fut.cancelled()
+                    and fut.exception() is None
+                )
+                if finished:
+                    settle(i, fut.result(), t0)
+                elif i in culprit_reasons:
+                    retryable(i, culprit_reasons[i], t0)
+                else:
+                    # Collateral of the recycle, not this task's fault.
+                    if refund_victims:
+                        attempts[i] -= 1
+                    if t0 is not None:
+                        self._recovery_wall += max(0.0, self._clock() - t0)
+                    ready_at[i] = 0.0
+                    queue.append(i)
+            if pool is not None:
+                self._kill_pool(pool)
+                pool = None
+
+        def ensure_pool(i: int) -> None:
+            """Create the pool if needed; on platforms without worker
+            processes, put ``i`` back and fall to inline execution."""
+            nonlocal pool
+            if pool is None:
+                pool = self._new_pool(workers)
+                if pool is None:
+                    queue.appendleft(i)
+                    raise _InlineFallback()
+
+        def submit(i: int) -> None:
+            nonlocal pool
+            ensure_pool(i)
+            attempts[i] += 1
+            self._counters["attempts"] += 1
+            task = tasks[i]
+            if self._writer is not None:
+                self._writer.attempt(task.key, attempts[i])
+            try:
+                fut = pool.submit(task.fn, task.payload)
+            except BrokenExecutor:
+                # The pool died while idle (a worker crashed between
+                # waits).  One respawn, then let a second break raise.
+                self._counters["respawns"] += 1
+                self._kill_pool(pool)
+                pool = None
+                ensure_pool(i)
+                fut = pool.submit(task.fn, task.payload)
+            now = self._clock()
+            inflight[fut] = i
+            started[fut] = now
+            deadlines[fut] = now + watchdog if watchdog else None
+
+        try:
+            while queue or inflight:
+                now = self._clock()
+                if queue and len(inflight) < workers:
+                    ready = [
+                        i for i in queue if ready_at.get(i, 0.0) <= now
+                    ]
+                    for i in ready[: workers - len(inflight)]:
+                        queue.remove(i)
+                        submit(i)
+                if not inflight:
+                    if not queue:
+                        break
+                    soonest = min(ready_at.get(i, 0.0) for i in queue)
+                    self._sleep(max(0.0, soonest - self._clock()))
+                    continue
+
+                wait_candidates = [
+                    d - now for d in deadlines.values() if d is not None
+                ]
+                if queue and len(inflight) < workers:
+                    wait_candidates += [
+                        ready_at.get(i, 0.0) - now for i in queue
+                    ]
+                wait_timeout = (
+                    max(0.0, min(wait_candidates)) if wait_candidates else None
+                )
+                done, _ = wait(
+                    list(inflight),
+                    timeout=wait_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+
+                for fut in done:
+                    if fut not in inflight:
+                        continue  # consumed by an earlier recycle
+                    exc = None if fut.cancelled() else fut.exception()
+                    if isinstance(exc, BrokenExecutor):
+                        self._counters["respawns"] += 1
+                        reasons = {
+                            i: "worker crashed (process pool broken)"
+                            for i in inflight.values()
+                        }
+                        recycle(reasons, refund_victims=False)
+                        break
+                    i = inflight.pop(fut)
+                    deadlines.pop(fut, None)
+                    t0 = started.pop(fut, None)
+                    if fut.cancelled():
+                        retryable(i, "attempt cancelled", t0)
+                    elif exc is None:
+                        settle(i, fut.result(), t0)
+                    elif isinstance(exc, ReproError):
+                        # Deterministic domain failure raised (rather
+                        # than returned) by an unhardened worker fn.
+                        results[i] = exc
+                        self._counters["failures"] += 1
+                        self._journal_outcome(
+                            tasks[i], FAILED, attempts[i], exc
+                        )
+                        if self.on_outcome is not None:
+                            self.on_outcome(i, exc)
+                    else:
+                        retryable(
+                            i,
+                            f"worker raised {type(exc).__name__}: {exc}",
+                            t0,
+                        )
+
+                if watchdog and inflight:
+                    now = self._clock()
+                    expired = {
+                        inflight[fut]
+                        for fut, dline in deadlines.items()
+                        if dline is not None
+                        and now >= dline
+                        and fut in inflight
+                        and not fut.done()
+                    }
+                    if expired:
+                        self._counters["timeouts"] += len(expired)
+                        self._counters["respawns"] += 1
+                        reasons = {
+                            i: (
+                                f"timed out after {watchdog:g}s "
+                                f"(watchdog killed the pool)"
+                            )
+                            for i in expired
+                        }
+                        recycle(reasons, refund_victims=True)
+        except _InlineFallback:
+            self._drive_inline(tasks, queue, ready_at, attempts, histories,
+                               results, settle_retry=(settle, retryable))
+        except BaseException:
+            if pool is not None:
+                self._kill_pool(pool)
+                pool = None
+            raise
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+    def _drive_inline(
+        self, tasks, queue, ready_at, attempts, histories, results,
+        settle_retry,
+    ) -> None:
+        """Sequential fallback when worker processes are unavailable.
+
+        Retries and backoff still apply; the watchdog cannot (there is
+        no process to kill), and a crash takes the whole run with it —
+        the journal still bounds the loss to the current attempt.
+        """
+        settle, retryable = settle_retry
+        while queue:
+            i = queue.popleft()
+            now = self._clock()
+            not_before = ready_at.get(i, 0.0)
+            if not_before > now:
+                self._sleep(not_before - now)
+            attempts[i] += 1
+            self._counters["attempts"] += 1
+            if self._writer is not None:
+                self._writer.attempt(tasks[i].key, attempts[i])
+            t0 = self._clock()
+            try:
+                value = tasks[i].fn(tasks[i].payload)
+            except ReproError as exc:
+                results[i] = exc
+                self._counters["failures"] += 1
+                self._journal_outcome(tasks[i], FAILED, attempts[i], exc)
+                if self.on_outcome is not None:
+                    self.on_outcome(i, exc)
+            except Exception as exc:  # noqa: BLE001 — retry boundary
+                retryable(i, f"raised {type(exc).__name__}: {exc}", t0)
+            else:
+                settle(i, value, t0)
+
+
+class _InlineFallback(Exception):
+    """Internal: signals that no worker pool can be created."""

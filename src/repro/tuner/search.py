@@ -12,12 +12,22 @@ fans out over a process pool (``jobs``), and every profiled point is
 content-addressed in a :class:`~repro.perf.cache.RunCache` so the
 hill-climb's revisits (and any later search over the same workload)
 are cache hits instead of fresh simulations.
+
+A search can also run under a :class:`~repro.supervisor.Supervisor`
+(the CLI's ``--journal``): every profiled point becomes a journaled,
+watchdogged task, so a crashed or interrupted search resumes from its
+last completed probe instead of starting over.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+
+if TYPE_CHECKING:
+    from repro.supervisor import Supervisor
 
 from repro.core.config import Parallelism
 from repro.errors import ConfigError
@@ -70,6 +80,14 @@ def _pack_candidates(num_layers: int) -> list[int]:
 _Combo = tuple[int, int, int, bool, "int | None"]
 
 
+def _combo_label(combo: _Combo) -> str:
+    pack, mb_size, m, prefetch, bwd = combo
+    extras = ("+prefetch" if prefetch else "") + (
+        f"+bwd{bwd}" if bwd is not None else ""
+    )
+    return f"pack{pack}-{mb_size}x{m}{extras}"
+
+
 def _profile_combo(
     payload: tuple[ModelGraph, Topology, Parallelism | str, _Combo],
 ) -> ProfilePoint:
@@ -98,6 +116,7 @@ class _Profiler:
         parallelism: Parallelism | str,
         cache: RunCache | None = None,
         jobs: int = 1,
+        supervisor: "Supervisor | None" = None,
     ):
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
@@ -106,6 +125,7 @@ class _Profiler:
         self.parallelism = parallelism
         self.cache = cache
         self.jobs = jobs
+        self.supervisor = supervisor
         self.hits = 0
         self.misses = 0
 
@@ -135,10 +155,11 @@ class _Profiler:
     def many(self, combos: list[_Combo]) -> list[ProfilePoint]:
         points: list[ProfilePoint | None] = [None] * len(combos)
         pending: list[int] = []
+        miss = RunCache.MISS
         keys = [self._key(combo) for combo in combos]
         for i, key in enumerate(keys):
-            cached = self.cache.get(key) if key is not None else None
-            if cached is not None:
+            cached = self.cache.get(key, miss) if key is not None else miss
+            if cached is not miss:
                 self.hits += 1
                 points[i] = cached
             else:
@@ -149,7 +170,23 @@ class _Profiler:
                 (self.model, self.topology, self.parallelism, combos[i])
                 for i in pending
             ]
-            if self.jobs > 1 and len(pending) > 1:
+            if self.supervisor is not None:
+                from repro.supervisor import Task
+
+                # The profiler owns cache accounting, so tasks are not
+                # supervisor-cacheable; the journal still records every
+                # point, making an interrupted search resumable.
+                tasks = [
+                    Task(
+                        key=keys[i] or f"profile:nokey:{combos[i]!r}",
+                        fn=_profile_combo,
+                        payload=payload,
+                        label=_combo_label(combos[i]),
+                    )
+                    for i, payload in zip(pending, payloads)
+                ]
+                computed = self.supervisor.run_tasks(tasks)
+            elif self.jobs > 1 and len(pending) > 1:
                 workers = min(self.jobs, len(pending))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     computed = list(pool.map(_profile_combo, payloads))
@@ -219,6 +256,7 @@ def tune(
     search_bwd_pack: bool = False,
     cache: RunCache | None = None,
     jobs: int = 1,
+    supervisor: "Supervisor | None" = None,
 ) -> TuneResult:
     """Grid-search microbatch splits x pack sizes x prefetch, then
     hill-climb pack size around the winner.
@@ -230,12 +268,18 @@ def tune(
 
     ``jobs`` fans the grid out over a process pool; ``cache`` makes
     repeated probes (hill-climb revisits, re-runs of the same search)
-    cache hits.  Both leave the selected ``best`` point bit-identical
-    to a serial, uncached search.
+    cache hits.  ``supervisor`` routes every probe through a
+    :class:`~repro.supervisor.Supervisor` instead of a bare pool —
+    crash recovery, watchdog, and ``--journal`` resumability.  All
+    three leave the selected ``best`` point bit-identical to a serial,
+    uncached, unsupervised search.
     """
     if minibatch_per_replica < 1:
         raise ConfigError("minibatch_per_replica must be >= 1")
-    profiler = _Profiler(model, topology, parallelism, cache=cache, jobs=jobs)
+    profiler = _Profiler(
+        model, topology, parallelism, cache=cache, jobs=jobs,
+        supervisor=supervisor,
+    )
     combos: list[_Combo] = [
         (pack, mb_size, m, prefetch, None)
         for mb_size, m in _splits(minibatch_per_replica)

@@ -79,3 +79,89 @@ class TestPerfCli:
         # The gate passes against the report it just wrote.
         assert main(["bench", "--quick", "--check", str(path)]) == 0
         assert "bench check" in capsys.readouterr().out
+
+
+def strip_supervisor(out: str) -> str:
+    """Drop supervisor status lines — everything else must be
+    byte-identical to an unsupervised run."""
+    return "".join(
+        line
+        for line in out.splitlines(keepends=True)
+        if not line.startswith("supervisor:")
+    )
+
+
+class TestSupervisorCli:
+    ARGV = ["compare", "lenet", "--gpus", "2", "--microbatches", "2",
+            "--no-cache"]
+
+    def test_journaled_compare_matches_plain_and_replays(
+        self, capsys, tmp_path
+    ):
+        journal = str(tmp_path / "j.jsonl")
+        assert main(self.ARGV) == 0
+        plain = capsys.readouterr().out
+        assert main(self.ARGV + ["--journal", journal]) == 0
+        journaled = capsys.readouterr().out
+        assert strip_supervisor(journaled) == plain
+        assert "supervisor:" in journaled
+        # Same journal again: everything replays, nothing re-executes.
+        assert main(self.ARGV + ["--journal", journal]) == 0
+        replayed = capsys.readouterr().out
+        assert strip_supervisor(replayed) == plain
+        assert "6 replayed from journal" in replayed
+
+    def test_resume_completes_an_interrupted_run_byte_identically(
+        self, capsys, tmp_path
+    ):
+        journal = tmp_path / "j.jsonl"
+        assert main(self.ARGV) == 0
+        plain = capsys.readouterr().out
+        assert main(self.ARGV + ["--journal", str(journal)]) == 0
+        capsys.readouterr()
+        # Keep the header + the first couple of records: the journal of
+        # a run interrupted partway through.
+        lines = journal.read_bytes().splitlines(keepends=True)
+        journal.write_bytes(b"".join(lines[:5]))
+        assert main(["resume", "--journal", str(journal)]) == 0
+        resumed = capsys.readouterr().out
+        assert strip_supervisor(resumed) == plain
+        assert "resuming" in resumed and "replayed from journal" in resumed
+
+    def test_resume_without_header_fails_cleanly(self, capsys, tmp_path):
+        journal = tmp_path / "empty.jsonl"
+        journal.write_text("")
+        assert main(["resume", "--journal", str(journal)]) == 1
+        assert "no command to resume" in capsys.readouterr().err
+
+    def test_spec_timeout_engages_the_supervisor(self, capsys):
+        # --spec-timeout alone (no journal) still runs supervised.
+        assert main(self.ARGV + ["--spec-timeout", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "supervisor:" in out
+        assert strip_supervisor(out)  # the table still printed
+
+    def test_figures_journal_matches_plain(self, capsys, tmp_path):
+        journal = str(tmp_path / "fig.jsonl")
+        assert main(["figures"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["figures", "--journal", journal, "--jobs", "2"]) == 0
+        journaled = capsys.readouterr().out
+        assert strip_supervisor(journaled) == plain
+
+    def test_tune_journal_matches_plain(self, capsys, tmp_path):
+        argv = ["tune", "lenet", "--gpus", "2", "--microbatches", "2",
+                "--no-cache"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--journal", str(tmp_path / "t.jsonl")]) == 0
+        assert strip_supervisor(capsys.readouterr().out) == plain
+
+    def test_faults_journal_matches_plain(self, capsys, tmp_path):
+        journal = str(tmp_path / "faults.jsonl")
+        argv = ["faults", "--iterations", "2", "--mttf", "inf", "2.5"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--journal", journal]) == 0
+        journaled = capsys.readouterr().out
+        assert strip_supervisor(journaled) == plain

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 
 import pytest
 
@@ -127,8 +128,55 @@ class TestRunCache:
         assert cache.get("result:x") == {"v": 1}
         assert cache.counters() == {
             "hits": 1, "misses": 1, "stores": 1, "invalidations": 0,
+            "write_errors": 0,
         }
         assert cache.hit_rate == 0.5
+
+    def test_falsy_payloads_are_hits_not_misses(self):
+        # Regression: ``get`` returning the payload directly made a
+        # cached ``None`` indistinguishable from a miss, so falsy
+        # results were recomputed forever.  The MISS sentinel fixes it.
+        cache = RunCache()
+        for key, value in [("result:n", None), ("result:z", 0), ("result:e", [])]:
+            cache.put(key, value)
+            hit = cache.get(key, RunCache.MISS)
+            assert hit is not RunCache.MISS
+            assert hit == value
+        assert cache.get("result:absent", RunCache.MISS) is RunCache.MISS
+
+    def test_get_or_run_never_recomputes_a_cached_none(self):
+        cache = RunCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return None
+
+        assert cache.get_or_run("result:none", compute) is None
+        assert cache.get_or_run("result:none", compute) is None
+        assert calls == [1]
+        assert cache.counters()["stores"] == 1
+
+    def test_disk_write_failure_is_counted_and_warned_once(self, tmp_path):
+        # Point the disk tier under a regular file after construction —
+        # the disk "going bad" mid-run.  NotADirectoryError is the one
+        # OSError that still fires when the suite runs as root (chmod
+        # tricks don't).
+        cache = RunCache(cache_dir=str(tmp_path / "cache"))
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        cache.cache_dir = str(blocker / "cache")
+        with pytest.warns(RuntimeWarning, match="disk write"):
+            cache.put("result:a", {"v": 1})
+        # Later failures count silently — the warning fires exactly once.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cache.put("result:b", {"v": 2})
+        assert cache.counters()["write_errors"] == 2
+        assert "2 disk write error(s)" in cache.describe()
+        # The memory tier kept both entries despite the dead disk tier.
+        assert cache.get("result:a") == {"v": 1}
+        assert cache.get("result:b") == {"v": 2}
 
 
 class TestFreshVsCachedEquality:
@@ -211,6 +259,32 @@ class TestSweepRunner:
     def test_rejects_nonpositive_jobs(self):
         with pytest.raises(ReproError, match="jobs"):
             SweepRunner(jobs=0)
+
+    def test_unexpected_worker_exception_comes_back_structured(
+        self, monkeypatch
+    ):
+        # A non-ReproError escaping the simulation must cross the
+        # process boundary as a picklable WorkerError carrying the
+        # original type and traceback — not as a raw pickling hazard.
+        import pickle
+
+        import repro.core.session as session_mod
+        from repro.errors import WorkerError
+        from repro.perf.runner import _execute_spec
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("simulator bug")
+
+        monkeypatch.setattr(session_mod, "HarmonySession", explode)
+        spec = self.grid()[0]
+        outcome = _execute_spec(spec)
+        assert isinstance(outcome, WorkerError)
+        assert outcome.exc_type == "RuntimeError"
+        assert "simulator bug" in outcome.exc_message
+        assert "explode" in outcome.traceback_text
+        clone = pickle.loads(pickle.dumps(outcome))
+        assert isinstance(clone, WorkerError)
+        assert clone.exc_type == outcome.exc_type
 
 
 class TestFaultsSweepParity:
