@@ -38,6 +38,7 @@ from repro.errors import (
     ReproError,
     SchedulingError,
     SimulationError,
+    SteadyStateError,
     TopologyError,
     WorkerError,
 )
@@ -48,6 +49,7 @@ from repro.faults import (
     mttf_loss_plan,
     run_resilient,
 )
+from repro.steady import SteadyMode, SteadyReport
 from repro.supervisor import RetryPolicy, Supervisor, SupervisorReport
 from repro.validate import (
     AuditReport,
@@ -85,6 +87,9 @@ __all__ = [
     "CapacityError",
     "SchedulingError",
     "SimulationError",
+    "SteadyStateError",
+    "SteadyMode",
+    "SteadyReport",
     "AuditError",
     "FaultError",
     "DeviceLostError",

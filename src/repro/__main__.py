@@ -43,6 +43,14 @@ results always come back in submission order.  ``compare``/``tune``/
 ``bench`` also accept ``--cache-dir``/``--no-cache`` to control the
 content-addressed run cache (see ``docs/INTERNALS.md``, Performance).
 
+The same commands accept ``--steady-state {auto,off,force}``: ``auto``
+(the default) detects when an iteration replays its predecessor
+bit-for-bit and fast-forwards the remaining iterations analytically
+(``repro.steady``), ``off`` simulates every iteration in full
+fidelity, and ``force`` errors unless the fast path engaged.  Results
+are identical either way; only wall-clock changes.  ``compare`` also
+accepts ``--iterations N`` to size multi-iteration runs.
+
 The same sweep-shaped commands accept ``--journal PATH`` to run under
 the crash-safe supervisor (``repro.supervisor``): every spec outcome
 is journaled to an fsync'd JSONL write-ahead log, crashed workers are
@@ -227,7 +235,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
     specs = [
         RunSpec(
             model, server,
-            HarmonyConfig(scheme, batch=batch, audit=args.audit),
+            HarmonyConfig(
+                scheme, batch=batch, audit=args.audit,
+                iterations=args.iterations,
+                steady_state=args.steady_state,
+            ),
             label=scheme,
         )
         for scheme in SCHEMES
@@ -508,6 +520,16 @@ def main(argv: list[str] | None = None) -> int:
         help="disable the content-addressed run cache entirely",
     )
 
+    steady_parent = argparse.ArgumentParser(add_help=False)
+    steady_parent.add_argument(
+        "--steady-state", choices=["auto", "off", "force"], default=None,
+        dest="steady_state", metavar="MODE",
+        help="periodicity fast-forward (repro.steady): auto detects "
+             "steady state and skips proven-identical iterations "
+             "analytically (default), off simulates every iteration, "
+             "force errors unless the fast path engaged",
+    )
+
     journal_parent = argparse.ArgumentParser(add_help=False)
     journal_parent.add_argument(
         "--journal", default=None, metavar="PATH",
@@ -528,7 +550,7 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     sub.add_parser(
-        "figures", parents=[jobs_parent, journal_parent],
+        "figures", parents=[jobs_parent, journal_parent, steady_parent],
         help="regenerate every paper figure",
     )
     sub.add_parser("zoo", help="list the model zoo (Fig. 1 data)")
@@ -540,7 +562,8 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--microbatches", type=int, default=4)
 
     compare_p = sub.add_parser(
-        "compare", parents=[jobs_parent, cache_parent, journal_parent],
+        "compare",
+        parents=[jobs_parent, cache_parent, journal_parent, steady_parent],
         help="run all schemes head-to-head",
     )
     add_workload(compare_p)
@@ -548,9 +571,15 @@ def main(argv: list[str] | None = None) -> int:
         "--audit", action="store_true",
         help="audit every run's physical consistency as it executes",
     )
+    compare_p.add_argument(
+        "--iterations", type=int, default=1, metavar="N",
+        help="training iterations per scheme (multi-iteration runs are "
+             "eligible for --steady-state fast-forward; default 1)",
+    )
 
     tune_p = sub.add_parser(
-        "tune", parents=[jobs_parent, cache_parent, journal_parent],
+        "tune",
+        parents=[jobs_parent, cache_parent, journal_parent, steady_parent],
         help="search task granularity",
     )
     add_workload(tune_p)
@@ -577,7 +606,7 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     faults_p = sub.add_parser(
-        "faults", parents=[jobs_parent, journal_parent],
+        "faults", parents=[jobs_parent, journal_parent, steady_parent],
         help="MTTF sweep: goodput degradation under fault injection",
     )
     faults_p.add_argument(
@@ -606,7 +635,8 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     bench_p = sub.add_parser(
-        "bench", parents=[jobs_parent, cache_parent, journal_parent],
+        "bench",
+        parents=[jobs_parent, cache_parent, journal_parent, steady_parent],
         help="benchmark the simulator (events/sec, cache, sweep scaling)",
     )
     bench_p.add_argument(
@@ -638,6 +668,13 @@ def main(argv: list[str] | None = None) -> int:
     # The exact argv, recorded in the journal header so `repro resume`
     # can re-invoke the interrupted command.
     args._argv = raw_argv
+    if hasattr(args, "steady_state"):
+        # Process-wide default so experiment code that builds configs
+        # internally (figures, faults sweeps) honors the flag; configs
+        # that set steady_state explicitly (compare) still win.
+        from repro.steady import set_default_mode
+
+        set_default_mode(args.steady_state or "auto")
     handlers = {
         "figures": cmd_figures,
         "zoo": cmd_zoo,

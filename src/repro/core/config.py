@@ -74,9 +74,17 @@ class HarmonyConfig:
         Harmony schemes restart from the last checkpoint on survivors;
         rigid baselines restart from scratch.
     iterations:
-        Training iterations a faulty run executes (faults need a wall
-        long enough to strike; healthy runs simulate one iteration as
-        before).
+        Training iterations the run simulates.  Faulty runs need a wall
+        long enough for faults to strike; healthy multi-iteration runs
+        replay the plan back-to-back and are eligible for steady-state
+        fast-forward.
+    steady_state:
+        Steady-state fast-forward mode — ``"auto"`` (detect periodicity
+        and skip proven-identical iterations analytically), ``"off"``
+        (full-fidelity simulation of every iteration), or ``"force"``
+        (error unless fast-forward engaged).  ``None`` inherits the
+        process default (the CLI's ``--steady-state``).  Fault plans
+        veto fast-forward wholesale; see :mod:`repro.steady`.
     """
 
     parallelism: Parallelism | str = Parallelism.HARMONY_PP
@@ -88,10 +96,20 @@ class HarmonyConfig:
     faults: FaultPlan | None = None
     resilience: ResiliencePolicy | None = None
     iterations: int = 1
+    steady_state: str | None = None
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
             raise ConfigError("iterations must be >= 1")
+        if self.steady_state is not None:
+            from repro.steady import SteadyMode
+
+            # Normalize to the canonical string: the field enters the
+            # run-cache fingerprint, so "auto" and SteadyMode.AUTO must
+            # hash identically.
+            object.__setattr__(
+                self, "steady_state", SteadyMode.parse(self.steady_state).value
+            )
 
     def resolved_parallelism(self) -> Parallelism:
         return Parallelism.parse(self.parallelism)

@@ -59,15 +59,28 @@ class HarmonySession:
     def run(self, fresh: bool = False) -> RunResult:
         """Simulate a training run (cached unless ``fresh``).
 
-        Healthy configs simulate one iteration.  With ``config.faults``
-        set, the run goes through :func:`repro.faults.run_resilient`:
-        ``config.iterations`` iterations under the fault plan, with the
-        aggregate :class:`~repro.faults.report.FaultReport` attached to
+        Healthy configs simulate ``config.iterations`` iterations
+        (default one); multi-iteration runs are eligible for
+        steady-state fast-forward per ``config.steady_state`` (see
+        :mod:`repro.steady`), with the outcome on ``result.steady``.
+        With ``config.faults`` set, the run goes through
+        :func:`repro.faults.run_resilient`: ``config.iterations``
+        iterations under the fault plan, with the aggregate
+        :class:`~repro.faults.report.FaultReport` attached to
         ``result.faults`` (and each faulty segment audited when
-        ``config.audit`` is on).
+        ``config.audit`` is on); fault plans veto fast-forward.
         """
         if self._result is None or fresh:
             if self.config.faults is not None:
+                from repro.errors import ConfigError
+                from repro.steady import SteadyMode, SteadyReport, resolve_mode
+
+                steady_mode = resolve_mode(self.config.steady_state)
+                if steady_mode is SteadyMode.FORCE:
+                    raise ConfigError(
+                        "steady-state 'force' is incompatible with fault "
+                        "injection: fault windows veto fast-forward"
+                    )
                 # Imported lazily: the runner re-invokes build_scheduler
                 # mid-run, and keeping it out of the session's import
                 # graph keeps healthy runs' startup unchanged.
@@ -81,6 +94,15 @@ class HarmonySession:
                     policy=self.config.resilience,
                     iterations=self.config.iterations,
                 )
+                # Fault plans veto fast-forward wholesale: the resilient
+                # runner's executors all take the legacy path, keeping
+                # faulty runs bit-for-bit identical to pre-steady-state
+                # behavior.  Record the veto so callers see why.
+                result.steady = SteadyReport(
+                    mode=steady_mode.value,
+                    live_iterations=self.config.iterations,
+                    vetoes=("fault-injection",),
+                )
                 if self.config.audit:
                     from repro.validate.audit import audit_resilient
 
@@ -93,7 +115,10 @@ class HarmonySession:
                     self.plan(),
                     cost_model=self.config.cost_model,
                     options=ExecOptions(
-                        prefetch=self.config.prefetch, audit=self.config.audit
+                        prefetch=self.config.prefetch,
+                        audit=self.config.audit,
+                        iterations=self.config.iterations,
+                        steady_state=self.config.steady_state,
                     ),
                 )
                 self._result = executor.run()
@@ -106,7 +131,10 @@ class HarmonySession:
         result = self.run(fresh=fresh)
         if result.audit is not None:
             return result.audit
-        result.audit = audit_run(result, self.topology, self.plan())
+        result.audit = audit_run(
+            result, self.topology, self.plan(),
+            iterations=self.config.iterations,
+        )
         return result.audit
 
     def timeline(self, width: int = 100) -> str:

@@ -45,6 +45,13 @@ class SimulationError(ReproError):
     (e.g. deadlock: tasks remain but nothing can make progress)."""
 
 
+class SteadyStateError(SimulationError):
+    """``--steady-state force`` demanded a fast-forwarded run but the
+    executor never proved periodicity (too few iterations for a
+    warm-up + detection + final live iteration, or a run whose state
+    genuinely never converges to a cycle)."""
+
+
 class TensorStateError(ReproError):
     """An illegal tensor lifetime transition was attempted."""
 

@@ -52,12 +52,21 @@ class SwapStats:
     _retry_events: dict[tuple[str, TensorKind, Direction], int] = field(
         default_factory=lambda: defaultdict(int)
     )
+    #: When set (a list), every record also appends ``(key, nbytes)`` —
+    #: the per-iteration delta capture behind steady-state fast-forward
+    #: (see :mod:`repro.steady.cycle`), which must replay the exact
+    #: per-key record *sequence* rather than a per-key total to stay
+    #: bitwise-faithful.  ``None`` (the default) costs one branch.
+    _journal: list | None = field(default=None, repr=False)
 
     def record(
         self, device: str, kind: TensorKind, direction: Direction, nbytes: float
     ) -> None:
-        self._volume[(device, kind, direction)] += nbytes
-        self._events[(device, kind, direction)] += 1
+        key = (device, kind, direction)
+        self._volume[key] += nbytes
+        self._events[key] += 1
+        if self._journal is not None:
+            self._journal.append((key, nbytes))
 
     def record_retry(
         self, device: str, kind: TensorKind, direction: Direction, nbytes: float

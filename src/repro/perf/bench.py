@@ -13,7 +13,14 @@ on two 550 MB GPUs, harmony-pp, 2 microbatches) and a scaled variant
   rate counters of a :class:`~repro.perf.cache.RunCache`;
 * **parallel-sweep scaling** — a small scheme x microbatch grid run
   serially and through :class:`~repro.perf.runner.SweepRunner` with
-  ``--jobs N``.
+  ``--jobs N``;
+* **steady-state fast-forward** — the Fig. 4 workload at many
+  iterations, ``--steady-state off`` vs ``auto`` (see
+  :mod:`repro.steady`).  The section *asserts* the two runs produce
+  identical makespan, swap ledgers, per-link busy seconds, and event
+  counts, and that the measured ``steady_speedup`` clears a floor
+  (100x at the full 10,000-iteration point) — equivalence and speedup
+  are checked, not eyeballed.
 
 ``write_json`` emits ``BENCH_sim.json`` (committed at the repo root)
 so the repo carries a perf trajectory; ``check_regression`` is the CI
@@ -167,8 +174,67 @@ def _time_sweep(jobs: int, quick: bool) -> dict:
     }
 
 
+def _time_steady(quick: bool) -> dict:
+    """Steady-state fast-forward: off vs auto at scale, equivalence
+    asserted field by field before the speedup is reported."""
+    from dataclasses import replace
+
+    iterations = 2_000 if quick else 10_000
+    gate_floor = 25.0 if quick else 100.0
+    spec = _fig4_workload()
+
+    def run(mode: str) -> tuple:
+        config = replace(
+            spec.config, iterations=iterations, steady_state=mode
+        )
+        t0 = time.perf_counter()
+        result = HarmonySession(spec.model, spec.topology, config).run()
+        return time.perf_counter() - t0, result
+
+    off_sec, off = run("off")
+    auto_sec = float("inf")
+    for _ in range(3):
+        elapsed, auto = run("auto")
+        auto_sec = min(auto_sec, elapsed)
+
+    mismatches = [
+        name
+        for name, got, want in (
+            ("makespan", auto.makespan, off.makespan),
+            ("swap_volume", dict(auto.stats._volume), dict(off.stats._volume)),
+            ("swap_events", dict(auto.stats._events), dict(off.stats._events)),
+            ("link_busy", auto.link_busy, off.link_busy),
+            ("events_processed", auto.events_processed, off.events_processed),
+        )
+        if got != want
+    ]
+    if mismatches:
+        raise ReproError(
+            f"steady-state fast-forward diverged from full simulation at "
+            f"iterations={iterations}: {', '.join(mismatches)}"
+        )
+    speedup = off_sec / auto_sec if auto_sec > 0 else 0.0
+    if speedup < gate_floor:
+        raise ReproError(
+            f"steady-state speedup x{speedup:.1f} below the x{gate_floor:g} "
+            f"floor at iterations={iterations} "
+            f"(off {off_sec:.3f}s vs auto {auto_sec:.3f}s)"
+        )
+    steady = auto.steady
+    return {
+        "iterations": iterations,
+        "off_sec": off_sec,
+        "auto_sec": auto_sec,
+        "steady_speedup": speedup,
+        "gate_floor": gate_floor,
+        "detected_at": steady.detected_at,
+        "skipped": steady.skipped,
+        "makespan": off.makespan,
+    }
+
+
 #: The harness sections, in report order.
-_SECTIONS = ("fig4", "fig4_scaled", "cache", "sweep")
+_SECTIONS = ("fig4", "fig4_scaled", "cache", "sweep", "steady")
 
 
 def _bench_section(payload: tuple[str, bool, int]) -> dict:
@@ -186,6 +252,8 @@ def _bench_section(payload: tuple[str, bool, int]) -> dict:
         return _time_cache(_fig4_workload())
     if name == "sweep":
         return _time_sweep(jobs, quick)
+    if name == "steady":
+        return _time_steady(quick)
     raise ReproError(f"unknown bench section: {name!r}")
 
 
@@ -275,6 +343,16 @@ def render(report: dict) -> str:
         f"  jobs=1 {sweep['serial_sec']:.3f} s -> jobs={sweep['jobs']} "
         f"{sweep['parallel_sec']:.3f} s (x{sweep['scaling']:.2f})",
     ]
+    steady = cur["steady"]
+    lines += [
+        "",
+        f"steady-state fast-forward ({steady['iterations']:,} iterations, "
+        "identical results asserted):",
+        f"  off {steady['off_sec']:.3f} s -> auto {steady['auto_sec']:.4f} s "
+        f"(steady_speedup x{steady['steady_speedup']:.0f}, floor "
+        f"x{steady['gate_floor']:g}; detected at iteration "
+        f"{steady['detected_at']}, {steady['skipped']:,} skipped)",
+    ]
     return "\n".join(lines)
 
 
@@ -307,4 +385,30 @@ def check_regression(
         f"bench check: {measured:,.0f} events/s vs committed baseline "
         f"{reference:,.0f} (floor {floor:,.0f}): {verdict}"
     )
-    return 0 if measured >= floor else 1
+    failed = measured < floor
+
+    steady = report["current"].get("steady")
+    if steady is not None:
+        # Same one-sided philosophy: the absolute gate_floor already
+        # failed the run inside _time_steady if fast-forward broke, so
+        # the committed comparison only guards against a *relative*
+        # collapse — and only when the committed file measured the same
+        # iteration count (quick and full points aren't comparable).
+        committed_steady = committed.get("current", {}).get("steady")
+        speedup = steady["steady_speedup"]
+        if (
+            committed_steady is not None
+            and committed_steady.get("iterations") == steady["iterations"]
+        ):
+            steady_floor = (1.0 - threshold) * committed_steady["steady_speedup"]
+        else:
+            steady_floor = steady["gate_floor"]
+        steady_verdict = "ok" if speedup >= steady_floor else "REGRESSION"
+        print(
+            f"bench check: steady_speedup x{speedup:.0f} at "
+            f"{steady['iterations']:,} iterations "
+            f"(floor x{steady_floor:.0f}): {steady_verdict}"
+        )
+        failed = failed or speedup < steady_floor
+
+    return 1 if failed else 0

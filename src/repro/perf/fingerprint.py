@@ -36,7 +36,11 @@ from repro.models.graph import ModelGraph
 #: Salt mixed into every fingerprint.  Bump on any change to scheduler,
 #: decomposer, executor, memory-manager, or cost-model *semantics* (a
 #: change that could alter a RunResult); pure refactors keep it.
-SCHEDULER_VERSION = "2026.08-pr3"
+#: 2026.08-pr5: steady-state cycle engine — multi-iteration healthy
+#: runs use the rebased-clock executor path and may carry compressed
+#: periodic traces, and ``HarmonyConfig.steady_state`` joined the
+#: canonical form.
+SCHEDULER_VERSION = "2026.08-pr5"
 
 
 class FingerprintError(ReproError):

@@ -50,9 +50,15 @@ class Engine:
         self, time: float, callback: Callable[[], None], daemon: bool = False
     ) -> None:
         """Schedule ``callback`` at absolute simulated ``time``."""
-        if time < self.now - 1e-12:
+        now = self.now
+        # The past-event tolerance is *relative* to the clock: at large
+        # simulated times (exactly the regime steady-state fast-forward
+        # creates) a ulp of float error on ``start + duration`` dwarfs
+        # any absolute epsilon — 1e-12 absolute would reject legitimate
+        # events at t ~ 1e9 where one ulp is ~1.2e-7.
+        if time < now - 1e-12 * (now if now > 1.0 else 1.0):
             raise SimulationError(
-                f"cannot schedule event in the past ({time} < {self.now})"
+                f"cannot schedule event in the past ({time} < {now})"
             )
         heapq.heappush(self._heap, (time, self._seq, daemon, callback))
         self._seq += 1
@@ -94,12 +100,16 @@ class Engine:
 class ResourceTimeline:
     """A serially-shared resource: FIFO occupancy with busy accounting."""
 
-    __slots__ = ("name", "free_at", "busy_seconds")
+    __slots__ = ("name", "free_at", "busy_seconds", "journal")
 
     def __init__(self, name: str):
         self.name = name
         self.free_at = 0.0
         self.busy_seconds = 0.0
+        #: When set (a list), every acquire appends its duration — the
+        #: per-iteration delta capture behind steady-state fast-forward
+        #: (see :mod:`repro.steady.cycle`).  ``None`` costs one branch.
+        self.journal: list[float] | None = None
 
     def acquire(self, now: float, duration: float) -> tuple[float, float]:
         """Queue ``duration`` of exclusive use; returns (start, end)."""
@@ -109,6 +119,8 @@ class ResourceTimeline:
         end = start + duration
         self.free_at = end
         self.busy_seconds += duration
+        if self.journal is not None:
+            self.journal.append(duration)
         return start, end
 
     @staticmethod
@@ -121,7 +133,14 @@ class ResourceTimeline:
             names = ", ".join(r.name for r in resources) or "no resources"
             raise SimulationError(f"{names}: negative duration")
         if not resources:
-            return now, now + duration
+            # An empty acquisition used to hand back a phantom
+            # ``(now, now + duration)`` window that occupied nothing —
+            # invisible to the audit layer's exclusivity cross-checks.
+            raise SimulationError(
+                "acquire_all on an empty resource list (a transfer must "
+                "occupy at least one timeline; local moves bypass "
+                "acquisition explicitly)"
+            )
         start = now
         for r in resources:
             if r.free_at > start:
@@ -130,6 +149,8 @@ class ResourceTimeline:
         for r in resources:
             r.free_at = end
             r.busy_seconds += duration
+            if r.journal is not None:
+                r.journal.append(duration)
         return start, end
 
     def utilization(self, horizon: float) -> float:

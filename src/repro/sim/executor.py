@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.errors import CapacityError, SimulationError
+from repro.errors import CapacityError, SimulationError, SteadyStateError
 
 if TYPE_CHECKING:
     from repro.faults.injector import FaultInjector
@@ -31,8 +31,9 @@ from repro.models.costmodel import CostModel
 from repro.sim.engine import Engine, ResourceTimeline
 from repro.sim.plan import Plan
 from repro.sim.result import DeviceReport, RunResult
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, TraceEvent
 from repro.sim.transfer import TransferEngine
+from repro.steady import SteadyMode, SteadyReport, resolve_mode
 from repro.tasks.task import Task, TaskKind
 
 
@@ -63,6 +64,12 @@ class ExecOptions:
         compute under stragglers, degrades/defers/fails transfers, and
         arms device-loss and memory-pressure events on the engine.
         ``None`` simulates a healthy machine.
+    steady_state:
+        Steady-state fast-forward mode (``"auto"``/``"off"``/``"force"``
+        or a :class:`~repro.steady.SteadyMode`); ``None`` inherits the
+        process default (see :func:`repro.steady.resolve_mode`).  Any
+        injector vetoes fast-forward wholesale, keeping fault-injected
+        runs bit-for-bit identical to the pre-steady-state simulator.
     """
 
     prefetch: bool = False
@@ -70,10 +77,13 @@ class ExecOptions:
     iterations: int = 1
     audit: bool = False
     injector: "FaultInjector | None" = None
+    steady_state: "SteadyMode | str | None" = None
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
             raise SimulationError("iterations must be >= 1")
+        if self.steady_state is not None:
+            SteadyMode.parse(self.steady_state)  # validate eagerly
 
 
 @dataclass(slots=True)
@@ -102,9 +112,12 @@ class Executor:
         self.engine = Engine()
         self.stats = SwapStats()
         self.trace = Trace()
+        # Clock for usage-log timestamps: epoch-rebased runs report
+        # absolute time (``_epoch`` stays 0.0 on the legacy path, and
+        # ``0.0 + now`` is bitwise ``now``).
         self.manager = MemoryManager(
             topology, plan.registry, plan.policy, self.stats,
-            clock=lambda: self.engine.now,
+            clock=lambda: self._epoch + self.engine.now,
         )
         self.links = {name: ResourceTimeline(name) for name in topology.links}
         self.compute_streams = {
@@ -131,22 +144,35 @@ class Executor:
         self._arrivals: dict[int, set[str]] = {}
         self._started_collectives: set[int] = set()
         self._samples = 0
+        self.steady_mode = resolve_mode(self.options.steady_state)
+        if self.injector is not None and self.steady_mode is SteadyMode.FORCE:
+            raise SimulationError(
+                "steady-state 'force' is incompatible with fault injection: "
+                "any injector vetoes fast-forward"
+            )
+        # The cycle path rebases the clock at iteration boundaries so
+        # that steady iterations are bitwise-identical and detectable
+        # (see _run_cycles).  Single-iteration and fault-injected runs
+        # keep the legacy continuous clock: their event streams are
+        # bit-for-bit identical to the pre-steady-state simulator.
+        self._cycle_path = (
+            self.injector is None and self.options.iterations > 1
+        )
+        #: Absolute time of the current iteration's local t=0 on the
+        #: cycle path; stays 0.0 on the legacy path.
+        self._epoch = 0.0
+        self._all_timelines = (
+            *self.links.values(), *self.compute_streams.values()
+        )
+        self.steady_report: SteadyReport | None = None
 
     # -- public ------------------------------------------------------------
 
     def run(self) -> RunResult:
-        self.manager.materialize_initial()
-        for iteration in range(self.options.iterations):
-            if iteration > 0:
-                self._reset_iteration()
-            for dev in self._device_names:
-                self._advance(dev)
-            self.engine.run()
-            self._check_complete()
-        if self.options.flush_at_end:
-            self._flush()
-            self.engine.run()
-        result = self._result()
+        if self._cycle_path:
+            result = self._run_cycles()
+        else:
+            result = self._run_legacy()
         if self.options.audit:
             # Imported lazily: repro.validate pulls in the session layer
             # for its differential checker, which imports this module.
@@ -158,6 +184,141 @@ class Executor:
             )
             result.audit.raise_if_failed()
         return result
+
+    def _run_legacy(self) -> RunResult:
+        """Continuous-clock loop: single-iteration and fault-injected
+        runs, byte-identical to the simulator before the steady-state
+        layer existed."""
+        self.manager.materialize_initial()
+        for iteration in range(self.options.iterations):
+            if iteration > 0:
+                self._reset_iteration()
+            for dev in self._device_names:
+                self._advance(dev)
+            self.engine.run()
+            self._check_complete()
+        if self.options.flush_at_end:
+            self._flush()
+            self.engine.run()
+        return self._result()
+
+    def _run_cycles(self) -> RunResult:
+        """Rebased-clock loop for healthy multi-iteration runs.
+
+        Every iteration starts at local ``t=0`` with every resource
+        timeline free (the engine fully drains between iterations, so
+        zeroing loses nothing); the iteration's trace events are
+        committed to absolute time by adding ``self._epoch`` at the
+        boundary.  An iteration is therefore a pure function of its
+        entry state, and once two consecutive entry fingerprints match
+        bitwise, every remaining iteration is proven identical:
+        ``auto``/``force`` fast-forward all but the last analytically
+        (:mod:`repro.steady.cycle`), while ``off`` simply keeps
+        simulating — both arms produce bit-for-bit equal results, which
+        is what the equivalence tests and the bench assert.
+        """
+        from repro.steady.cycle import (
+            apply_fast_forward,
+            capture_ledger,
+            entry_fingerprint,
+            start_journals,
+            stop_journals,
+        )
+
+        mode = self.steady_mode
+        n = self.options.iterations
+        engine = self.engine
+        detecting = mode is not SteadyMode.OFF
+        detected_at: int | None = None
+        skipped = 0
+        period: float | None = None
+
+        self.manager.materialize_initial()
+        prev_fp = entry_fingerprint(self) if detecting else None
+        it = 1
+        mark = 0  # first trace-event index of the current iteration
+        while True:
+            if detecting:
+                start_journals(self)
+                events_before = engine.events_processed
+                samples_before = self._samples
+            for dev in self._device_names:
+                self._advance(dev)
+            engine.run()
+            self._check_complete()
+            local_makespan = engine.now
+            if it == n:
+                if detecting:
+                    stop_journals(self)
+                break
+            ledger = None
+            if detecting:
+                # Capture before the commit below shifts events[mark:]
+                # to absolute time: the cycle is stored in local time.
+                ledger = capture_ledger(
+                    self, mark, events_before, samples_before, local_makespan
+                )
+                stop_journals(self)
+            # -- iteration boundary: commit and rebase ----------------
+            self._commit_trace(mark)
+            self._epoch += local_makespan
+            mark = len(self.trace.events)
+            self._reset_iteration()
+            if engine._heap:
+                raise SimulationError(
+                    "steady-state loop: events pending across an iteration "
+                    "boundary (only fault daemons linger, and injectors "
+                    "take the legacy path)"
+                )
+            engine.now = 0.0
+            for tl in self._all_timelines:
+                tl.free_at = 0.0
+            if detecting:
+                fp = entry_fingerprint(self)
+                skip = n - 1 - it  # iterations to fast-forward; the
+                # final iteration always runs live so the flush departs
+                # from a naturally-arising state.
+                if fp == prev_fp and skip > 0:
+                    detected_at = it + 1
+                    period = ledger.period
+                    skipped = skip
+                    apply_fast_forward(self, ledger, skip)
+                    mark = len(self.trace.events)
+                    detecting = False
+                    it = n - 1
+                prev_fp = fp
+            it += 1
+        if self.options.flush_at_end:
+            self._flush()
+            engine.run()
+        self._commit_trace(mark)
+        if mode is SteadyMode.FORCE and skipped == 0:
+            raise SteadyStateError(
+                f"steady-state 'force': no cycle proven over {n} iterations "
+                "(detection needs a warm-up, a matching entry, and at least "
+                "one skippable iteration before the final live one)"
+            )
+        result = self._result()
+        result.steady = SteadyReport(
+            mode=mode.value,
+            detected_at=detected_at,
+            skipped=skipped,
+            period=period,
+            live_iterations=n - skipped,
+        )
+        return result
+
+    def _commit_trace(self, mark: int) -> None:
+        """Shift ``trace.events[mark:]`` from local to absolute time."""
+        epoch = self._epoch
+        if epoch == 0.0:
+            return
+        events = self.trace.events
+        for i in range(mark, len(events)):
+            e = events[i]
+            events[i] = TraceEvent(
+                e[0], epoch + e[1], epoch + e[2], e[3], e[4], e[5]
+            )
 
     def _reset_iteration(self) -> None:
         """Rewind the plan for a replay: every device starts its order
@@ -364,16 +525,24 @@ class Executor:
         return result
 
     def _result(self) -> RunResult:
-        makespan = max(self.trace.makespan(), self.engine.now)
+        makespan = max(self.trace.makespan(), self._epoch + self.engine.now)
         devices = {}
         for gpu in self.topology.gpus():
             pool = self.manager.pools[gpu.name]
+            if self._cycle_path:
+                # Foldable source: the compute stream's busy ledger —
+                # O(live iterations) under fast-forward where summing
+                # the expanded trace would be O(events x N).  Identical
+                # between off/auto arms (both fold the same additions).
+                compute_busy = self.compute_streams[gpu.name].busy_seconds
+            else:
+                compute_busy = self.trace.busy_seconds(gpu.name, "compute")
             devices[gpu.name] = DeviceReport(
                 name=gpu.name,
                 capacity=pool.capacity,
                 peak_used=pool.peak_used,
                 peak_demand=pool.peak_demand,
-                compute_busy=self.trace.busy_seconds(gpu.name, "compute"),
+                compute_busy=compute_busy,
                 swap_in_bytes=self.stats.volume(gpu.name, None, Direction.SWAP_IN),
                 swap_out_bytes=self.stats.volume(gpu.name, None, Direction.SWAP_OUT),
             )

@@ -15,6 +15,7 @@ from repro.memory.stats import SwapStats
 
 if TYPE_CHECKING:
     from repro.faults.report import FaultReport
+    from repro.steady import SteadyReport
     from repro.validate.violations import AuditReport
 from repro.sim.trace import Trace
 from repro.units import GB, fmt_bytes, fmt_time
@@ -75,6 +76,11 @@ class RunResult:
     #: For a resilient run this is the aggregate over all segments and
     #: the other fields describe the final executed segment.
     faults: "FaultReport | None" = None
+    #: Steady-state fast-forward accounting (see :mod:`repro.steady`),
+    #: set by multi-iteration healthy runs; fault-injected and
+    #: single-iteration runs leave it ``None`` (session-level fault
+    #: runs record the veto instead).
+    steady: "SteadyReport | None" = None
 
     @property
     def throughput(self) -> float:

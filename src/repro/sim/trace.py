@@ -8,9 +8,10 @@ chart used to reproduce the paper's Fig. 4 schedule diagram.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import NamedTuple
+from typing import Iterator, NamedTuple
 
 from repro.errors import SimulationError
+from repro.steady.fold import fold_repeat
 
 CATEGORIES = ("compute", "swap_in", "swap_out", "p2p", "allreduce")
 _CATEGORY_SET = frozenset(CATEGORIES)
@@ -45,9 +46,93 @@ class TraceEvent(NamedTuple):
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class PeriodicSegment:
+    """Run-length record of ``count`` proven-identical iterations.
+
+    Steady-state fast-forward (see :mod:`repro.steady`) stores one copy
+    of the repeating iteration's events in *local* time plus the fold
+    parameters; :meth:`expand` reproduces the events full simulation
+    would have traced, bit-for-bit: the k-th repetition's events are the
+    stored cycle shifted by ``start_offset`` advanced k times by
+    ``period`` — the exact arithmetic the executor's epoch commit uses.
+    """
+
+    #: Index into ``Trace.events`` where the expansion splices in.
+    insert_at: int
+    #: Absolute epoch of the first compressed iteration.
+    start_offset: float
+    #: Epoch advance per iteration (the cycle's local makespan).
+    period: float
+    #: Number of compressed iterations.
+    count: int
+    #: Absolute epoch after the segment (``start_offset`` folded
+    #: ``count`` times by ``period``) — where live simulation resumed.
+    end_offset: float
+    #: One cycle's events in local (epoch-relative) time.
+    events: tuple[TraceEvent, ...]
+
+    def expand(self) -> Iterator[TraceEvent]:
+        offset = self.start_offset
+        for _ in range(self.count):
+            for e in self.events:
+                yield TraceEvent(
+                    e.device, offset + e.start, offset + e.end,
+                    e.category, e.label, e.nbytes,
+                )
+            offset += self.period
+
+    @property
+    def expanded_len(self) -> int:
+        return self.count * len(self.events)
+
+
 @dataclass
 class Trace:
     events: list[TraceEvent] = field(default_factory=list)
+    #: Run-length compressed spans (steady-state fast-forward); empty
+    #: for full-fidelity traces.  Logical event order is ``events`` with
+    #: each segment spliced in at its ``insert_at`` — use
+    #: :meth:`iter_events` / :meth:`expanded` for the full view.
+    segments: list[PeriodicSegment] = field(default_factory=list)
+
+    @property
+    def is_compressed(self) -> bool:
+        return bool(self.segments)
+
+    def add_segment(self, segment: PeriodicSegment) -> None:
+        if segment.count < 1:
+            raise SimulationError("periodic segment must repeat at least once")
+        if segment.period < 0:
+            raise SimulationError("periodic segment has negative period")
+        if not 0 <= segment.insert_at <= len(self.events):
+            raise SimulationError(
+                f"periodic segment splices at {segment.insert_at} but the "
+                f"trace holds {len(self.events)} events"
+            )
+        self.segments.append(segment)
+
+    def iter_events(self) -> Iterator[TraceEvent]:
+        """All events in logical order, expanding compressed segments."""
+        if not self.segments:
+            yield from self.events
+            return
+        pos = 0
+        for seg in sorted(self.segments, key=lambda s: s.insert_at):
+            yield from self.events[pos:seg.insert_at]
+            pos = seg.insert_at
+            yield from seg.expand()
+        yield from self.events[pos:]
+
+    def expanded(self) -> "Trace":
+        """A full-fidelity copy (self when nothing is compressed)."""
+        if not self.segments:
+            return self
+        return Trace(events=list(self.iter_events()))
+
+    def total_events(self) -> int:
+        """Logical event count, without expanding."""
+        return len(self.events) + sum(s.expanded_len for s in self.segments)
 
     def add(
         self,
@@ -73,23 +158,36 @@ class Trace:
 
     def for_device(self, device: str) -> list[TraceEvent]:
         return sorted(
-            (e for e in self.events if e.device == device),
+            (e for e in self.iter_events() if e.device == device),
             key=lambda e: (e.start, e.end),
         )
 
     def by_category(self, category: str) -> list[TraceEvent]:
-        return [e for e in self.events if e.category == category]
+        return [e for e in self.iter_events() if e.category == category]
 
     def devices(self) -> list[str]:
-        return sorted({e.device for e in self.events})
+        names = {e.device for e in self.events}
+        for seg in self.segments:
+            names.update(e.device for e in seg.events)
+        return sorted(names)
 
     def makespan(self) -> float:
-        return max((e.end for e in self.events), default=0.0)
+        span = max((e.end for e in self.events), default=0.0)
+        for seg in self.segments:
+            # Exact, not estimated: replay the offset fold to the final
+            # repetition (O(count) single adds) so a compressed trace
+            # reports the same makespan its expansion would.
+            offset = fold_repeat(seg.start_offset, (seg.period,), seg.count - 1)
+            for e in seg.events:
+                end = offset + e.end
+                if end > span:
+                    span = end
+        return span
 
     def busy_seconds(self, device: str, category: str | None = None) -> float:
         return sum(
             e.duration
-            for e in self.events
+            for e in self.iter_events()
             if e.device == device and (category is None or e.category == category)
         )
 
@@ -118,7 +216,7 @@ def to_chrome_trace(trace: Trace) -> dict:
                 "args": {"name": device},
             }
         )
-    for event in trace.events:
+    for event in trace.iter_events():
         record = {
             "name": event.label,
             "cat": event.category,

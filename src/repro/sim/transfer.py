@@ -182,7 +182,13 @@ class TransferEngine:
                 route, op.tensor.size_bytes, self.engine.now
             )
         timelines = self._timelines(route)
-        start, end = ResourceTimeline.acquire_all(timelines, ready, duration)
+        if timelines:
+            start, end = ResourceTimeline.acquire_all(timelines, ready, duration)
+        else:
+            # A zero-hop route (host-local materialization) occupies no
+            # link; acquire_all rejects empty lists, so the window is
+            # explicit here.
+            start, end = ready, ready + duration
         category = _CATEGORY[op.kind]
         device = op.src if op.kind is MemOpKind.SWAP_OUT else op.dst
 
@@ -297,7 +303,9 @@ class TransferEngine:
             ]
             ready = max(t for t, _ in timings)
             duration = max(d for _, d in timings)
-        start, end = ResourceTimeline.acquire_all(
-            list(involved.values()), ready, duration
-        )
+        timelines = list(involved.values())
+        if timelines:
+            start, end = ResourceTimeline.acquire_all(timelines, ready, duration)
+        else:
+            start, end = ready, ready + duration
         self.engine.at(end, lambda: done(start, end))

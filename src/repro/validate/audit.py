@@ -58,7 +58,18 @@ def audit_run(
     (task coverage, sample counts) and link feasibility are skipped —
     in-flight transfers hold link reservations past the abort instant,
     so busy time legitimately exceeds the truncated makespan.
+
+    Compressed periodic traces (steady-state fast-forward, see
+    :mod:`repro.steady`) are audited on their expanded-on-demand view:
+    every invariant below runs against the full logical event stream,
+    bit-for-bit the one full simulation would have traced.  Expansion
+    costs O(events x iterations) — auditing deliberately forgoes the
+    fast-forward saving.
     """
+    if result.trace.is_compressed:
+        from dataclasses import replace
+
+        result = replace(result, trace=result.trace.expanded())
     report = AuditReport(label=result.label)
     checks = [
         ("event_sanity", lambda: check_event_sanity(result, topology)),

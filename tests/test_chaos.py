@@ -166,6 +166,63 @@ class TestTornJournal:
         assert healed.torn_records == 1
         assert len(healed.outcomes) == 3
 
+    def test_fast_forwarded_journal_replays_byte_identically(self, tmp_path):
+        """A journaled sweep of steady-state runs: the journal carries
+        fast-forwarded results (compressed periodic traces), and a
+        resumed run must replay them byte-for-byte — the analytic fast
+        path must survive pickling and the write-ahead log unchanged."""
+        from repro.models import zoo
+        from repro.perf.runner import RunSpec
+        from repro import BatchConfig, HarmonyConfig
+        from repro.hardware import presets
+
+        model = zoo.synthetic_uniform(num_layers=4)
+        topology = presets.gtx1080ti_server(num_gpus=2)
+        specs = [
+            RunSpec(
+                model, topology,
+                HarmonyConfig(
+                    scheme, batch=BatchConfig(1, 2),
+                    iterations=17, steady_state="auto",
+                ),
+                label=f"steady-{scheme}",
+            )
+            for scheme in ("harmony-pp", "pp-baseline")
+        ]
+        journal = tmp_path / "steady.jsonl"
+        first = supervisor(jobs=1, journal=str(journal))
+        original = first.run_tasks(
+            [
+                Task(key=f"steady:{s.label}", fn=_execute_spec, payload=s,
+                     label=s.label)
+                for s in specs
+            ]
+        )
+        assert all(r.steady.fast_forwarded for r in original)
+        assert all(r.trace.is_compressed for r in original)
+
+        resumed = supervisor(jobs=1, journal=str(journal))
+        replayed = resumed.run_tasks(
+            [
+                Task(key=f"steady:{s.label}", fn=_execute_spec, payload=s,
+                     label=s.label)
+                for s in specs
+            ]
+        )
+        assert resumed.report.replayed == 2
+        assert resumed.report.executed == 0
+        assert [chrome_json(r) for r in replayed] == [
+            chrome_json(r) for r in original
+        ]
+        # The compressed representation round-tripped intact, and the
+        # replayed results still expand to the full event stream.
+        for got, want in zip(replayed, original):
+            assert got.makespan == want.makespan
+            assert got.steady == want.steady
+            assert (
+                got.trace.expanded().events == want.trace.expanded().events
+            )
+
     def test_garbage_journal_is_survivable(self, tmp_path):
         journal = tmp_path / "j.jsonl"
         journal.write_bytes(b'{"type": "header", "schema": 1\nnot json at all')

@@ -74,11 +74,16 @@ class TestPerfCli:
         assert main(["bench", "--quick", "--jobs", "2", "--out", str(path)]) == 0
         out = capsys.readouterr().out
         assert "events/s" in out and "run cache" in out
+        assert "steady_speedup" in out
         report = json.loads(path.read_text())
         assert report["current"]["fig4"]["events"] > 0
+        steady = report["current"]["steady"]
+        assert steady["steady_speedup"] >= steady["gate_floor"]
         # The gate passes against the report it just wrote.
         assert main(["bench", "--quick", "--check", str(path)]) == 0
-        assert "bench check" in capsys.readouterr().out
+        check_out = capsys.readouterr().out
+        assert "bench check" in check_out
+        assert "steady_speedup" in check_out
 
 
 def strip_supervisor(out: str) -> str:

@@ -102,6 +102,9 @@ class TestResourceTimeline:
         assert (s, e) == (5.0, 7.0)
         assert b.free_at == 7.0
 
-    def test_acquire_all_empty(self):
-        s, e = ResourceTimeline.acquire_all([], 1.0, 2.0)
-        assert (s, e) == (1.0, 3.0)
+    def test_acquire_all_empty_raises(self):
+        # A transfer must occupy at least one timeline; an empty list
+        # used to fabricate a phantom (now, now+duration) window that
+        # never contended with anything.
+        with pytest.raises(SimulationError, match="empty resource list"):
+            ResourceTimeline.acquire_all([], 1.0, 2.0)
