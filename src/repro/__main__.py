@@ -74,14 +74,15 @@ from repro.errors import AuditError, PoisonedSpecError, ReproError
 from repro.hardware import presets
 from repro.models import zoo
 from repro.perf import RunCache, RunSpec, SweepRunner
+from repro.schedulers import scheme_names
 from repro.tuner.search import tune
 from repro.units import GB
 from repro.validate import differential_check
 
-SCHEMES = [
-    "single", "dp-baseline", "harmony-dp", "pp-baseline", "harmony-pp",
-    "harmony-tp",
-]
+#: Every registered scheme, in registry order — the single list the
+#: compare/timeline/audit/faults commands enumerate or offer as
+#: ``--scheme`` choices.  Grows automatically with the registry.
+SCHEMES = list(scheme_names())
 
 
 def _jobs(args: argparse.Namespace, fallback: int = 1) -> int:
@@ -229,6 +230,21 @@ def _build(args: argparse.Namespace):
 
 def cmd_compare(args: argparse.Namespace) -> int:
     model, server, batch = _build(args)
+    if args.schedule_zoo:
+        from repro.experiments import schedule_zoo
+
+        cache = _make_cache(args)
+        sup = _make_supervisor(args, cache=cache)
+        rows = schedule_zoo.run(
+            model, server, batch, jobs=_jobs(args), cache=cache,
+            supervisor=sup,
+        )
+        print(schedule_zoo.table(rows).render())
+        print()
+        print(schedule_zoo.stage_memory_figure(rows))
+        if sup is not None:
+            print(sup.report.render())
+        return 0
     print(model.describe())
     state = model.param_bytes + model.grad_bytes + model.optimizer_bytes
     print(f"training state: {state / GB:.1f} GB; {args.gpus} GPUs x 11 GB\n")
@@ -575,6 +591,12 @@ def main(argv: list[str] | None = None) -> int:
         "--iterations", type=int, default=1, metavar="N",
         help="training iterations per scheme (multi-iteration runs are "
              "eligible for --steady-state fast-forward; default 1)",
+    )
+    compare_p.add_argument(
+        "--schedule-zoo", action="store_true", dest="schedule_zoo",
+        help="print the schedule-zoo figure instead of the comparison "
+             "table: per-stage peak activation memory vs throughput "
+             "across every registered scheduler",
     )
 
     tune_p = sub.add_parser(

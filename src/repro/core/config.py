@@ -19,6 +19,12 @@ class Parallelism(enum.Enum):
     ``HARMONY_DP`` / ``HARMONY_PP`` are the paper's proposal; the
     ``*_BASELINE`` values are today's frameworks with per-GPU memory
     virtualization bolted on, and ``SINGLE`` is one virtualized GPU.
+    ``PIPEDREAM_1F1B`` and ``DAPPLE`` are the contemporary pipeline
+    schedules the paper positions against, likewise virtualized.
+
+    Values mirror the scheduler registry
+    (:data:`repro.schedulers.SCHEDULER_REGISTRY`) one-for-one; a test
+    keeps the two in sync.
     """
 
     SINGLE = "single"
@@ -27,6 +33,8 @@ class Parallelism(enum.Enum):
     HARMONY_DP = "harmony-dp"
     HARMONY_PP = "harmony-pp"
     HARMONY_TP = "harmony-tp"
+    PIPEDREAM_1F1B = "pipedream-1f1b"
+    DAPPLE = "dapple"
 
     @staticmethod
     def parse(value: "Parallelism | str") -> "Parallelism":

@@ -15,6 +15,7 @@ from repro.experiments import fig5_swap_volumes
 from repro.experiments import sec4_feasibility
 from repro.experiments import ablations
 from repro.experiments import faults_degradation
+from repro.experiments import schedule_zoo
 
 __all__ = [
     "fig1_growth",
@@ -26,4 +27,5 @@ __all__ = [
     "sec4_feasibility",
     "ablations",
     "faults_degradation",
+    "schedule_zoo",
 ]

@@ -95,6 +95,18 @@ class MemoryManager:
         self.usage_log: dict[str, list[tuple[float, float]]] = {
             gpu.name: [] for gpu in topology.gpus()
         }
+        #: Bytes of non-persistent ("activation-class": A/dA/S and the
+        #: pack variants) tensors currently resident per device, and the
+        #: high-water mark.  This is the per-stage activation footprint
+        #: pipeline schedules trade against throughput (1F1B's in-flight
+        #: bound, DAPPLE's early backward); persistent state (W/dW/K) is
+        #: excluded so depth effects are not drowned out by weights.
+        self.activation_resident: dict[str, float] = {
+            gpu.name: 0.0 for gpu in topology.gpus()
+        }
+        self.activation_peak: dict[str, float] = {
+            gpu.name: 0.0 for gpu in topology.gpus()
+        }
         # Runtimes are created lazily: the registry keeps growing while
         # the decomposer (or a test) names tensors, and the manager must
         # track whatever exists by the time each tensor is first touched.
@@ -114,6 +126,16 @@ class MemoryManager:
             if meta.persistent or is_input:
                 rt.materialize_on_host()
 
+
+    def _track_activation(self, device: str | None, meta: TensorMeta, sign: float) -> None:
+        """Mirror one pool reserve (+1) / release (-1) into the
+        activation-class footprint counters."""
+        if device is None or meta.persistent:
+            return
+        resident = self.activation_resident[device] + sign * meta.size_bytes
+        self.activation_resident[device] = resident
+        if resident > self.activation_peak[device]:
+            self.activation_peak[device] = resident
 
     def _log_usage(self, device: str | None) -> None:
         pool = self.pools.get(device)
@@ -425,6 +447,7 @@ class MemoryManager:
             if rt.state is TensorState.ON_DEVICE and rt.device == op.dst:
                 return False
             self.pools[op.dst].reserve(rt.meta.tid, rt.meta.size_bytes)
+            self._track_activation(op.dst, rt.meta, +1.0)
             rt.begin_swap_in(op.dst)
             self._log_usage(op.dst)
             return True
@@ -437,11 +460,13 @@ class MemoryManager:
                 op.kind = MemOpKind.SWAP_IN
                 op.src = None
                 self.pools[op.dst].reserve(rt.meta.tid, rt.meta.size_bytes)
+                self._track_activation(op.dst, rt.meta, +1.0)
                 rt.begin_swap_in(op.dst)
                 self._log_usage(op.dst)
                 return True
             op.src = rt.device
             self.pools[op.dst].reserve(rt.meta.tid, rt.meta.size_bytes)
+            self._track_activation(op.dst, rt.meta, +1.0)
             rt.begin_move(op.dst)
             self._log_usage(op.dst)
             return True
@@ -460,11 +485,13 @@ class MemoryManager:
             device = rt.device
             rt.drop()
             self.pools[device].release(rt.meta.tid)
+            self._track_activation(device, rt.meta, -1.0)
             self._log_usage(device)
             self.stats.record(device, rt.meta.kind, Direction.DROP, rt.meta.size_bytes)
             return True
         if kind is MemOpKind.ALLOC:
             self.pools[op.dst].reserve(rt.meta.tid, rt.meta.size_bytes)
+            self._track_activation(op.dst, rt.meta, +1.0)
             rt.materialize_on_device(op.dst)
             self._log_usage(op.dst)
             self._assign_home(rt.meta.tid, op.dst, rt.meta.size_bytes)
@@ -479,6 +506,7 @@ class MemoryManager:
             rt.finish_swap_out()
             rt.host_device = self.topology.host_of(op.src).name
             self.pools[op.src].release(meta.tid)
+            self._track_activation(op.src, meta, -1.0)
             self._log_usage(op.src)
             self.stats.record(op.src, meta.kind, Direction.SWAP_OUT, meta.size_bytes)
         elif op.kind is MemOpKind.SWAP_IN:
@@ -489,6 +517,7 @@ class MemoryManager:
         elif op.kind is MemOpKind.P2P:
             rt.finish_swap_in()
             self.pools[op.src].release(meta.tid)
+            self._track_activation(op.src, meta, -1.0)
             self._log_usage(op.src)
             self.stats.record(op.dst, meta.kind, Direction.P2P_IN, meta.size_bytes)
             self.stats.record(op.src, meta.kind, Direction.P2P_OUT, meta.size_bytes)
@@ -597,6 +626,7 @@ class MemoryManager:
         rt.free()
         if device is not None:
             self.pools[device].release(tid)
+            self._track_activation(device, rt.meta, -1.0)
             self._log_usage(device)
         self._unassign_home(tid, rt.meta.size_bytes)
 

@@ -40,7 +40,10 @@ from repro.models.graph import ModelGraph
 #: runs use the rebased-clock executor path and may carry compressed
 #: periodic traces, and ``HarmonyConfig.steady_state`` joined the
 #: canonical form.
-SCHEDULER_VERSION = "2026.08-pr5"
+#: 2026.08-pr6: scheduler zoo — pipedream-1f1b and dapple joined the
+#: registry, and every RunResult now carries per-device peak
+#: activation-class residency (``DeviceReport.peak_activation``).
+SCHEDULER_VERSION = "2026.08-pr6"
 
 
 class FingerprintError(ReproError):

@@ -70,13 +70,26 @@ class Scheduler(abc.ABC):
         replica_device: dict[int, str],
         policy: MemoryPolicy,
         notes: dict | None = None,
+        wire_allreduce: bool = True,
+        collective_subsets: dict[int, dict[str, tuple[int, ...]]] | None = None,
     ) -> Plan:
-        """Wire allreduce participants, check placement, and assemble."""
-        for task in itasks.graph:
-            if task.kind is TaskKind.ALLREDUCE:
-                task.participants = tuple(
-                    sorted(replica_device[r] for r in range(itasks.num_replicas))
-                )
+        """Wire allreduce participants, check placement, and assemble.
+
+        ``wire_allreduce=False`` keeps the participants the scheduler
+        already set — for layouts where a replica spans several devices
+        (e.g. DAPPLE's hybrid pipelines) the one-device-per-replica
+        wiring below is wrong, and the scheduler passes the matching
+        per-device tensor ``collective_subsets`` instead.
+        """
+        if wire_allreduce:
+            for task in itasks.graph:
+                if task.kind is TaskKind.ALLREDUCE:
+                    task.participants = tuple(
+                        sorted(
+                            replica_device[r]
+                            for r in range(itasks.num_replicas)
+                        )
+                    )
         for task in itasks.graph:
             if task.kind is TaskKind.COMPUTE and task.device is None:
                 raise SchedulingError(f"task {task.label} left unplaced by {self.name}")
@@ -93,6 +106,7 @@ class Scheduler(abc.ABC):
             samples_per_iteration=itasks.samples_per_iteration,
             microbatch_size=itasks.microbatch_size,
             notes=notes or {},
+            collective_subsets=collective_subsets or {},
         )
 
     @staticmethod

@@ -1,0 +1,168 @@
+"""DAPPLE's early-backward hybrid schedule (PAPERS.md: "DAPPLE: A
+Pipelined Data Parallel Approach for Training Large Models").
+
+Two ideas from the paper, both expressed here:
+
+* **Early backward scheduling.**  Each stage warms up with
+  ``num_stages - stage`` forwards, then runs backward-first
+  (backward, forward) pairs — the first backward is scheduled as early
+  as its dependencies allow, so each microbatch's stashed activations
+  are freed at the earliest possible point instead of piling up
+  GPipe-style until the forward wave completes.
+
+* **Hybrid data + pipeline layout.**  With ``num_pipelines = R > 1``
+  the GPUs are carved into R pipeline replicas of
+  ``len(gpus) // R`` stages each.  Gradients are synchronized per
+  *stage*: every stage's allreduce ring spans that stage's device in
+  each pipeline and fires as soon as the stage's last backward retires
+  — deep stages sync while shallow stages are still computing, instead
+  of one rigid all-replica tail.  Because a replica here spans several
+  devices, these per-stage rings are described to the executor through
+  ``Plan.collective_subsets`` rather than the one-device-per-replica
+  wiring the data-parallel schedulers use.
+
+Memory is managed by the baseline per-GPU virtualization policy — like
+:class:`~repro.schedulers.pipedream_1f1b.PipeDream1F1B` this is a
+"contemporary system + swapping" comparison point, not a Harmony
+variant.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.hardware.topology import Topology
+from repro.memory.policy import MemoryPolicy
+from repro.models.graph import ModelGraph
+from repro.schedulers.base import BatchConfig, Scheduler
+from repro.sim.plan import Plan
+from repro.tasks.decomposer import Decomposer, IterationTasks
+from repro.tasks.packing import partition_layers_balanced
+
+
+class DappleScheduler(Scheduler):
+    name = "dapple"
+
+    def __init__(
+        self,
+        model: ModelGraph,
+        topology: Topology,
+        batch: BatchConfig,
+        num_stages: int | None = None,
+        num_pipelines: int = 1,
+        policy: MemoryPolicy | None = None,
+    ):
+        super().__init__(model, topology, batch)
+        if num_pipelines < 1:
+            raise ConfigError("num_pipelines must be >= 1")
+        self.num_pipelines = num_pipelines
+        default_stages = len(self.gpus) // num_pipelines
+        self.num_stages = num_stages if num_stages is not None else default_stages
+        if self.num_stages < 1:
+            raise ConfigError(
+                f"{num_pipelines} pipelines over {len(self.gpus)} GPUs leave "
+                "no room for even one stage"
+            )
+        if self.num_stages * num_pipelines > len(self.gpus):
+            raise ConfigError(
+                f"{num_pipelines} pipelines x {self.num_stages} stages need "
+                f"{num_pipelines * self.num_stages} GPUs but only "
+                f"{len(self.gpus)} exist"
+            )
+        self.policy = policy if policy is not None else MemoryPolicy.baseline()
+
+    def stage_device(self, replica: int, stage: int) -> str:
+        """Pipelines occupy contiguous GPU ranges; stage ``s`` of
+        pipeline ``r`` is GPU ``r * num_stages + s``."""
+        return self.gpus[replica * self.num_stages + stage]
+
+    def plan(self) -> Plan:
+        stages = partition_layers_balanced(self.model, self.num_stages)
+        itasks = Decomposer(
+            self.model,
+            microbatch_size=self.batch.microbatch_size,
+            num_microbatches=self.batch.num_microbatches,
+            num_replicas=self.num_pipelines,
+            packs_fwd=stages,
+            packs_bwd=stages,
+            sync_gradients=self.num_pipelines > 1,
+        ).decompose()
+        device_order: dict[str, list[int]] = {}
+        for r in range(self.num_pipelines):
+            for s in range(self.num_stages):
+                device = self.stage_device(r, s)
+                for mb in range(self.batch.num_microbatches):
+                    itasks.fwd[(r, s, mb)].place(device)
+                    itasks.bwd[(r, s, mb)].place(device)
+                for pu in itasks.upd_packs_within(s):
+                    itasks.upd[(r, pu)].place(device)
+                device_order[device] = self._stage_order(itasks, r, s)
+        collective_subsets = self._wire_stage_allreduce(itasks, stages)
+        return self._finish_plan(
+            itasks,
+            device_order,
+            {r: self.stage_device(r, 0) for r in range(self.num_pipelines)},
+            self.policy,
+            notes={
+                "stages": stages,
+                "schedule": "dapple",
+                "num_pipelines": self.num_pipelines,
+            },
+            wire_allreduce=False,
+            collective_subsets=collective_subsets,
+        )
+
+    def _stage_order(
+        self, itasks: IterationTasks, replica: int, stage: int
+    ) -> list[int]:
+        m = self.batch.num_microbatches
+        warmup = min(self.num_stages - stage, m)
+        order = [itasks.fwd[(replica, stage, mb)].tid for mb in range(warmup)]
+        # Early backward: backward-first steady pairs free each
+        # microbatch's stash at the earliest dependency-feasible point.
+        for k in range(m - warmup):
+            order.append(itasks.bwd[(replica, stage, k)].tid)
+            order.append(itasks.fwd[(replica, stage, warmup + k)].tid)
+        order += [
+            itasks.bwd[(replica, stage, mb)].tid for mb in range(m - warmup, m)
+        ]
+        # Synchronous tail, per stage: sync each pack's gradients across
+        # the pipelines (deepest pack first — dependency-completion
+        # order), then apply the local update.
+        for pu in reversed(itasks.upd_packs_within(stage)):
+            if pu in itasks.allreduce:
+                order.append(itasks.allreduce[pu].tid)
+            order.append(itasks.upd[(replica, pu)].tid)
+        return order
+
+    def _wire_stage_allreduce(
+        self, itasks: IterationTasks, stages: list[tuple[int, ...]]
+    ) -> dict[int, dict[str, tuple[int, ...]]]:
+        """Point each gradient allreduce at the devices hosting its
+        stage across the pipelines, and record which gradient shards
+        live where (a pipeline replica spans several devices, so the
+        executor cannot infer this from ``replica_device``)."""
+        if not itasks.allreduce:
+            return {}
+        reg = itasks.registry
+        stage_of_pack = {
+            pu: s
+            for s in range(self.num_stages)
+            for pu in itasks.upd_packs_within(s)
+        }
+        subsets: dict[int, dict[str, tuple[int, ...]]] = {}
+        for pu, task in itasks.allreduce.items():
+            stage = stage_of_pack[pu]
+            pack = itasks.packs_upd[pu]
+            task.participants = tuple(
+                sorted(
+                    self.stage_device(r, stage)
+                    for r in range(self.num_pipelines)
+                )
+            )
+            subsets[task.tid] = {
+                self.stage_device(r, stage): tuple(
+                    reg.weight_grad(l, r).tid for l in pack
+                )
+                for r in range(self.num_pipelines)
+            }
+        return subsets

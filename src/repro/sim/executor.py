@@ -420,6 +420,9 @@ class Executor:
     # -- allreduce ----------------------------------------------------------------
 
     def _tensors_on_device(self, task: Task, dev: str) -> list[int]:
+        subsets = self.plan.collective_subsets.get(task.tid)
+        if subsets is not None:
+            return list(subsets.get(dev, ()))
         reg = self.plan.registry
         return [
             tid
@@ -545,6 +548,7 @@ class Executor:
                 compute_busy=compute_busy,
                 swap_in_bytes=self.stats.volume(gpu.name, None, Direction.SWAP_IN),
                 swap_out_bytes=self.stats.volume(gpu.name, None, Direction.SWAP_OUT),
+                peak_activation=self.manager.activation_peak.get(gpu.name, 0.0),
             )
         return RunResult(
             label=self.plan.label,

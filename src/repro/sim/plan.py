@@ -49,6 +49,14 @@ class Plan:
     samples_per_iteration: int
     microbatch_size: int = 1
     notes: dict[str, object] = field(default_factory=dict)
+    #: For collectives whose participants are not one-device replicas
+    #: (a pipeline replica spans several devices): allreduce tid ->
+    #: {participant device -> tensor ids it contributes}.  Empty for
+    #: the one-device-per-replica schedulers, where the executor infers
+    #: the mapping from ``replica_device``.
+    collective_subsets: dict[int, dict[str, tuple[int, ...]]] = field(
+        default_factory=dict
+    )
 
     def validate(self) -> None:
         """Every task appears in device orders the right number of times

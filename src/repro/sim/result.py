@@ -33,6 +33,10 @@ class DeviceReport:
     compute_busy: float
     swap_in_bytes: float
     swap_out_bytes: float
+    #: High-water mark of non-persistent (activation-class) bytes
+    #: resident on the device — the per-stage footprint pipeline
+    #: schedules bound (1F1B's in-flight cap, DAPPLE's early backward).
+    peak_activation: float = 0.0
 
     @property
     def overflow_bytes(self) -> float:
@@ -88,6 +92,14 @@ class RunResult:
         if self.makespan <= 0:
             return 0.0
         return self.samples / self.makespan
+
+    def activation_peaks(self) -> dict[str, float]:
+        """Per-device peak activation-class residency, sorted by device
+        name — the per-stage memory axis of the schedule-zoo figure."""
+        return {
+            name: self.devices[name].peak_activation
+            for name in sorted(self.devices)
+        }
 
     @property
     def swap_out_volume(self) -> float:

@@ -32,21 +32,27 @@ from repro.tensors.tensor import TensorKind
 from repro.util.tables import Table
 from repro.validate.violations import AuditViolation, ViolationKind
 
-#: The schedulers the cross-check exercises by default (harmony-tp is
-#: excluded: sharded matmuls add collective work with no baseline twin).
-DEFAULT_SCHEMES = (
-    "single",
-    "dp-baseline",
-    "harmony-dp",
-    "pp-baseline",
-    "harmony-pp",
-)
+def _default_schemes() -> tuple[str, ...]:
+    from repro.schedulers import scheme_names
+
+    return tuple(s for s in scheme_names() if s != "harmony-tp")
+
+
+#: The schedulers the cross-check exercises by default — the full
+#: registry minus harmony-tp (excluded: sharded matmuls add collective
+#: work with no baseline twin).  New registrations join automatically.
+DEFAULT_SCHEMES = _default_schemes()
 
 #: (harmony scheme, the baseline whose swap volume must dominate it).
+#: The pipedream/dapple pairs hold because all three pipeline schemes
+#: decompose into the same task set under the same no-reuse baseline
+#: policy — only the order differs — while harmony-pp reuses residency.
 _SWAP_BOUND_PAIRS = (
     ("harmony-dp", "dp-baseline"),
     ("harmony-pp", "pp-baseline"),
     ("harmony-pp", "dp-baseline"),
+    ("harmony-pp", "pipedream-1f1b"),
+    ("harmony-pp", "dapple"),
 )
 
 #: Schemes that replicate state across every GPU (per-replica batch =

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.__main__ import main
+from repro.__main__ import SCHEMES, main
 
 
 class TestCli:
@@ -18,6 +18,19 @@ class TestCli:
         assert code == 0
         out = capsys.readouterr().out
         assert "harmony-pp" in out and "dp-baseline" in out
+
+    def test_compare_schedule_zoo(self, capsys):
+        code = main(
+            ["compare", "lenet", "--gpus", "2", "--microbatches", "2",
+             "--schedule-zoo"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Every registered scheme appears in the zoo figure, and the
+        # memory axis is rendered.
+        for scheme in SCHEMES:
+            assert scheme in out
+        assert "per-stage peak activation" in out
 
     def test_timeline(self, capsys):
         code = main(
@@ -114,7 +127,7 @@ class TestSupervisorCli:
         assert main(self.ARGV + ["--journal", journal]) == 0
         replayed = capsys.readouterr().out
         assert strip_supervisor(replayed) == plain
-        assert "6 replayed from journal" in replayed
+        assert f"{len(SCHEMES)} replayed from journal" in replayed
 
     def test_resume_completes_an_interrupted_run_byte_identically(
         self, capsys, tmp_path

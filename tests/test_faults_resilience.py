@@ -107,6 +107,29 @@ class TestDeviceLossRecovery:
             assert report.recovered, scheme
             assert report.iterations_redone == redone, scheme
 
+    @pytest.mark.parametrize("scheme", ["pipedream-1f1b", "dapple"])
+    def test_pipeline_zoo_schemes_degrade_onto_survivors(
+        self, model, server, scheme
+    ):
+        # The new pipeline schedules re-plan as a one-stage degenerate
+        # pipeline on the survivor — and, as non-harmony baselines, get
+        # the rigid restart-from-scratch resilience policy.
+        iter_time = _iter_time(model, server, scheme)
+        plan = FaultPlan(seed=5, faults=(
+            DeviceLoss("gpu1", at=1.5 * iter_time),
+        ))
+        result = run_resilient(
+            model, server, HarmonyConfig(scheme), plan, iterations=3
+        )
+        report = result.faults
+        assert report.recovered
+        assert report.replans == 1
+        assert report.iterations_redone == 1  # rigid rollback
+        final = report.segments[-1]
+        assert final.completed
+        assert "gpu1" not in final.topology.devices
+        assert result.samples == report.samples > 0
+
     def test_determinism_across_replans(self, model, server):
         iter_time = _iter_time(model, server)
         plan = FaultPlan(seed=9, faults=(

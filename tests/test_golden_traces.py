@@ -23,6 +23,7 @@ import pytest
 
 from repro import BatchConfig, HarmonyConfig, HarmonySession
 from repro.models import zoo
+from repro.schedulers import scheme_names
 from repro.sim.trace import to_chrome_trace
 from repro.units import MB
 
@@ -30,10 +31,9 @@ from tests.conftest import tight_server
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
-SCHEMES = [
-    "single", "dp-baseline", "harmony-dp", "pp-baseline", "harmony-pp",
-    "harmony-tp",
-]
+# Every registered scheduler is golden-pinned; a new registration fails
+# test_goldens_cover_every_scheme until its trace is committed.
+SCHEMES = list(scheme_names())
 
 _REL = 1e-9   # simulations are deterministic; tolerance only absorbs
 _ABS = 1e-6   # µs-scale float formatting noise

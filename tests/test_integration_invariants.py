@@ -12,13 +12,15 @@ import pytest
 
 from repro import BatchConfig, HarmonyConfig, HarmonyOptions, HarmonySession
 from repro.models import zoo
+from repro.schedulers import scheme_names
 from repro.tensors.tensor import TensorKind
 from repro.units import MB
 
 from tests.conftest import tight_server
 
-MODES = ["single", "dp-baseline", "pp-baseline", "harmony-dp", "harmony-pp",
-         "harmony-tp"]
+# The full scheduler registry: any newly registered scheduler is put
+# through every universal invariant automatically.
+MODES = list(scheme_names())
 
 
 @pytest.fixture(scope="module")

@@ -60,6 +60,21 @@ class TestFingerprint:
         assert fingerprint(model, topo, other_batch) != base
         assert fingerprint(model, topo, other_scheme) != base
 
+    def test_distinct_across_the_whole_registry(self):
+        # Every registered scheme keys its own cache entries — two
+        # schemes sharing a fingerprint would serve each other's runs.
+        from repro.schedulers import scheme_names
+
+        model, topo, _ = small_workload()
+        prints = {
+            scheme: fingerprint(
+                model, topo,
+                HarmonyConfig(scheme, batch=BatchConfig(1, 2)),
+            )
+            for scheme in scheme_names()
+        }
+        assert len(set(prints.values())) == len(prints)
+
     def test_sensitive_to_model_and_topology(self):
         model, topo, config = small_workload()
         base = fingerprint(model, topo, config)
@@ -202,6 +217,23 @@ class TestFreshVsCachedEquality:
         assert cached.stats.swap_in_volume() == fresh.stats.swap_in_volume()
         assert cached.stats.host_traffic() == fresh.stats.host_traffic()
         assert cached.stats.p2p_volume() == fresh.stats.p2p_volume()
+
+
+    @pytest.mark.parametrize("scheme", ["pipedream-1f1b", "dapple"])
+    def test_new_zoo_schemes_cache_hit_and_match(self, scheme):
+        # The run-cache contract extends to the new pipeline schedules:
+        # the second sweep is served entirely from cache and is
+        # indistinguishable from the fresh run.
+        model, topo, config = small_workload(scheme=scheme)
+        cache = RunCache()
+        spec = RunSpec(model, topo, config)
+        runner = SweepRunner(jobs=1, cache=cache)
+        (fresh,) = runner.run_all([spec])
+        (cached,) = runner.run_all([spec])
+        assert cache.hits == 1
+        assert cached.makespan == fresh.makespan
+        assert cached.devices == fresh.devices
+        assert chrome_json(cached) == chrome_json(fresh)
 
 
 class TestSweepRunner:

@@ -16,6 +16,7 @@ from repro.core.session import HarmonySession
 from repro.errors import ConfigError, SimulationError, SteadyStateError
 from repro.faults import DeviceLoss, FaultInjector, FaultPlan
 from repro.models import zoo
+from repro.schedulers import scheme_names
 from repro.schedulers.base import BatchConfig
 from repro.sim.engine import Engine, ResourceTimeline
 from repro.sim.executor import ExecOptions, Executor
@@ -25,10 +26,9 @@ from repro.units import MB
 
 from tests.conftest import tight_server
 
-SCHEMES = [
-    "single", "dp-baseline", "pp-baseline",
-    "harmony-dp", "harmony-pp", "harmony-tp",
-]
+# The full scheduler registry: every registered scheme must satisfy the
+# exact-equivalence contract, new registrations included.
+SCHEMES = list(scheme_names())
 
 
 @pytest.fixture(scope="module")

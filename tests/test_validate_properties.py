@@ -18,15 +18,15 @@ from hypothesis import strategies as st
 from repro import BatchConfig, HarmonyConfig, HarmonySession
 from repro.errors import ReproError
 from repro.models import zoo
+from repro.schedulers import scheme_names
 from repro.units import MB
 from repro.validate import audit_run
 
 from tests.conftest import tight_server
 
-_SCHEMES = (
-    "single", "dp-baseline", "harmony-dp", "pp-baseline", "harmony-pp",
-    "harmony-tp",
-)
+# The full scheduler registry: hypothesis samples every registered
+# scheme, so new schedulers inherit the soundness property for free.
+_SCHEMES = scheme_names()
 
 
 def _run(num_layers, num_microbatches, num_gpus, scheme, capacity):
