@@ -31,12 +31,17 @@ from repro.errors import (
     CapacityError,
     ConfigError,
     DeviceLostError,
+    DrainedError,
     FaultError,
+    JobSpecError,
     JournalError,
     ModelError,
     PoisonedSpecError,
+    QueueFullError,
+    QuotaExceededError,
     ReproError,
     SchedulingError,
+    ServeError,
     SimulationError,
     SteadyStateError,
     TopologyError,
@@ -96,6 +101,11 @@ __all__ = [
     "WorkerError",
     "PoisonedSpecError",
     "JournalError",
+    "DrainedError",
+    "ServeError",
+    "JobSpecError",
+    "QuotaExceededError",
+    "QueueFullError",
     "Supervisor",
     "RetryPolicy",
     "SupervisorReport",

@@ -35,6 +35,14 @@ resume
     every spec the interrupted run completed and executing only the
     remainder.  Output (minus ``supervisor:`` status lines) is
     byte-identical to an uninterrupted run.
+serve
+    Long-running multi-tenant job server (``repro.serve``): tenants
+    POST simulate/sweep/tune/faults jobs as JSON, jobs run under
+    per-job supervisors sharing one run cache, and admission is
+    bounded by per-tenant quotas (429) and a global queue limit
+    (503 + Retry-After).  SIGTERM drains gracefully; restarting with
+    the same ``--state-dir`` recovers acknowledged jobs from the
+    fsync'd ledger and replays journal-settled specs byte-identically.
 
 Sweep-shaped commands (``figures``, ``compare``, ``tune``, ``faults``,
 ``bench``) accept ``--jobs N`` to fan independent simulations out over
@@ -64,13 +72,19 @@ can filter them out.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 from concurrent.futures import ProcessPoolExecutor
 
 from repro import BatchConfig, HarmonyConfig, HarmonySession, compare_runs
 from repro.core.report import audit_summary
-from repro.errors import AuditError, PoisonedSpecError, ReproError
+from repro.errors import (
+    AuditError,
+    DrainedError,
+    PoisonedSpecError,
+    ReproError,
+)
 from repro.hardware import presets
 from repro.models import zoo
 from repro.perf import RunCache, RunSpec, SweepRunner
@@ -128,6 +142,19 @@ def _make_supervisor(
         journal=journal,
         command=getattr(args, "_argv", None),
     )
+
+
+def _drain_scope(sup):
+    """Signal scope for supervised runs: the first SIGTERM/SIGINT
+    requests a graceful drain (in-flight specs settle and are
+    journaled, unstarted ones are left for a resume) instead of
+    killing the sweep mid-write.  A second signal interrupts as
+    usual.  No-op without a supervisor."""
+    if sup is None:
+        return contextlib.nullcontext()
+    from repro.supervisor import drain_on_signals
+
+    return drain_on_signals(sup)
 
 
 # Figure sections as top-level functions so ``figures --jobs N`` can
@@ -197,7 +224,23 @@ def cmd_figures(args: argparse.Namespace) -> int:
             )
             for i, (title, _) in enumerate(_FIGURE_SECTIONS)
         ]
-        rendered = sup.run_tasks(tasks)
+        with _drain_scope(sup):
+            rendered = sup.run_tasks(tasks, return_exceptions=True)
+        drained = [
+            title
+            for (title, _), text in zip(_FIGURE_SECTIONS, rendered)
+            if isinstance(text, DrainedError)
+        ]
+        if drained:
+            print(
+                f"supervisor: drained before rendering {', '.join(drained)}; "
+                "resume with the same journal to finish"
+            )
+            print(sup.report.render())
+            return 1
+        for text in rendered:
+            if isinstance(text, ReproError):
+                raise text
     elif jobs > 1:
         workers = min(jobs, len(_FIGURE_SECTIONS))
         with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -263,7 +306,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     cache = _make_cache(args)
     sup = _make_supervisor(args, cache=cache)
     if sup is not None:
-        outcomes = sup.run_specs(specs, return_exceptions=True)
+        with _drain_scope(sup):
+            outcomes = sup.run_specs(specs, return_exceptions=True)
     else:
         outcomes = SweepRunner(jobs=_jobs(args), cache=cache).run_all(
             specs, return_exceptions=True
@@ -275,6 +319,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
             return 1
         if isinstance(outcome, PoisonedSpecError):
             print(f"{scheme}: QUARANTINED ({outcome})")
+        elif isinstance(outcome, DrainedError):
+            print(f"{scheme}: DRAINED (not started; resume with the same journal)")
         elif isinstance(outcome, ReproError):
             print(f"{scheme}: infeasible ({outcome})")
         else:
@@ -296,10 +342,11 @@ def cmd_tune(args: argparse.Namespace) -> int:
     # The profiler does its own cache accounting, so the supervisor
     # runs cache-blind: a replay comes from the journal, not the cache.
     sup = _make_supervisor(args, cache=None)
-    outcome = tune(
-        model, server, batch.per_replica_batch, cache=cache,
-        jobs=_jobs(args), supervisor=sup,
-    )
+    with _drain_scope(sup):
+        outcome = tune(
+            model, server, batch.per_replica_batch, cache=cache,
+            jobs=_jobs(args), supervisor=sup,
+        )
     print(outcome.table().render())
     print(f"\nbest: {outcome.best.label} at {outcome.best.throughput:.3f} samples/s")
     if cache is not None:
@@ -398,16 +445,17 @@ def cmd_faults(args: argparse.Namespace) -> int:
     )
     mttfs = tuple(args.mttf) if args.mttf else (float("inf"), 8.0, 4.0, 2.5)
     sup = _make_supervisor(args)
-    rows = faults_degradation.run(
-        model=model,
-        num_gpus=args.gpus,
-        iterations=args.iterations,
-        mttf_iters=mttfs,
-        transient_probability=args.transient_probability,
-        seed=args.seed,
-        jobs=_jobs(args),
-        supervisor=sup,
-    )
+    with _drain_scope(sup):
+        rows = faults_degradation.run(
+            model=model,
+            num_gpus=args.gpus,
+            iterations=args.iterations,
+            mttf_iters=mttfs,
+            transient_probability=args.transient_probability,
+            seed=args.seed,
+            jobs=_jobs(args),
+            supervisor=sup,
+        )
     print(faults_degradation.table(rows).render())
     if sup is not None:
         print(sup.report.render())
@@ -486,6 +534,35 @@ def _rewrite_journal_path(argv: list[str], path: str) -> list[str]:
             out[i] = f"--journal={path}"
             return out
     return out + ["--journal", path]
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import JobServer, ServeConfig
+    from repro.serve.tenants import TenantPolicy, parse_tenant_policies
+
+    tenants = {}
+    if args.tenant_config:
+        with open(args.tenant_config) as fh:
+            tenants = parse_tenant_policies(json.load(fh))
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        workers=args.workers,
+        sup_jobs=_jobs(args),
+        isolation=args.isolation,
+        max_queue=args.max_queue,
+        default_tenant=TenantPolicy(max_jobs=args.tenant_max_jobs),
+        tenants=tenants,
+        max_attempts=args.max_attempts,
+        spec_timeout=args.spec_timeout,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        drain_grace=args.drain_grace,
+    )
+    return JobServer(config).run()
 
 
 def cmd_resume(args: argparse.Namespace) -> int:
@@ -675,6 +752,62 @@ def main(argv: list[str] | None = None) -> int:
              ">30%% below the committed baseline in PATH",
     )
 
+    serve_p = sub.add_parser(
+        "serve", parents=[jobs_parent, cache_parent],
+        help="run the multi-tenant simulation job server (repro.serve)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port (0 picks a free port; default 8080)",
+    )
+    serve_p.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="durability root: jobs ledger, per-job journals, endpoint "
+             "file; restarting with the same DIR recovers acknowledged "
+             "jobs (default: ephemeral, no crash recovery)",
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent jobs (--jobs sets worker processes per job; "
+             "default 2)",
+    )
+    serve_p.add_argument(
+        "--isolation", choices=["process", "inline"], default="process",
+        help="run each spec in a supervised worker process (crash "
+             "isolation + watchdog) or inline in the job thread "
+             "(lower overhead; default process)",
+    )
+    serve_p.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="global admission bound: queued jobs beyond N are refused "
+             "with 503 + Retry-After (default 64)",
+    )
+    serve_p.add_argument(
+        "--tenant-max-jobs", type=int, default=8, metavar="N",
+        help="default per-tenant quota: jobs queued+running at once "
+             "before 429 (default 8)",
+    )
+    serve_p.add_argument(
+        "--tenant-config", default=None, metavar="PATH",
+        help='JSON file of per-tenant policies: '
+             '{"alice": {"weight": 2.0, "max_jobs": 16}}',
+    )
+    serve_p.add_argument(
+        "--spec-timeout", type=float, default=None, metavar="SECONDS",
+        help="watchdog ceiling per spec attempt (also clamps per-job "
+             "timeout_sec requests; process isolation only)",
+    )
+    serve_p.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="quarantine a spec after N failed attempts (default 3)",
+    )
+    serve_p.add_argument(
+        "--drain-grace", type=float, default=None, metavar="SECONDS",
+        help="on SIGTERM, wait this long for running jobs before "
+             "draining their supervisors (default: wait indefinitely)",
+    )
+
     resume_p = sub.add_parser(
         "resume",
         help="re-run the command recorded in a journal, replaying every "
@@ -706,6 +839,7 @@ def main(argv: list[str] | None = None) -> int:
         "audit": cmd_audit,
         "faults": cmd_faults,
         "bench": cmd_bench,
+        "serve": cmd_serve,
         "resume": cmd_resume,
     }
     try:

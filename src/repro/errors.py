@@ -153,8 +153,73 @@ class PoisonedSpecError(ReproError):
         return (type(self), (self.label, self.attempts, self.history))
 
 
+class DrainedError(ReproError):
+    """A supervised task was never started because the supervisor was
+    asked to drain (:meth:`~repro.supervisor.Supervisor.request_drain`).
+
+    Unlike :class:`PoisonedSpecError` this is not a verdict about the
+    task — it was simply not reached before shutdown.  Drained tasks
+    are *not* journaled, so resuming the same journal executes them.
+    """
+
+    def __init__(self, label: str):
+        self.label = label
+        super().__init__(
+            f"task {label or '?'} not started: supervisor drained"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.label,))
+
+
 class JournalError(ReproError):
     """A sweep journal is unusable (missing header, unreadable file)."""
+
+
+class ServeError(ReproError):
+    """Base class for job-server (``repro.serve``) failures."""
+
+
+class JobSpecError(ServeError):
+    """A submitted job payload is malformed or names unknown entities
+    (model, scheme, kind).  Maps to HTTP 400."""
+
+
+class QuotaExceededError(ServeError):
+    """A tenant's admission would exceed its quota.  Maps to HTTP 429
+    with a ``Retry-After`` hint.
+
+    ``tenant`` is the offending tenant, ``limit`` its configured cap,
+    and ``in_use`` the jobs it already has queued or running.
+    """
+
+    def __init__(self, tenant: str, limit: int, in_use: int):
+        self.tenant = tenant
+        self.limit = limit
+        self.in_use = in_use
+        super().__init__(
+            f"tenant {tenant!r} quota exceeded: "
+            f"{in_use}/{limit} job(s) already queued or running"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.tenant, self.limit, self.in_use))
+
+
+class QueueFullError(ServeError):
+    """The server's global admission queue is at capacity.  Maps to
+    HTTP 503 with a ``Retry-After`` hint (``retry_after`` seconds)."""
+
+    def __init__(self, depth: int, limit: int, retry_after: float = 1.0):
+        self.depth = depth
+        self.limit = limit
+        self.retry_after = retry_after
+        super().__init__(
+            f"admission queue full: {depth}/{limit} job(s) queued"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.depth, self.limit, self.retry_after))
 
 
 class AuditError(ReproError):

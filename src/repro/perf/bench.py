@@ -233,8 +233,44 @@ def _time_steady(quick: bool) -> dict:
     }
 
 
+def _time_serve(quick: bool) -> dict:
+    """Closed-loop load against an in-process job server: sustained
+    jobs/sec through the full admission -> fair queue -> supervised
+    execution -> settle path, plus job-latency percentiles.  Inline
+    isolation and an ephemeral state dir keep the measurement about
+    the serving machinery, not process-pool spawn or fsync costs."""
+    from repro.serve import ServeConfig, start_in_background
+    from repro.serve.load import run_load
+    from repro.serve.tenants import TenantPolicy
+
+    clients = 3
+    jobs_per_client = 4 if quick else 10
+    config = ServeConfig(
+        port=0,
+        workers=2,
+        isolation="inline",
+        max_queue=256,
+        default_tenant=TenantPolicy(max_jobs=64),
+        quiet=True,
+    )
+    handle = start_in_background(config)
+    try:
+        load = run_load(
+            handle.base_url, clients=clients, jobs_per_client=jobs_per_client
+        )
+        stats = handle.server.stats()
+    finally:
+        handle.drain()
+    if load.jobs_failed:
+        raise ReproError(f"serve load run failed {load.jobs_failed} job(s)")
+    doc = load.to_json()
+    doc["clients"] = clients
+    doc["cache_hit_rate"] = stats.get("cache", {}).get("hit_rate", 0.0)
+    return doc
+
+
 #: The harness sections, in report order.
-_SECTIONS = ("fig4", "fig4_scaled", "cache", "sweep", "steady")
+_SECTIONS = ("fig4", "fig4_scaled", "cache", "sweep", "steady", "serve")
 
 
 def _bench_section(payload: tuple[str, bool, int]) -> dict:
@@ -254,6 +290,8 @@ def _bench_section(payload: tuple[str, bool, int]) -> dict:
         return _time_sweep(jobs, quick)
     if name == "steady":
         return _time_steady(quick)
+    if name == "serve":
+        return _time_serve(quick)
     raise ReproError(f"unknown bench section: {name!r}")
 
 
@@ -353,6 +391,18 @@ def render(report: dict) -> str:
         f"x{steady['gate_floor']:g}; detected at iteration "
         f"{steady['detected_at']}, {steady['skipped']:,} skipped)",
     ]
+    serve = cur.get("serve")
+    if serve is not None:
+        lines += [
+            "",
+            f"serve load ({serve['clients']} closed-loop clients, "
+            f"{serve['jobs_done']} jobs):",
+            f"  {serve['jobs_per_sec']:.1f} jobs/s sustained; latency "
+            f"p50 {serve['p50_ms']:.1f} ms, p95 {serve['p95_ms']:.1f} ms, "
+            f"p99 {serve['p99_ms']:.1f} ms "
+            f"(cache hit rate {100 * serve['cache_hit_rate']:.0f}%, "
+            f"{serve['rejections']} rejection(s))",
+        ]
     return "\n".join(lines)
 
 

@@ -19,6 +19,13 @@ what makes the byte-identical guarantee testable: a hit is a fresh
 deserialization, never a shared mutable object that an earlier caller
 may have decorated (e.g. attached an audit report to).
 
+One cache instance may be shared by concurrent callers (the job
+server hands a single instance to every tenant's supervisor): the
+memory tier and the hit/miss/store counters are guarded by a lock, and
+``get_or_run`` holds no lock around ``compute`` — two racing misses on
+the same key both compute, and the byte-identical guarantee makes the
+double store harmless (last write wins with an equal value).
+
 Invalidation is by construction: the fingerprint already contains the
 scheduler version salt, so semantics changes miss instead of serving
 stale entries.  The ``invalidations`` counter ledgers the one remaining
@@ -35,6 +42,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
 import warnings
 from typing import Any, Callable
 
@@ -52,6 +60,7 @@ class RunCache:
     MISS = _MISS
 
     def __init__(self, cache_dir: str | os.PathLike | None = None):
+        self._lock = threading.RLock()
         self._memory: dict[str, bytes] = {}
         self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
@@ -95,9 +104,11 @@ class RunCache:
             # The memory tier still holds the entry; count the failure
             # and warn once so a dead cache dir surfaces instead of
             # silently degrading every future process to cold misses.
-            self.write_errors += 1
-            if not self._warned_write_error:
+            with self._lock:
+                self.write_errors += 1
+                warn_now = not self._warned_write_error
                 self._warned_write_error = True
+            if warn_now:
                 warnings.warn(
                     f"run cache: disk write to {self.cache_dir} failed "
                     f"({exc}); caching continues in memory only, further "
@@ -122,7 +133,8 @@ class RunCache:
         for a hit, so ``result is RunCache.MISS`` is an unambiguous
         miss test.
         """
-        blob = self._memory.get(key)
+        with self._lock:
+            blob = self._memory.get(key)
         if blob is None:
             blob = self._disk_read(key)
             if blob is not None:
@@ -130,28 +142,33 @@ class RunCache:
                     payload = pickle.loads(blob)
                 except Exception:
                     # Torn/incompatible disk entry: drop it.
-                    self.invalidations += 1
                     try:
                         os.unlink(self._path(key))
                     except OSError:
                         pass
-                    self.misses += 1
+                    with self._lock:
+                        self.invalidations += 1
+                        self.misses += 1
                     return default
-                self._memory[key] = blob  # promote to the memory tier
-                self.hits += 1
+                with self._lock:
+                    self._memory[key] = blob  # promote to the memory tier
+                    self.hits += 1
                 return payload
         if blob is None:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return default
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return pickle.loads(blob)
 
     def put(self, key: str, payload: Any) -> None:
         """Serialize and store ``payload`` in every enabled tier."""
         blob = pickle.dumps(payload)
-        self._memory[key] = blob
+        with self._lock:
+            self._memory[key] = blob
+            self.stores += 1
         self._disk_write(key, blob)
-        self.stores += 1
 
     def get_or_run(self, key: str, compute: Callable[[], Any]) -> Any:
         """``get(key)``, falling back to ``compute()`` + ``put``.
@@ -167,43 +184,55 @@ class RunCache:
             return cached
         payload = compute()
         self.put(key, payload)
-        return pickle.loads(self._memory[key])
+        with self._lock:
+            blob = self._memory[key]
+        return pickle.loads(blob)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._memory or self._disk_read(key) is not None
+        with self._lock:
+            if key in self._memory:
+                return True
+        return self._disk_read(key) is not None
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def clear(self) -> None:
         """Drop the memory tier (disk entries are left in place)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
     # -- reporting -------------------------------------------------------
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def counters(self) -> dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "invalidations": self.invalidations,
-            "write_errors": self.write_errors,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "invalidations": self.invalidations,
+                "write_errors": self.write_errors,
+            }
 
     def describe(self) -> str:
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            entries = len(self._memory)
+            write_errors = self.write_errors
+        rate = hits / (hits + misses) if hits + misses else 0.0
         tier = f", disk={self.cache_dir}" if self.cache_dir else ""
         errors = (
-            f", {self.write_errors} disk write error(s)"
-            if self.write_errors
-            else ""
+            f", {write_errors} disk write error(s)" if write_errors else ""
         )
         return (
-            f"run cache: {self.hits} hits / {self.misses} misses "
-            f"({100 * self.hit_rate:.0f}%), {len(self._memory)} entries"
+            f"run cache: {hits} hits / {misses} misses "
+            f"({100 * rate:.0f}%), {entries} entries"
             f"{tier}{errors}"
         )

@@ -1,0 +1,77 @@
+"""Simulation as a service (``python -m repro serve``).
+
+A crash-tolerant, multi-tenant job server over the existing simulation
+stack: tenants POST simulate/sweep/tune/faults jobs as JSON, the
+server multiplexes them onto supervised per-job executions sharing one
+thread-safe run cache, and overload is bounded and observable —
+per-tenant quotas (HTTP 429), a global admission queue bound
+(HTTP 503 + ``Retry-After``), weighted-fair scheduling across tenants,
+and fsync'd ledger + journal recovery across ``kill -9``.
+
+Modules:
+
+* :mod:`~repro.serve.jobs` — the job model (parse, validate, execute);
+* :mod:`~repro.serve.tenants` — quotas, usage accounting, the
+  start-time fair queue;
+* :mod:`~repro.serve.state` — the durable jobs ledger;
+* :mod:`~repro.serve.server` — the asyncio HTTP front-end;
+* :mod:`~repro.serve.load` — the closed-loop load generator behind the
+  ``repro bench`` serve section.
+"""
+
+from repro.serve.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_KINDS,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    JobSpec,
+    execute_job,
+    parse_job,
+    spec_to_json,
+)
+from repro.serve.load import LoadReport, run_load
+from repro.serve.server import (
+    JobRecord,
+    JobServer,
+    ServeConfig,
+    ServerHandle,
+    start_in_background,
+)
+from repro.serve.state import JobLedger, LedgerState, load_ledger
+from repro.serve.tenants import (
+    FairQueue,
+    TenantPolicy,
+    TenantTable,
+    parse_tenant_policies,
+)
+
+__all__ = [
+    "JOB_KINDS",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "TERMINAL_STATES",
+    "JobSpec",
+    "parse_job",
+    "spec_to_json",
+    "execute_job",
+    "JobServer",
+    "JobRecord",
+    "ServeConfig",
+    "ServerHandle",
+    "start_in_background",
+    "JobLedger",
+    "LedgerState",
+    "load_ledger",
+    "TenantPolicy",
+    "TenantTable",
+    "FairQueue",
+    "parse_tenant_policies",
+    "LoadReport",
+    "run_load",
+]

@@ -1,0 +1,188 @@
+"""Closed-loop load generation against a running job server.
+
+``run_load`` drives N client threads, each submitting a job, polling
+it to a terminal state, and immediately submitting the next — the
+classic closed-loop harness, so offered load tracks service rate and
+the interesting numbers are *latency percentiles* and *sustained
+jobs/sec*, not a meaningless open-loop arrival rate.
+
+This is both the ``repro bench`` "serve" section (a latency/throughput
+regression gate over the admission + execution path) and a standalone
+smoke tool for a deployed server.  Stdlib only (``http.client``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ReproError
+
+#: Default job mix: distinct lenet points so a run exercises both cold
+#: simulation and (on repetition) the shared run cache.
+DEFAULT_PAYLOADS: tuple[dict, ...] = tuple(
+    {
+        "kind": "simulate",
+        "model": "lenet",
+        "microbatches": mb,
+        "scheme": scheme,
+    }
+    for mb in (2, 3, 4, 5)
+    for scheme in ("harmony-pp", "pp-baseline")
+)
+
+
+@dataclass
+class LoadReport:
+    """What a load run measured."""
+
+    jobs_done: int = 0
+    jobs_failed: int = 0
+    rejections: int = 0
+    wall_sec: float = 0.0
+    #: Submit-to-terminal latency per completed job, seconds.
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def jobs_per_sec(self) -> float:
+        return self.jobs_done / self.wall_sec if self.wall_sec > 0 else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of completed-job latency, seconds."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = max(0, min(len(ordered) - 1, round(q / 100 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def to_json(self) -> dict:
+        return {
+            "jobs_done": self.jobs_done,
+            "jobs_failed": self.jobs_failed,
+            "rejections": self.rejections,
+            "wall_sec": self.wall_sec,
+            "jobs_per_sec": self.jobs_per_sec,
+            "p50_ms": self.percentile(50) * 1e3,
+            "p95_ms": self.percentile(95) * 1e3,
+            "p99_ms": self.percentile(99) * 1e3,
+        }
+
+
+def _request(
+    base: urllib.parse.ParseResult,
+    method: str,
+    path: str,
+    body: dict | None = None,
+    headers: dict | None = None,
+    timeout: float = 30.0,
+) -> tuple[int, Any]:
+    conn = http.client.HTTPConnection(
+        base.hostname, base.port, timeout=timeout
+    )
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        conn.request(method, path, body=payload, headers=headers or {})
+        response = conn.getresponse()
+        raw = response.read()
+        try:
+            doc = json.loads(raw.decode() or "null")
+        except ValueError:
+            doc = None
+        return response.status, doc
+    finally:
+        conn.close()
+
+
+def _client_loop(
+    base: urllib.parse.ParseResult,
+    tenant: str,
+    payloads: tuple[dict, ...],
+    jobs: int,
+    poll_interval: float,
+    report: LoadReport,
+    lock: threading.Lock,
+) -> None:
+    submitted = 0
+    offset = 0
+    while submitted < jobs:
+        payload = payloads[offset % len(payloads)]
+        offset += 1
+        started = time.monotonic()
+        status, doc = _request(
+            base, "POST", "/jobs", body=payload,
+            headers={"X-Tenant": tenant, "Content-Type": "application/json"},
+        )
+        if status in (429, 503):
+            with lock:
+                report.rejections += 1
+            time.sleep(poll_interval * 5)
+            continue
+        if status != 202 or not isinstance(doc, dict):
+            raise ReproError(
+                f"load: unexpected submit response {status}: {doc!r}"
+            )
+        submitted += 1
+        job_url = doc["url"]
+        while True:
+            status, doc = _request(base, "GET", job_url)
+            if status != 200 or not isinstance(doc, dict):
+                raise ReproError(
+                    f"load: unexpected poll response {status}: {doc!r}"
+                )
+            if doc["status"] in ("done", "failed", "cancelled"):
+                break
+            time.sleep(poll_interval)
+        elapsed = time.monotonic() - started
+        with lock:
+            if doc["status"] == "done":
+                report.jobs_done += 1
+                report.latencies.append(elapsed)
+            else:
+                report.jobs_failed += 1
+
+
+def run_load(
+    base_url: str,
+    clients: int = 4,
+    jobs_per_client: int = 8,
+    payloads: tuple[dict, ...] = DEFAULT_PAYLOADS,
+    poll_interval: float = 0.002,
+    tenant_prefix: str = "load",
+) -> LoadReport:
+    """Drive ``clients`` closed-loop clients, ``jobs_per_client`` jobs
+    each, against ``base_url``; each client submits as its own tenant
+    (``load-0``, ``load-1``, ...) so the run also exercises the fair
+    queue and per-tenant accounting."""
+    base = urllib.parse.urlparse(base_url)
+    report = LoadReport()
+    lock = threading.Lock()
+    threads = [
+        threading.Thread(
+            target=_client_loop,
+            args=(
+                base,
+                f"{tenant_prefix}-{index}",
+                # Stagger each client's starting offset so concurrent
+                # clients don't all hammer the same spec.
+                payloads[index % len(payloads):] + payloads[: index % len(payloads)],
+                jobs_per_client,
+                poll_interval,
+                report,
+                lock,
+            ),
+            name=f"load-client-{index}",
+        )
+        for index in range(clients)
+    ]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.wall_sec = time.monotonic() - started
+    return report

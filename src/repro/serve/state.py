@@ -1,0 +1,204 @@
+"""The server's durable job ledger.
+
+Two artifacts make the server crash-tolerant, both rooted in
+``--state-dir``:
+
+* the **jobs ledger** (``jobs.jsonl``, this module) — one fsync'd JSON
+  line per admission (``job``) and per terminal outcome (``outcome``).
+  An admission is acknowledged (HTTP 202) only after its record is on
+  disk, so an acknowledged job is never lost;
+* the **per-job supervisor journal**
+  (``journals/<job id>.jsonl``, :mod:`repro.supervisor.journal`) —
+  every spec outcome inside a job, fsync'd as it lands.
+
+Restart recovery composes the two: ledgered jobs *with* an outcome are
+served from the ledger without recomputation; jobs *without* one are
+re-queued in submission order, and their supervisors replay the specs
+their journals already settled byte-identically, executing only the
+remainder.  A ``kill -9`` therefore loses at most the attempts that
+were in flight at the instant of death.
+
+The ledger borrows the sweep journal's durability discipline: append
+one line, flush, ``fsync``; a crash can tear at most the final line,
+and :func:`load_ledger` skips (and counts) unparseable lines instead
+of failing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import IO, Any
+
+from repro.serve.jobs import CANCELLED, DONE, FAILED, TERMINAL_STATES
+
+#: Ledger schema version; bump on incompatible record changes.
+LEDGER_SCHEMA = 1
+
+
+@dataclass
+class LedgerJob:
+    """One admitted job as recovered from the ledger."""
+
+    id: str
+    tenant: str
+    seq: int
+    spec: dict
+    status: str | None = None  # terminal status, or None if never settled
+    result: dict | None = None
+    error: dict | None = None
+
+    @property
+    def settled(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+
+@dataclass
+class LedgerState:
+    """Everything :func:`load_ledger` recovers from a ledger file."""
+
+    path: str
+    jobs: dict[str, LedgerJob] = field(default_factory=dict)
+    max_seq: int = 0
+    records: int = 0
+    torn_records: int = 0
+
+    def pending(self) -> list[LedgerJob]:
+        """Un-settled jobs, in submission order — what a restart must
+        re-queue."""
+        return sorted(
+            (job for job in self.jobs.values() if not job.settled),
+            key=lambda job: job.seq,
+        )
+
+    def describe(self) -> str:
+        torn = (
+            f", {self.torn_records} torn record(s) skipped"
+            if self.torn_records
+            else ""
+        )
+        return (
+            f"ledger {self.path}: {len(self.jobs)} job(s), "
+            f"{len(self.pending())} pending over {self.records} "
+            f"record(s){torn}"
+        )
+
+
+def load_ledger(path: str | os.PathLike) -> LedgerState:
+    """Parse a jobs ledger, tolerating a torn tail.
+
+    Duplicate outcome records for one job keep the *first* (the record
+    earlier readers already served); outcome records for unknown job
+    ids are skipped (their admission line was the torn one).
+    """
+    path = os.fspath(path)
+    state = LedgerState(path=path)
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except FileNotFoundError:
+        return state
+
+    for line in raw.split(b"\n"):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            kind = record["type"]
+        except (ValueError, KeyError, TypeError):
+            state.torn_records += 1
+            continue
+        state.records += 1
+        if kind == "job":
+            job_id, tenant = record.get("id"), record.get("tenant")
+            seq, spec = record.get("seq"), record.get("spec")
+            if (
+                isinstance(job_id, str)
+                and isinstance(tenant, str)
+                and isinstance(seq, int)
+                and isinstance(spec, dict)
+                and job_id not in state.jobs
+            ):
+                state.jobs[job_id] = LedgerJob(
+                    id=job_id, tenant=tenant, seq=seq, spec=spec
+                )
+                state.max_seq = max(state.max_seq, seq)
+        elif kind == "outcome":
+            job_id, status = record.get("id"), record.get("status")
+            job = state.jobs.get(job_id) if isinstance(job_id, str) else None
+            if job is not None and status in TERMINAL_STATES and not job.settled:
+                job.status = status
+                result = record.get("result")
+                error = record.get("error")
+                job.result = result if isinstance(result, dict) else None
+                job.error = error if isinstance(error, dict) else None
+        # Unknown record types from a newer writer are skipped silently.
+    return state
+
+
+class JobLedger:
+    """Appends fsync'd job/outcome records to the ledger file."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        existed = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        self._fh: IO[bytes] = open(self.path, "ab")
+        if existed:
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                if fh.read(1) != b"\n":
+                    self._append(b"\n")
+
+    def _append(self, data: bytes) -> None:
+        self._fh.write(data)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def _record(self, record: dict) -> None:
+        self._append(json.dumps(record, sort_keys=True).encode() + b"\n")
+
+    def job(self, job_id: str, tenant: str, seq: int, spec: dict) -> None:
+        """Record an admission; the 202 response waits on this fsync."""
+        self._record(
+            {
+                "type": "job",
+                "schema": LEDGER_SCHEMA,
+                "id": job_id,
+                "tenant": tenant,
+                "seq": seq,
+                "spec": spec,
+            }
+        )
+
+    def outcome(
+        self,
+        job_id: str,
+        status: str,
+        result: dict | None = None,
+        error: dict | None = None,
+    ) -> None:
+        if status not in (DONE, FAILED, CANCELLED):
+            raise ValueError(f"not a terminal job status: {status!r}")
+        self._record(
+            {
+                "type": "outcome",
+                "id": job_id,
+                "status": status,
+                "result": result,
+                "error": error,
+            }
+        )
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JobLedger":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

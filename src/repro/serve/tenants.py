@@ -1,0 +1,188 @@
+"""Per-tenant quotas and weighted-fair job scheduling.
+
+Two mechanisms keep one tenant from starving the rest:
+
+* **Quota** — a hard cap on jobs a tenant may have queued *or* running
+  at once (:class:`TenantPolicy.max_jobs`).  Exceeding it is a
+  structured :class:`~repro.errors.QuotaExceededError` (HTTP 429), so
+  overload from one tenant is rejected at admission instead of
+  absorbed as unbounded queue growth.
+
+* **Weighted-fair dequeue** — admitted jobs are ordered by start-time
+  fair queuing (SFQ): each job is tagged with a virtual finish time
+  ``max(global_vtime, tenant's last tag) + cost / weight`` at push, and
+  pops take the smallest tag.  A tenant with weight 2 drains twice as
+  fast as a weight-1 tenant under contention, an idle tenant's unused
+  share does not accumulate as credit (the ``global_vtime`` clamp), and
+  the whole discipline is deterministic — tags are pure arithmetic,
+  ties break on submission sequence — so tests can assert exact
+  interleavings.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigError, QuotaExceededError
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Admission knobs for one tenant (or the default for unknowns)."""
+
+    #: Fair-share weight: relative dequeue rate under contention.
+    weight: float = 1.0
+    #: Max jobs queued + running at once; admission 429s beyond it.
+    max_jobs: int = 8
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigError(f"tenant weight must be > 0, got {self.weight}")
+        if self.max_jobs < 1:
+            raise ConfigError(
+                f"tenant max_jobs must be >= 1, got {self.max_jobs}"
+            )
+
+
+def parse_tenant_policies(doc: Any) -> dict[str, TenantPolicy]:
+    """Parse a ``--tenant-config`` JSON document:
+    ``{"alice": {"weight": 2.0, "max_jobs": 16}, ...}``."""
+    if not isinstance(doc, dict):
+        raise ConfigError("tenant config must be a JSON object")
+    policies: dict[str, TenantPolicy] = {}
+    for name, entry in doc.items():
+        if not isinstance(entry, dict):
+            raise ConfigError(f"tenant {name!r}: entry must be an object")
+        unknown = sorted(set(entry) - {"weight", "max_jobs"})
+        if unknown:
+            raise ConfigError(
+                f"tenant {name!r}: unknown field(s) {', '.join(unknown)}"
+            )
+        policies[name] = TenantPolicy(
+            weight=float(entry.get("weight", 1.0)),
+            max_jobs=int(entry.get("max_jobs", 8)),
+        )
+    return policies
+
+
+@dataclass
+class TenantUsage:
+    """Live accounting for one tenant, reported by ``/stats``."""
+
+    queued: int = 0
+    running: int = 0
+    done: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+
+    @property
+    def in_use(self) -> int:
+        """Jobs counted against the quota."""
+        return self.queued + self.running
+
+
+class TenantTable:
+    """Policies + usage for every tenant the server has seen."""
+
+    def __init__(
+        self,
+        policies: dict[str, TenantPolicy] | None = None,
+        default: TenantPolicy | None = None,
+    ):
+        self.policies = dict(policies or {})
+        self.default = default if default is not None else TenantPolicy()
+        self.usage: dict[str, TenantUsage] = {}
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        return self.policies.get(tenant, self.default)
+
+    def usage_for(self, tenant: str) -> TenantUsage:
+        if tenant not in self.usage:
+            self.usage[tenant] = TenantUsage()
+        return self.usage[tenant]
+
+    def check_quota(self, tenant: str) -> None:
+        """Raise :class:`~repro.errors.QuotaExceededError` when one more
+        admission would push ``tenant`` past its cap."""
+        policy = self.policy(tenant)
+        usage = self.usage_for(tenant)
+        if usage.in_use + 1 > policy.max_jobs:
+            usage.rejected += 1
+            raise QuotaExceededError(tenant, policy.max_jobs, usage.in_use)
+
+    def stats(self) -> dict:
+        return {
+            name: {
+                "queued": usage.queued,
+                "running": usage.running,
+                "done": usage.done,
+                "failed": usage.failed,
+                "cancelled": usage.cancelled,
+                "rejected": usage.rejected,
+                "quota": self.policy(name).max_jobs,
+                "weight": self.policy(name).weight,
+            }
+            for name, usage in sorted(self.usage.items())
+        }
+
+
+@dataclass(order=True)
+class _Entry:
+    tag: float
+    seq: int
+    job_id: str = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class FairQueue:
+    """Start-time fair queue over opaque job ids.
+
+    Not thread-safe by design: the server touches it only from the
+    event-loop thread, which is the serialization point for all
+    admission state.
+    """
+
+    def __init__(self, table: TenantTable):
+        self._table = table
+        self._heap: list[_Entry] = []
+        self._entries: dict[str, _Entry] = {}
+        self._last_tag: dict[str, float] = {}
+        self._vtime = 0.0
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, tenant: str, job_id: str, cost: float = 1.0) -> None:
+        weight = self._table.policy(tenant).weight
+        tag = max(self._vtime, self._last_tag.get(tenant, 0.0)) + cost / weight
+        self._last_tag[tenant] = tag
+        entry = _Entry(tag=tag, seq=self._seq, job_id=job_id)
+        self._seq += 1
+        self._entries[job_id] = entry
+        heapq.heappush(self._heap, entry)
+
+    def pop(self) -> str | None:
+        """The next job id in fair order, or ``None`` when empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            del self._entries[entry.job_id]
+            self._vtime = entry.tag
+            return entry.job_id
+        return None
+
+    def remove(self, job_id: str) -> bool:
+        """Lazily cancel a queued job; True when it was queued."""
+        entry = self._entries.pop(job_id, None)
+        if entry is None:
+            return False
+        entry.cancelled = True
+        return True
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._entries

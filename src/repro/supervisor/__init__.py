@@ -44,11 +44,12 @@ from repro.supervisor.journal import (
 )
 from repro.supervisor.policy import RetryPolicy
 from repro.supervisor.report import SupervisorReport
-from repro.supervisor.supervisor import Supervisor, Task
+from repro.supervisor.supervisor import Supervisor, Task, drain_on_signals
 
 __all__ = [
     "Supervisor",
     "Task",
+    "drain_on_signals",
     "RetryPolicy",
     "SupervisorReport",
     "JournalWriter",

@@ -37,6 +37,11 @@ class SupervisorReport:
     #: Deterministic domain failures (infeasible specs etc.) — these
     #: are results, not recovery events.
     failures: int = 0
+    #: Tasks never started because the supervisor was drained
+    #: (:meth:`~repro.supervisor.Supervisor.request_drain`); their
+    #: slots carry :class:`~repro.errors.DrainedError` and they are not
+    #: journaled, so a resume executes them.
+    drained: int = 0
     #: Labels of quarantined specs, submission order.
     quarantined: tuple[str, ...] = ()
     #: Wall-clock seconds spent on attempts that had to be thrown away,
@@ -81,6 +86,11 @@ class SupervisorReport:
                 f"{self.recovery_wall_sec:.2f}s lost to recovery"
             ),
         ]
+        if self.drained:
+            lines.append(
+                f"supervisor: {self.drained} task(s) drained (not "
+                f"started; a resume with the same journal executes them)"
+            )
         for label in self.quarantined:
             history = self.history.get(label, ())
             tail = f" ({history[-1]})" if history else ""

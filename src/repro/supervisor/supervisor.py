@@ -37,7 +37,10 @@ rest of :mod:`repro.perf` lives by.
 
 from __future__ import annotations
 
+import contextlib
 import os
+import signal as _signal
+import threading
 import time
 from collections import deque
 from concurrent.futures import (
@@ -47,9 +50,15 @@ from concurrent.futures import (
     wait,
 )
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
-from repro.errors import ConfigError, PoisonedSpecError, ReproError, WorkerError
+from repro.errors import (
+    ConfigError,
+    DrainedError,
+    PoisonedSpecError,
+    ReproError,
+    WorkerError,
+)
 from repro.perf.cache import RunCache
 from repro.supervisor.journal import (
     DONE,
@@ -118,6 +127,11 @@ class Supervisor:
     on_outcome:
         Optional callback ``(index, outcome)`` fired after each task
         *executed this process* reaches a terminal outcome.
+    inline:
+        Execute tasks in this process instead of a worker pool.  No
+        crash isolation and no watchdog, but no pool-spawn cost either
+        — the job server's light-isolation mode.  Retry, backoff,
+        quarantine, journaling, and drain all still apply.
     """
 
     def __init__(
@@ -131,6 +145,7 @@ class Supervisor:
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
         on_outcome: Callable[[int, Any], None] | None = None,
+        inline: bool = False,
     ):
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
@@ -143,6 +158,8 @@ class Supervisor:
         self._sleep = sleep
         self._clock = clock
         self.on_outcome = on_outcome
+        self.inline = inline
+        self._drain = threading.Event()
         self._state: JournalState = (
             load_journal(self.journal_path)
             if self.journal_path is not None
@@ -159,6 +176,7 @@ class Supervisor:
             "respawns": 0,
             "timeouts": 0,
             "failures": 0,
+            "drained": 0,
         }
         self._quarantined: list[str] = []
         self._history: dict[str, tuple[str, ...]] = {}
@@ -179,6 +197,7 @@ class Supervisor:
             respawns=self._counters["respawns"],
             timeouts=self._counters["timeouts"],
             failures=self._counters["failures"],
+            drained=self._counters["drained"],
             quarantined=tuple(self._quarantined),
             recovery_wall_sec=self._recovery_wall,
             journal_path=self.journal_path,
@@ -190,6 +209,28 @@ class Supervisor:
         return (
             f"supervisor: jobs={self.jobs}; {self.policy.describe()}{journal}"
         )
+
+    # -- graceful drain --------------------------------------------------
+
+    def request_drain(self) -> None:
+        """Ask the supervisor to wind down: stop submitting queued
+        tasks, let in-flight attempts settle (their outcomes are still
+        journaled/cached), and return with every unstarted slot holding
+        a :class:`~repro.errors.DrainedError`.
+
+        Thread-safe and idempotent — the job server calls this from its
+        event loop while ``run_tasks`` blocks in a worker thread, and
+        :func:`drain_on_signals` calls it from a signal handler.  Drained
+        tasks are *not* journaled, so re-running with the same journal
+        (or ``repro resume``) replays the settled outcomes and executes
+        only what the drain skipped.
+        """
+        self._drain.set()
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`request_drain` has been called."""
+        return self._drain.is_set()
 
     # -- entry points ----------------------------------------------------
 
@@ -263,6 +304,17 @@ class Supervisor:
         if pending:
             self._counters["executed"] += len(pending)
             self._drive(tasks, pending, attempts, results)
+
+        for i, value in enumerate(results):
+            if value is _UNSET:
+                # A drain stopped the sweep before this task started:
+                # hand back a structured marker, journal nothing (the
+                # task never ran), and let a resume execute it.
+                results[i] = DrainedError(tasks[i].display)
+                self._counters["drained"] += 1
+                self._counters["executed"] -= 1
+                if self.on_outcome is not None:
+                    self.on_outcome(i, results[i])
 
         assert all(value is not _UNSET for value in results)
         if not return_exceptions:
@@ -439,10 +491,17 @@ class Supervisor:
             started[fut] = now
             deadlines[fut] = now + watchdog if watchdog else None
 
+        if self.inline:
+            self._drive_inline(tasks, queue, ready_at, attempts, histories,
+                               results, settle_retry=(settle, retryable))
+            return
+
         try:
             while queue or inflight:
+                if self._drain.is_set() and not inflight:
+                    break  # unstarted tasks become DrainedError slots
                 now = self._clock()
-                if queue and len(inflight) < workers:
+                if queue and len(inflight) < workers and not self._drain.is_set():
                     ready = [
                         i for i in queue if ready_at.get(i, 0.0) <= now
                     ]
@@ -459,7 +518,7 @@ class Supervisor:
                 wait_candidates = [
                     d - now for d in deadlines.values() if d is not None
                 ]
-                if queue and len(inflight) < workers:
+                if queue and len(inflight) < workers and not self._drain.is_set():
                     wait_candidates += [
                         ready_at.get(i, 0.0) - now for i in queue
                     ]
@@ -553,6 +612,8 @@ class Supervisor:
         """
         settle, retryable = settle_retry
         while queue:
+            if self._drain.is_set():
+                break  # unstarted tasks become DrainedError slots
             i = queue.popleft()
             now = self._clock()
             not_before = ready_at.get(i, 0.0)
@@ -579,3 +640,51 @@ class Supervisor:
 
 class _InlineFallback(Exception):
     """Internal: signals that no worker pool can be created."""
+
+
+@contextlib.contextmanager
+def drain_on_signals(
+    supervisor: Supervisor,
+    signals: tuple[int, ...] = (_signal.SIGTERM, _signal.SIGINT),
+) -> Iterator[None]:
+    """Turn SIGTERM/SIGINT into a graceful supervisor drain.
+
+    The first signal calls :meth:`Supervisor.request_drain` — queued
+    specs stop being admitted, in-flight attempts settle and are
+    journaled, and the sweep returns with the unstarted slots marked
+    :class:`~repro.errors.DrainedError` — then restores that signal's
+    previous handler, so a *second* signal behaves as before (for
+    SIGINT: ``KeyboardInterrupt``), an escape hatch when an attempt is
+    stuck.  Previous handlers are restored on exit either way.
+
+    Signal handlers are main-thread-only; installing from any other
+    thread is a silent no-op (the server drains by calling
+    ``request_drain`` directly instead).
+    """
+    previous: dict[int, Any] = {}
+
+    def on_signal(signum: int, frame: Any) -> None:
+        supervisor.request_drain()
+        old = previous.get(signum)
+        if old is not None:
+            try:
+                _signal.signal(signum, old)
+            except (ValueError, OSError):
+                pass
+
+    try:
+        for sig in signals:
+            previous[sig] = _signal.signal(sig, on_signal)
+    except ValueError:
+        # Not the main thread: leave whatever we did install in place
+        # for the duration (it is restored below) and carry on.
+        pass
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            try:
+                if _signal.getsignal(sig) is on_signal:
+                    _signal.signal(sig, old)
+            except (ValueError, OSError):
+                pass

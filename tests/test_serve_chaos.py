@@ -1,0 +1,254 @@
+"""Chaos tests: the job server under violent failure.
+
+Each test runs ``python -m repro serve`` as a real subprocess against
+a real state dir and inflicts the failures the server exists to
+survive:
+
+* ``kill -9`` mid-sweep, then a restart with the same state dir —
+  settled jobs are served from the ledger without recomputation, the
+  interrupted job re-runs replaying its journal-settled specs, and the
+  final result is byte-identical to an uninterrupted run;
+* overload — per-tenant quota (429) and a full admission queue (503),
+  both with ``Retry-After`` — followed by SIGTERM: the running job
+  settles, queued jobs stay ledgered for the next incarnation, the
+  process exits 0, and a restart finishes everything.  Zero lost jobs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+SRC = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+
+#: Slow enough to SIGKILL mid-flight (~2-3 s inline), deterministic
+#: (steady-state off so every iteration simulates in full).
+SLOW_SWEEP = {
+    "kind": "sweep",
+    "model": "lenet",
+    "iterations": 120,
+    "steady_state": "off",
+}
+FAST_SIM = {"kind": "simulate", "model": "lenet"}
+
+
+class ServerProc:
+    """One ``repro serve`` subprocess and an HTTP client for it."""
+
+    def __init__(self, state_dir: str, *extra_args: str):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",
+                "--isolation", "inline",
+                "--state-dir", state_dir,
+                *extra_args,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        banner = self.proc.stdout.readline()
+        assert "listening on http://" in banner, banner
+        self.port = int(banner.split("http://127.0.0.1:")[1].split()[0])
+
+    def request(self, method, path, body=None, headers=None):
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=30)
+        try:
+            conn.request(
+                method,
+                path,
+                body=json.dumps(body).encode() if body is not None else None,
+                headers=headers or {},
+            )
+            response = conn.getresponse()
+            doc = json.loads(response.read().decode() or "null")
+            return response.status, doc, dict(response.getheaders())
+        finally:
+            conn.close()
+
+    def submit(self, body, tenant="default"):
+        status, doc, _ = self.request(
+            "POST", "/jobs", body=body, headers={"X-Tenant": tenant}
+        )
+        assert status == 202, (status, doc)
+        return doc
+
+    def job(self, job_id):
+        status, doc, _ = self.request("GET", f"/jobs/{job_id}")
+        assert status == 200, (status, doc)
+        return doc
+
+    def wait_terminal(self, job_id, timeout=120.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            doc = self.job(job_id)
+            if doc["status"] in ("done", "failed", "cancelled"):
+                return doc
+            time.sleep(0.01)
+        raise AssertionError(f"{job_id} did not settle within {timeout}s")
+
+    def wait_progress(self, job_id, minimum, timeout=120.0):
+        """Poll until the job has settled at least ``minimum`` specs;
+        fails if the job finishes first (the kill would miss)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            doc = self.job(job_id)
+            assert doc["status"] not in ("done", "failed"), (
+                f"{job_id} finished before reaching progress {minimum}; "
+                "increase the workload size"
+            )
+            if doc["progress"]["done"] >= minimum:
+                return doc
+            time.sleep(0.005)
+        raise AssertionError(f"{job_id} never reached progress {minimum}")
+
+    def sigkill(self):
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=30)
+
+    def sigterm(self, timeout=120.0) -> tuple[int, str]:
+        self.proc.send_signal(signal.SIGTERM)
+        out, _ = self.proc.communicate(timeout=timeout)
+        return self.proc.returncode, out
+
+    def cleanup(self):
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=30)
+
+
+@pytest.fixture
+def state_dir(tmp_path):
+    return str(tmp_path / "state")
+
+
+def reference_result(payload: dict) -> dict:
+    """What an uninterrupted run of ``payload`` produces (simulations
+    are deterministic, so this is THE answer, byte for byte)."""
+    from repro.serve.jobs import execute_job, parse_job
+    from repro.supervisor import Supervisor
+
+    return execute_job(parse_job(payload), Supervisor(jobs=1, inline=True))
+
+
+def canonical(doc: dict) -> str:
+    return json.dumps(doc, sort_keys=True)
+
+
+class TestKillNineAndRestart:
+    def test_restart_replays_byte_identically(self, state_dir):
+        first = ServerProc(state_dir)
+        try:
+            fast = first.submit(FAST_SIM, tenant="alice")
+            fast_result = first.wait_terminal(fast["id"])["result"]
+            slow = first.submit(SLOW_SWEEP, tenant="bob")
+            # Let part of the sweep settle into the journal, then die
+            # the death the ledger exists for.
+            first.wait_progress(slow["id"], minimum=2)
+            first.sigkill()
+        finally:
+            first.cleanup()
+
+        second = ServerProc(state_dir)
+        try:
+            # The settled job is served from the ledger at startup,
+            # byte-identically, with no recomputation.
+            recovered_fast = second.job(fast["id"])
+            assert recovered_fast["status"] == "done"
+            assert canonical(recovered_fast["result"]) == canonical(fast_result)
+            assert canonical(fast_result) == canonical(
+                reference_result(FAST_SIM)
+            )
+
+            # The interrupted job was re-queued and completes; its
+            # journal-settled specs replay rather than re-execute, and
+            # the assembled result is byte-identical to an
+            # uninterrupted run.
+            finished = second.wait_terminal(slow["id"])
+            assert finished["status"] == "done"
+            assert canonical(finished["result"]) == canonical(
+                reference_result(SLOW_SWEEP)
+            )
+            counters = finished["supervisor"]
+            assert counters["replayed"] >= 2
+            assert counters["executed"] == counters["tasks"] - counters["replayed"]
+
+            status, stats, _ = second.request("GET", "/stats")
+            assert status == 200
+            assert stats["jobs"]["done"] == 2
+        finally:
+            second.cleanup()
+
+
+class TestOverloadAndGracefulDrain:
+    def test_bounded_overload_then_sigterm_loses_nothing(self, state_dir):
+        first = ServerProc(
+            state_dir,
+            "--workers", "1",
+            "--tenant-max-jobs", "2",
+            "--max-queue", "1",
+        )
+        try:
+            running = first.submit(SLOW_SWEEP, tenant="alice")
+            first.wait_progress(running["id"], minimum=1)
+            queued = first.submit(FAST_SIM, tenant="alice")
+
+            # Tenant quota: alice has 2 in flight, a third is a 429
+            # with structured details and a Retry-After estimate.
+            status, doc, headers = first.request(
+                "POST", "/jobs", body=FAST_SIM,
+                headers={"X-Tenant": "alice"},
+            )
+            assert status == 429
+            assert doc["error"] == "quota_exceeded"
+            assert (doc["tenant"], doc["limit"], doc["in_use"]) == ("alice", 2, 2)
+            assert int(headers["Retry-After"]) >= 1
+
+            # Global bound: the queue is at its limit, so even a fresh
+            # tenant is refused with a 503.
+            status, doc, headers = first.request(
+                "POST", "/jobs", body=FAST_SIM, headers={"X-Tenant": "carol"},
+            )
+            assert status == 503
+            assert doc["error"] == "queue_full"
+            assert int(headers["Retry-After"]) >= 1
+
+            status, stats, _ = first.request("GET", "/stats")
+            assert stats["rejections"]["quota"] == 1
+            assert stats["rejections"]["queue_full"] == 1
+            assert stats["queue"]["depth"] == 1
+
+            # Graceful drain: readiness flips, the running job settles,
+            # the queued one stays ledgered, and the exit code is 0.
+            code, out = first.sigterm()
+            assert code == 0, out
+            assert "drained, exiting" in out
+        finally:
+            first.cleanup()
+
+        second = ServerProc(state_dir)
+        try:
+            status, doc, _ = second.request("GET", "/readyz")
+            assert status == 200
+            # The drained-but-running job settled before exit; only the
+            # never-started one re-runs.  Nothing was lost.
+            assert second.job(running["id"])["status"] == "done"
+            finished = second.wait_terminal(queued["id"])
+            assert finished["status"] == "done"
+            assert canonical(finished["result"]) == canonical(
+                reference_result(FAST_SIM)
+            )
+        finally:
+            second.cleanup()
