@@ -342,10 +342,18 @@ def cmd_tune(args: argparse.Namespace) -> int:
     # The profiler does its own cache accounting, so the supervisor
     # runs cache-blind: a replay comes from the journal, not the cache.
     sup = _make_supervisor(args, cache=None)
+    checkpoints = None
+    if args.profile_iterations > 1 or args.checkpoint_dir:
+        from repro.perf.incremental import CheckpointStore
+
+        checkpoints = CheckpointStore(args.checkpoint_dir)
     with _drain_scope(sup):
         outcome = tune(
             model, server, batch.per_replica_batch, cache=cache,
             jobs=_jobs(args), supervisor=sup,
+            profile_iterations=args.profile_iterations,
+            steady_state=args.steady_state,
+            checkpoints=checkpoints,
         )
     print(outcome.table().render())
     print(f"\nbest: {outcome.best.label} at {outcome.best.throughput:.3f} samples/s")
@@ -355,6 +363,15 @@ def cmd_tune(args: argparse.Namespace) -> int:
             f"{outcome.cache_misses} misses "
             f"(hill-climb hit rate {100 * outcome.hill_climb_hit_rate:.0f}%)"
         )
+    if checkpoints is not None:
+        print(checkpoints.describe())
+        if outcome.prefix_hits or outcome.prefix_misses:
+            print(
+                f"prefix reuse: {outcome.prefix_hits} restores / "
+                f"{outcome.prefix_misses} cold probes "
+                f"({100 * outcome.prefix_hit_rate:.0f}% hit rate), "
+                f"{outcome.saved_iterations} iteration(s) skipped"
+            )
     if sup is not None:
         print(sup.report.render())
     return 0
@@ -682,6 +699,18 @@ def main(argv: list[str] | None = None) -> int:
         help="search task granularity",
     )
     add_workload(tune_p)
+    tune_p.add_argument(
+        "--profile-iterations", type=int, default=1, metavar="N",
+        help="simulated iterations per probe (settled throughput rather "
+             "than a first-iteration estimate; default 1)",
+    )
+    tune_p.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="prefix-checkpoint store for multi-iteration probes: "
+             "re-probes restore the deepest shared iteration boundary "
+             "instead of cold-starting (byte-identical); persists "
+             "across runs when DIR is given",
+    )
 
     timeline_p = sub.add_parser("timeline", help="print a schedule timeline")
     add_workload(timeline_p)

@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.config import HarmonyConfig
+
+if TYPE_CHECKING:
+    from repro.perf.incremental import CheckpointStore
 from repro.hardware.topology import Topology
 from repro.models.graph import ModelGraph
 from repro.schedulers import build_scheduler
@@ -29,11 +34,20 @@ class HarmonySession:
     """
 
     def __init__(
-        self, model: ModelGraph, topology: Topology, config: HarmonyConfig | None = None
+        self,
+        model: ModelGraph,
+        topology: Topology,
+        config: HarmonyConfig | None = None,
+        checkpoints: "CheckpointStore | None" = None,
     ):
         self.model = model
         self.topology = topology
         self.config = config if config is not None else HarmonyConfig()
+        #: Prefix-checkpoint store (:mod:`repro.perf.incremental`) —
+        #: deliberately a constructor argument, not a config field: the
+        #: config is fingerprinted, and where a run's snapshots live
+        #: must not change what it computes.
+        self.checkpoints = checkpoints
         self._plan: Plan | None = None
         self._result: RunResult | None = None
 
@@ -110,6 +124,20 @@ class HarmonySession:
                     result.audit.raise_if_failed()
                 self._result = result
             else:
+                checkpoints = self.checkpoints
+                checkpoint_key = None
+                if checkpoints is not None and self.config.iterations > 1:
+                    from repro.perf.fingerprint import (
+                        FingerprintError,
+                        base_fingerprint,
+                    )
+
+                    try:
+                        checkpoint_key = base_fingerprint(
+                            self.model, self.topology, self.config
+                        )
+                    except FingerprintError:
+                        checkpoint_key = None  # uncacheable spec: run cold
                 executor = Executor(
                     self.topology,
                     self.plan(),
@@ -119,6 +147,10 @@ class HarmonySession:
                         audit=self.config.audit,
                         iterations=self.config.iterations,
                         steady_state=self.config.steady_state,
+                        checkpoints=(
+                            checkpoints if checkpoint_key is not None else None
+                        ),
+                        checkpoint_key=checkpoint_key,
                     ),
                 )
                 self._result = executor.run()

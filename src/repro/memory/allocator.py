@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from repro.errors import CapacityError, SimulationError
 
 
-@dataclass
+@dataclass(slots=True)
 class DevicePool:
     name: str
     capacity: float
@@ -55,7 +55,8 @@ class DevicePool:
             raise SimulationError(f"{self.name}: negative reservation")
         if tid in self._reservations:
             raise SimulationError(f"{self.name}: tensor {tid} already reserved")
-        if self.used + nbytes > self.effective_capacity * (1 + 1e-9):
+        used = self.used + nbytes
+        if used > (self.capacity - self.pressure) * (1 + 1e-9):
             raise CapacityError(
                 f"{self.name}: reserving {nbytes:.3g} B would exceed capacity "
                 f"({self.used:.3g}/{self.effective_capacity:.3g} B used"
@@ -63,8 +64,9 @@ class DevicePool:
                 + ")"
             )
         self._reservations[tid] = nbytes
-        self.used += nbytes
-        self.peak_used = max(self.peak_used, self.used)
+        self.used = used
+        if used > self.peak_used:
+            self.peak_used = used
 
     def release(self, tid: int) -> float:
         """Return a tensor's bytes to the pool (eviction done or freed)."""

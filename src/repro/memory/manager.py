@@ -179,21 +179,21 @@ class MemoryManager:
         touched = list(dict.fromkeys(tensors)) if tensors is not None else list(
             task.touched
         )
-        writes = set(task.writes)
         if device not in self.pools:
             # The task runs on a host (e.g. a CPU-offloaded optimizer
             # step, the ZeRO-Offload design the paper cites): host
             # memory is unbounded, so preparation reduces to writing
             # back any device-resident inputs.
-            return self._prepare_on_host(task, touched, writes)
+            return self._prepare_on_host(task, touched, set(task.writes))
 
+        policy = self.policy
         # Idealized no-reuse swapper (paper §3 accounting, keep_resident
         # off): every unpinned tensor leaves the device before the task,
         # including this task's own inputs — they are swapped out and
         # back in, exactly as the closed-form volume model counts.
         evict_all: list[MemOp] = []
         evicted_ids: set[int] = set()
-        if not self.policy.keep_resident:
+        if not policy.keep_resident:
             touched_set = set(touched)
             for rt in self._victim_order(device):
                 op = self._eviction_op(rt, device)
@@ -203,53 +203,62 @@ class MemoryManager:
 
         waits: list[MemOp] = []
         incoming: list[MemOp] = []
+        append_incoming = incoming.append
         incoming_bytes = 0.0
-        seq = self._next_use()
+        self._use_seq += 1
+        seq = self._use_seq
         runtimes = self.runtimes
         runtime = self.runtime
+        # Hot-loop locals: the state compares below run once per touched
+        # tensor per task, and LOAD_FAST beats a global + enum attribute
+        # lookup on every compare.
+        on_device = TensorState.ON_DEVICE
+        on_host = TensorState.ON_HOST
+        swap_in_kind = MemOpKind.SWAP_IN
         # get-or-create with a dict fast path: runtimes are always truthy.
         rts = [runtimes.get(tid) or runtime(tid) for tid in touched]
         for tid, rt in zip(touched, rts):
             rt.last_use = seq
             meta = rt.meta
+            state = rt.state
             if tid in evicted_ids:
-                incoming.append(MemOp(MemOpKind.SWAP_IN, meta, None, device))
+                append_incoming(MemOp(swap_in_kind, meta, None, device))
                 incoming_bytes += meta.size_bytes
-            elif rt.state is TensorState.ON_DEVICE and rt.device == device:
+            elif state is on_device and rt.device == device:
                 pass  # already resident
-            elif rt.state is TensorState.ON_DEVICE:
+            elif state is on_device:
                 # Resident on a peer device: move it here.
-                if self.policy.p2p_enabled:
-                    incoming.append(MemOp(MemOpKind.P2P, meta, rt.device, device))
+                if policy.p2p_enabled:
+                    append_incoming(MemOp(MemOpKind.P2P, meta, rt.device, device))
                 else:
                     # Bounce through host memory: two host-link transfers.
                     # The outbound half is forced: the planning task has
                     # pinned the tensor (it is its own input in motion).
-                    incoming.append(
+                    append_incoming(
                         MemOp(MemOpKind.SWAP_OUT, meta, rt.device, None, forced=True)
                     )
-                    incoming.append(MemOp(MemOpKind.SWAP_IN, meta, None, device))
+                    append_incoming(MemOp(swap_in_kind, meta, None, device))
                 incoming_bytes += meta.size_bytes
-            elif rt.state is TensorState.ON_HOST:
-                incoming.append(MemOp(MemOpKind.SWAP_IN, meta, None, device))
+            elif state is on_host:
+                append_incoming(MemOp(swap_in_kind, meta, None, device))
                 incoming_bytes += meta.size_bytes
-            elif rt.state is TensorState.SWAPPING_OUT:
+            elif state is TensorState.SWAPPING_OUT:
                 waits.append(MemOp(MemOpKind.WAIT, meta))
-                incoming.append(MemOp(MemOpKind.SWAP_IN, meta, None, device))
+                append_incoming(MemOp(swap_in_kind, meta, None, device))
                 incoming_bytes += meta.size_bytes
-            elif rt.state is TensorState.SWAPPING_IN:
+            elif state is TensorState.SWAPPING_IN:
                 if rt.device != device:
                     raise SimulationError(
                         f"{meta.label}: concurrently swapped into {rt.device} "
                         f"while task {task.label} needs it on {device}"
                     )
                 waits.append(MemOp(MemOpKind.WAIT, meta))
-            elif rt.state is TensorState.UNMATERIALIZED:
-                if tid not in writes:
+            elif state is TensorState.UNMATERIALIZED:
+                if tid not in task.writes:
                     raise SimulationError(
                         f"task {task.label} reads unmaterialized tensor {meta.label}"
                     )
-                incoming.append(MemOp(MemOpKind.ALLOC, meta, None, device))
+                append_incoming(MemOp(MemOpKind.ALLOC, meta, None, device))
                 incoming_bytes += meta.size_bytes
             else:  # FREED
                 raise SimulationError(
@@ -435,8 +444,10 @@ class MemoryManager:
         the op has become a no-op (state already satisfied)."""
         rt = self.runtimes.get(op.tensor.tid) or self.runtime(op.tensor.tid)
         kind = op.kind
+        meta = rt.meta
+        on_device = TensorState.ON_DEVICE
         if kind is MemOpKind.SWAP_OUT:
-            if rt.state is not TensorState.ON_DEVICE:
+            if rt.state is not on_device:
                 return False
             if op.src is not None and rt.device != op.src:
                 return False  # moved elsewhere since planning; not ours to evict
@@ -444,34 +455,38 @@ class MemoryManager:
             rt.begin_swap_out(force=op.forced)
             return True
         if kind is MemOpKind.SWAP_IN:
-            if rt.state is TensorState.ON_DEVICE and rt.device == op.dst:
+            if rt.state is on_device and rt.device == op.dst:
                 return False
-            self.pools[op.dst].reserve(rt.meta.tid, rt.meta.size_bytes)
-            self._track_activation(op.dst, rt.meta, +1.0)
-            rt.begin_swap_in(op.dst)
-            self._log_usage(op.dst)
+            dst = op.dst
+            pool = self.pools[dst]
+            pool.reserve(meta.tid, meta.size_bytes)
+            self._track_activation(dst, meta, +1.0)
+            rt.begin_swap_in(dst)
+            self.usage_log[dst].append((self.clock(), pool.used))
             return True
         if kind is MemOpKind.P2P:
-            if rt.state is TensorState.ON_DEVICE and rt.device == op.dst:
+            if rt.state is on_device and rt.device == op.dst:
                 return False
+            dst = op.dst
+            pool = self.pools[dst]
             if rt.state is TensorState.ON_HOST:
                 # The source copy was evicted in the meantime; degrade
                 # to a host fetch.
                 op.kind = MemOpKind.SWAP_IN
                 op.src = None
-                self.pools[op.dst].reserve(rt.meta.tid, rt.meta.size_bytes)
-                self._track_activation(op.dst, rt.meta, +1.0)
-                rt.begin_swap_in(op.dst)
-                self._log_usage(op.dst)
+                pool.reserve(meta.tid, meta.size_bytes)
+                self._track_activation(dst, meta, +1.0)
+                rt.begin_swap_in(dst)
+                self.usage_log[dst].append((self.clock(), pool.used))
                 return True
             op.src = rt.device
-            self.pools[op.dst].reserve(rt.meta.tid, rt.meta.size_bytes)
-            self._track_activation(op.dst, rt.meta, +1.0)
-            rt.begin_move(op.dst)
-            self._log_usage(op.dst)
+            pool.reserve(meta.tid, meta.size_bytes)
+            self._track_activation(dst, meta, +1.0)
+            rt.begin_move(dst)
+            self.usage_log[dst].append((self.clock(), pool.used))
             return True
         if kind is MemOpKind.DROP:
-            if rt.state is not TensorState.ON_DEVICE:
+            if rt.state is not on_device:
                 return False
             if op.src is not None and rt.device != op.src:
                 return False
@@ -484,17 +499,20 @@ class MemoryManager:
                 return True
             device = rt.device
             rt.drop()
-            self.pools[device].release(rt.meta.tid)
-            self._track_activation(device, rt.meta, -1.0)
-            self._log_usage(device)
-            self.stats.record(device, rt.meta.kind, Direction.DROP, rt.meta.size_bytes)
+            pool = self.pools[device]
+            pool.release(meta.tid)
+            self._track_activation(device, meta, -1.0)
+            self.usage_log[device].append((self.clock(), pool.used))
+            self.stats.record(device, meta.kind, Direction.DROP, meta.size_bytes)
             return True
         if kind is MemOpKind.ALLOC:
-            self.pools[op.dst].reserve(rt.meta.tid, rt.meta.size_bytes)
-            self._track_activation(op.dst, rt.meta, +1.0)
-            rt.materialize_on_device(op.dst)
-            self._log_usage(op.dst)
-            self._assign_home(rt.meta.tid, op.dst, rt.meta.size_bytes)
+            dst = op.dst
+            pool = self.pools[dst]
+            pool.reserve(meta.tid, meta.size_bytes)
+            self._track_activation(dst, meta, +1.0)
+            rt.materialize_on_device(dst)
+            self.usage_log[dst].append((self.clock(), pool.used))
+            self._assign_home(meta.tid, dst, meta.size_bytes)
             return True
         raise SimulationError(f"op_begin on unexpected op {op}")
 
@@ -502,25 +520,31 @@ class MemoryManager:
         """Apply an op's end-of-transfer effects and wake waiters."""
         rt = self.runtimes.get(op.tensor.tid) or self.runtime(op.tensor.tid)
         meta = rt.meta
-        if op.kind is MemOpKind.SWAP_OUT:
+        kind = op.kind
+        stats = self.stats
+        if kind is MemOpKind.SWAP_OUT:
+            src = op.src
             rt.finish_swap_out()
-            rt.host_device = self.topology.host_of(op.src).name
-            self.pools[op.src].release(meta.tid)
-            self._track_activation(op.src, meta, -1.0)
-            self._log_usage(op.src)
-            self.stats.record(op.src, meta.kind, Direction.SWAP_OUT, meta.size_bytes)
-        elif op.kind is MemOpKind.SWAP_IN:
+            rt.host_device = self.topology.host_of(src).name
+            pool = self.pools[src]
+            pool.release(meta.tid)
+            self._track_activation(src, meta, -1.0)
+            self.usage_log[src].append((self.clock(), pool.used))
+            stats.record(src, meta.kind, Direction.SWAP_OUT, meta.size_bytes)
+        elif kind is MemOpKind.SWAP_IN:
             rt.finish_swap_in()
             rt.dirty = False  # host copy is current right after a swap-in
-            self.stats.record(op.dst, meta.kind, Direction.SWAP_IN, meta.size_bytes)
+            stats.record(op.dst, meta.kind, Direction.SWAP_IN, meta.size_bytes)
             self._assign_home(meta.tid, op.dst, meta.size_bytes)
-        elif op.kind is MemOpKind.P2P:
+        elif kind is MemOpKind.P2P:
+            src = op.src
             rt.finish_swap_in()
-            self.pools[op.src].release(meta.tid)
-            self._track_activation(op.src, meta, -1.0)
-            self._log_usage(op.src)
-            self.stats.record(op.dst, meta.kind, Direction.P2P_IN, meta.size_bytes)
-            self.stats.record(op.src, meta.kind, Direction.P2P_OUT, meta.size_bytes)
+            pool = self.pools[src]
+            pool.release(meta.tid)
+            self._track_activation(src, meta, -1.0)
+            self.usage_log[src].append((self.clock(), pool.used))
+            stats.record(op.dst, meta.kind, Direction.P2P_IN, meta.size_bytes)
+            stats.record(src, meta.kind, Direction.P2P_OUT, meta.size_bytes)
             self._assign_home(meta.tid, op.dst, meta.size_bytes)
         else:
             raise SimulationError(f"op_finish on non-transfer op {op}")
@@ -589,14 +613,13 @@ class MemoryManager:
         dead tensors."""
         touched = list(tensors) if tensors is not None else list(task.touched)
         touched_set = set(touched)
-        seq = self._next_use()
+        self._use_seq += 1
+        seq = self._use_seq
         runtimes = self.runtimes
         runtime = self.runtime
         waiters = self._waiters
-        rt_of = {}
         for tid in touched:
             rt = runtimes.get(tid) or runtime(tid)
-            rt_of[tid] = rt
             if rt.pinned <= 0:
                 raise SimulationError(
                     f"task {task.label}: unpinning unpinned tensor {rt.meta.label}"
@@ -608,7 +631,8 @@ class MemoryManager:
         for tid in task.writes:
             if tid not in touched_set:
                 continue
-            rt = rt_of[tid]
+            # Present in ``runtimes``: the unpin loop above touched it.
+            rt = runtimes[tid]
             if rt.state is TensorState.ON_DEVICE:
                 rt.mark_written()
         for tid in task.frees:
@@ -618,16 +642,18 @@ class MemoryManager:
 
     def _free(self, tid: int) -> None:
         rt = self.runtime(tid)
-        if rt.state is TensorState.FREED:
+        state = rt.state
+        if state is TensorState.FREED:
             return
-        device = rt.resident_on
-        if rt.in_flight:
+        device = rt.device if state is TensorState.ON_DEVICE else None
+        if state is TensorState.SWAPPING_IN or state is TensorState.SWAPPING_OUT:
             raise SimulationError(f"freeing in-flight tensor {rt.meta.label}")
         rt.free()
         if device is not None:
-            self.pools[device].release(tid)
+            pool = self.pools[device]
+            pool.release(tid)
             self._track_activation(device, rt.meta, -1.0)
-            self._log_usage(device)
+            self.usage_log[device].append((self.clock(), pool.used))
         self._unassign_home(tid, rt.meta.size_bytes)
 
     # -- end-of-iteration flush ------------------------------------------------------

@@ -95,6 +95,19 @@ class SwapStats:
             and (direction is None or dr == direction)
         )
 
+    def volume_by_device(self, direction: Direction) -> dict[str, float]:
+        """Per-device totals for one direction in a single ledger pass —
+        bitwise equal to calling :meth:`volume` once per device (each
+        per-device sum adds the same values in the same order), without
+        rescanning the ledger per device.  Devices with no matching
+        entries are absent."""
+        out: dict[str, float] = {}
+        get = out.get
+        for (d, _, dr), v in self._volume.items():
+            if dr == direction:
+                out[d] = get(d, 0) + v
+        return out
+
     def events(
         self,
         device: str | None = None,

@@ -11,6 +11,12 @@ this package gives that shape its economics:
   an optional on-disk tier keyed by those fingerprints.  A cache hit is
   byte-identical to a fresh run (tested) because entries round-trip
   through the same serialized form.
+* :mod:`repro.perf.incremental` — :class:`CheckpointStore` and the
+  prefix-checkpoint machinery: multi-iteration runs snapshot their
+  state at iteration boundaries under a per-iteration-stable
+  :func:`base_fingerprint`, and later runs of the same point (at any
+  depth) restore the deepest shared boundary and simulate only the
+  suffix — byte-identical to a cold run.
 * :mod:`repro.perf.runner` — :class:`SweepRunner`, which fans a list of
   :class:`RunSpec` out across a ``ProcessPoolExecutor`` with
   deterministic (submission-order) result ordering, consulting the
@@ -20,13 +26,21 @@ this package gives that shape its economics:
 """
 
 from repro.perf.cache import RunCache
-from repro.perf.fingerprint import SCHEDULER_VERSION, fingerprint
+from repro.perf.fingerprint import (
+    SCHEDULER_VERSION,
+    base_fingerprint,
+    fingerprint,
+)
+from repro.perf.incremental import CheckpointStore, Snapshot
 from repro.perf.runner import RunSpec, SweepRunner
 
 __all__ = [
+    "CheckpointStore",
     "RunCache",
     "RunSpec",
+    "Snapshot",
     "SweepRunner",
     "SCHEDULER_VERSION",
+    "base_fingerprint",
     "fingerprint",
 ]

@@ -11,6 +11,14 @@ on two 550 MB GPUs, harmony-pp, 2 microbatches) and a scaled variant
   size-independent throughput figure the CI regression gate tracks;
 * **cache behaviour** — fresh-run vs cache-hit latency and the hit
   rate counters of a :class:`~repro.perf.cache.RunCache`;
+* **incremental re-simulation** — the tuner's re-probe shape against a
+  warm :class:`~repro.perf.incremental.CheckpointStore`: cold vs
+  prefix-restored per-probe wall time, with byte-identity *asserted*
+  (makespan, Chrome trace, swap ledger) and the per-probe speedup
+  gated (3x full mode);
+* **fleet scale** — events/sec at 64/256/1024 simulated devices
+  (harmony-dp, small fixed per-replica workload), the scaling figure
+  behind the live loop's targeted wake-up;
 * **parallel-sweep scaling** — a small scheme x microbatch grid run
   serially and through :class:`~repro.perf.runner.SweepRunner` with
   ``--jobs N``;
@@ -233,6 +241,126 @@ def _time_steady(quick: bool) -> dict:
     }
 
 
+def _time_incremental(quick: bool) -> dict:
+    """Prefix-checkpoint re-simulation (the tuner's re-probe shape):
+    the same spec simulated repeatedly against a warm
+    :class:`~repro.perf.incremental.CheckpointStore` restores the
+    deepest iteration boundary and simulates only the final iteration
+    plus the flush.  Byte-identity of the restored run against its cold
+    twin is *asserted* — makespan, Chrome trace JSON, swap ledger —
+    before the per-probe speedup is reported and gated."""
+    from dataclasses import replace
+
+    from repro.perf.incremental import CheckpointStore
+    from repro.sim.trace import to_chrome_trace
+
+    iterations = 6 if quick else 8
+    gate_floor = 2.0 if quick else 3.0
+    cold_repeats = 2 if quick else 3
+    warm_repeats = 3 if quick else 5
+    spec = _fig4_workload()
+    config = replace(spec.config, iterations=iterations, steady_state="off")
+
+    def run(checkpoints) -> tuple:
+        t0 = time.perf_counter()
+        result = HarmonySession(
+            spec.model, spec.topology, config, checkpoints=checkpoints
+        ).run()
+        return time.perf_counter() - t0, result
+
+    cold_sec = float("inf")
+    for _ in range(cold_repeats):
+        elapsed, cold = run(None)
+        cold_sec = min(cold_sec, elapsed)
+
+    store = CheckpointStore()
+    run(store)  # donor: populates the store (one miss, boundary writes)
+    warm_sec = float("inf")
+    warm = None
+    for _ in range(warm_repeats):
+        elapsed, candidate = run(store)
+        if elapsed < warm_sec:
+            warm_sec, warm = elapsed, candidate
+
+    mismatches = [
+        name
+        for name, got, want in (
+            ("makespan", warm.makespan, cold.makespan),
+            (
+                "chrome_trace",
+                json.dumps(to_chrome_trace(warm.trace), sort_keys=True),
+                json.dumps(to_chrome_trace(cold.trace), sort_keys=True),
+            ),
+            ("swap_volume", dict(warm.stats._volume), dict(cold.stats._volume)),
+            ("swap_events", dict(warm.stats._events), dict(cold.stats._events)),
+            ("link_busy", warm.link_busy, cold.link_busy),
+            ("events_processed", warm.events_processed, cold.events_processed),
+        )
+        if got != want
+    ]
+    if mismatches:
+        raise ReproError(
+            f"prefix-checkpoint restore diverged from the cold run at "
+            f"iterations={iterations}: {', '.join(mismatches)}"
+        )
+    per_probe_speedup = cold_sec / warm_sec if warm_sec > 0 else 0.0
+    if per_probe_speedup < gate_floor:
+        raise ReproError(
+            f"incremental per-probe speedup x{per_probe_speedup:.2f} below "
+            f"the x{gate_floor:g} floor at iterations={iterations} "
+            f"(cold {cold_sec * 1e3:.2f} ms vs warm {warm_sec * 1e3:.2f} ms)"
+        )
+    counters = store.counters()
+    return {
+        "iterations": iterations,
+        "cold_sec": cold_sec,
+        "warm_sec": warm_sec,
+        "per_probe_speedup": per_probe_speedup,
+        "gate_floor": gate_floor,
+        "hit_rate": store.hit_rate,
+        "saved_iterations": counters["saved_iterations"],
+        "counters": counters,
+    }
+
+
+def _time_fleet(quick: bool) -> dict:
+    """Events/sec as the simulated fleet grows: harmony-dp on a
+    commodity server at 64/256/1024 GPUs, a small fixed per-replica
+    workload.  The live loop's targeted wake-up keeps per-completion
+    work O(dependents), so events/sec should degrade gently — a full
+    device scan per completion collapses it quadratically."""
+    sizes = (64, 256) if quick else (64, 256, 1024)
+    model = zoo.synthetic_uniform(
+        num_layers=4,
+        param_bytes_per_layer=10 * MB,
+        activation_bytes=2 * MB,
+    )
+    points = []
+    for num_gpus in sizes:
+        topology = presets.commodity_server(num_gpus=num_gpus)
+        config = HarmonyConfig(
+            parallelism=Parallelism.HARMONY_DP,
+            batch=BatchConfig(microbatch_size=1, num_microbatches=2),
+        )
+        repeats = 1 if num_gpus >= 1024 else 2
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = HarmonySession(model, topology, config).run()
+            best = min(best, time.perf_counter() - t0)
+        points.append(
+            {
+                "devices": num_gpus,
+                "wall_sec": best,
+                "events": result.events_processed,
+                "events_per_sec": (
+                    result.events_processed / best if best > 0 else 0.0
+                ),
+            }
+        )
+    return {"points": points}
+
+
 def _time_serve(quick: bool) -> dict:
     """Closed-loop load against an in-process job server: sustained
     jobs/sec through the full admission -> fair queue -> supervised
@@ -270,7 +398,10 @@ def _time_serve(quick: bool) -> dict:
 
 
 #: The harness sections, in report order.
-_SECTIONS = ("fig4", "fig4_scaled", "cache", "sweep", "steady", "serve")
+_SECTIONS = (
+    "fig4", "fig4_scaled", "cache", "incremental", "fleet_scale",
+    "sweep", "steady", "serve",
+)
 
 
 def _bench_section(payload: tuple[str, bool, int]) -> dict:
@@ -286,6 +417,10 @@ def _bench_section(payload: tuple[str, bool, int]) -> dict:
         )
     if name == "cache":
         return _time_cache(_fig4_workload())
+    if name == "incremental":
+        return _time_incremental(quick)
+    if name == "fleet_scale":
+        return _time_fleet(quick)
     if name == "sweep":
         return _time_sweep(jobs, quick)
     if name == "steady":
@@ -374,6 +509,29 @@ def render(report: dict) -> str:
         f"(x{cache['hit_speedup']:.0f}), hit rate "
         f"{100 * cache['hit_rate']:.0f}%",
     ]
+    incremental = cur.get("incremental")
+    if incremental is not None:
+        lines += [
+            "",
+            f"incremental re-simulation ({incremental['iterations']} "
+            "iterations, byte-identity asserted):",
+            f"  cold {incremental['cold_sec'] * 1e3:.3f} ms -> warm restore "
+            f"{incremental['warm_sec'] * 1e3:.3f} ms "
+            f"(per-probe x{incremental['per_probe_speedup']:.2f}, floor "
+            f"x{incremental['gate_floor']:g}; prefix hit rate "
+            f"{100 * incremental['hit_rate']:.0f}%, "
+            f"{incremental['saved_iterations']} iteration(s) saved)",
+        ]
+    fleet = cur.get("fleet_scale")
+    if fleet is not None:
+        lines += ["", "fleet scale (harmony-dp, events/sec by device count):"]
+        for point in fleet["points"]:
+            lines.append(
+                f"  {point['devices']:>5} devices "
+                f"{point['wall_sec'] * 1e3:10.1f} ms   "
+                f"{point['events_per_sec']:>12,.0f} events/s   "
+                f"({point['events']:,} events)"
+            )
     sweep = cur["sweep"]
     lines += [
         "",
@@ -460,5 +618,54 @@ def check_regression(
             f"(floor x{steady_floor:.0f}): {steady_verdict}"
         )
         failed = failed or speedup < steady_floor
+
+    incremental = report["current"].get("incremental")
+    if incremental is not None:
+        # One-sided, like the sections above: the absolute gate_floor
+        # already failed the run inside _time_incremental; the committed
+        # comparison guards a relative collapse at the same depth.
+        committed_inc = committed.get("current", {}).get("incremental")
+        speedup = incremental["per_probe_speedup"]
+        if (
+            committed_inc is not None
+            and committed_inc.get("iterations") == incremental["iterations"]
+        ):
+            inc_floor = (1.0 - threshold) * committed_inc["per_probe_speedup"]
+        else:
+            inc_floor = incremental["gate_floor"]
+        inc_verdict = "ok" if speedup >= inc_floor else "REGRESSION"
+        print(
+            f"bench check: incremental per-probe x{speedup:.2f} at "
+            f"{incremental['iterations']} iterations "
+            f"(floor x{inc_floor:.2f}): {inc_verdict}"
+        )
+        failed = failed or speedup < inc_floor
+
+    fleet = report["current"].get("fleet_scale")
+    if fleet is not None:
+        committed_fleet = committed.get("current", {}).get("fleet_scale")
+        committed_points = {
+            p["devices"]: p for p in (committed_fleet or {}).get("points", ())
+        }
+        # Gate only the largest fleet present in both files: the small
+        # fleets finish in ~100 ms, where scheduler jitter alone swings
+        # events/sec by 2x and a 30% floor would fire on noise.  The
+        # largest run is the one the gate exists for anyway — it is
+        # where an event-loop regression costs the most.
+        shared = [
+            p for p in fleet["points"] if p["devices"] in committed_points
+        ]
+        if shared:
+            point = max(shared, key=lambda p: p["devices"])
+            reference = committed_points[point["devices"]]
+            fleet_floor = (1.0 - threshold) * reference["events_per_sec"]
+            measured_eps = point["events_per_sec"]
+            fleet_verdict = "ok" if measured_eps >= fleet_floor else "REGRESSION"
+            print(
+                f"bench check: fleet {point['devices']} devices "
+                f"{measured_eps:,.0f} events/s "
+                f"(floor {fleet_floor:,.0f}): {fleet_verdict}"
+            )
+            failed = failed or measured_eps < fleet_floor
 
     return 1 if failed else 0

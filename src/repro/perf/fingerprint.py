@@ -128,3 +128,33 @@ def fingerprint(
         separators=(",", ":"),
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def base_fingerprint(
+    model: ModelGraph, topology: Topology, config: HarmonyConfig
+) -> str:
+    """The hierarchical prefix key: hash of the iteration *process*.
+
+    Two runs share simulated-iteration prefixes exactly when they run
+    the same model on the same topology under the same config *modulo
+    iteration count* — iteration ``k`` of a 4-iteration run is bitwise
+    identical to iteration ``k`` of a 100-iteration run on the rebased
+    cycle path.  So the prefix-checkpoint store
+    (:mod:`repro.perf.incremental`) keys snapshots by this digest plus
+    the iteration-boundary index, and ``iterations`` is stripped from
+    the canonical form.
+
+    The *resolved* steady-state mode is mixed in instead of the raw
+    ``steady_state`` field: ``None`` inherits a process-global default
+    (:func:`repro.steady.resolve_mode`), and an ``off`` run must never
+    restore a snapshot whose donor was detecting cycles (or vice versa)
+    — the detection metadata carried by the snapshot differs.
+    """
+    from repro.steady import resolve_mode
+
+    base_config = dataclasses.replace(config, iterations=1, steady_state=None)
+    spec = canonical_spec(model, topology, base_config)
+    spec["kind"] = "prefix-checkpoint"
+    spec["steady_mode"] = resolve_mode(config.steady_state).value
+    blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
+from typing import TYPE_CHECKING
 
 from repro.core.config import HarmonyConfig
 from repro.errors import ReproError, WorkerError
@@ -39,6 +41,9 @@ from repro.models.graph import ModelGraph
 from repro.perf.cache import RunCache
 from repro.perf.fingerprint import FingerprintError, fingerprint
 from repro.sim.result import RunResult
+
+if TYPE_CHECKING:
+    from repro.perf.incremental import CheckpointStore
 
 _MISS = RunCache.MISS
 
@@ -66,9 +71,18 @@ def spec_key(spec: RunSpec) -> str | None:
         return None
 
 
-def _execute_spec(spec: RunSpec) -> RunResult | ReproError:
+def _execute_spec(
+    spec: RunSpec,
+    checkpoints: "CheckpointStore | None" = None,
+    checkpoint_dir: str | None = None,
+) -> RunResult | ReproError:
     """Worker entry point: simulate one spec, returning (never raising)
     domain errors so one infeasible point cannot poison the pool.
+
+    ``checkpoints`` carries a live prefix-checkpoint store on the inline
+    path; pool workers instead receive ``checkpoint_dir`` (the store
+    holds a lock and cannot cross the pickle boundary) and reopen a
+    store over the shared directory.
 
     Unexpected non-domain exceptions are wrapped in a picklable
     :class:`~repro.errors.WorkerError` rather than re-raised: a raw
@@ -79,8 +93,14 @@ def _execute_spec(spec: RunSpec) -> RunResult | ReproError:
     # name, and the session layer pulls in the full scheduler stack.
     from repro.core.session import HarmonySession
 
+    if checkpoints is None and checkpoint_dir is not None:
+        from repro.perf.incremental import CheckpointStore
+
+        checkpoints = CheckpointStore(checkpoint_dir)
     try:
-        return HarmonySession(spec.model, spec.topology, spec.config).run()
+        return HarmonySession(
+            spec.model, spec.topology, spec.config, checkpoints=checkpoints
+        ).run()
     except ReproError as exc:
         return exc
     except Exception as exc:  # noqa: BLE001 — the wrap is the point
@@ -94,11 +114,19 @@ class SweepRunner:
         self,
         jobs: int = 1,
         cache: RunCache | None = None,
+        checkpoints: "CheckpointStore | None" = None,
     ):
         if jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
+        #: Prefix-checkpoint store shared across the sweep's specs —
+        #: multi-iteration specs that share a per-iteration prefix
+        #: (same point at different depths, or steady-off re-probes)
+        #: restore instead of cold-starting.  Pool workers need the
+        #: store to be disk-backed (``checkpoint_dir`` set); a memory-
+        #: only store still accelerates the inline path.
+        self.checkpoints = checkpoints
 
     def _key(self, spec: RunSpec) -> str | None:
         if self.cache is None:
@@ -125,15 +153,24 @@ class SweepRunner:
                 pending.append(i)
 
         if pending:
+            store = self.checkpoints
             if self.jobs == 1 or len(pending) == 1:
-                computed = [_execute_spec(specs[i]) for i in pending]
+                computed = [
+                    _execute_spec(specs[i], checkpoints=store) for i in pending
+                ]
             else:
+                ckpt_dir = store.checkpoint_dir if store is not None else None
+                fn = (
+                    partial(_execute_spec, checkpoint_dir=ckpt_dir)
+                    if ckpt_dir is not None
+                    else _execute_spec
+                )
                 workers = min(self.jobs, len(pending))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     # pool.map preserves input order — completion order
                     # never leaks into the result list.
                     computed = list(
-                        pool.map(_execute_spec, [specs[i] for i in pending])
+                        pool.map(fn, [specs[i] for i in pending])
                     )
             for i, outcome in zip(pending, computed):
                 results[i] = outcome
@@ -149,4 +186,9 @@ class SweepRunner:
 
     def describe(self) -> str:
         cache = f"; {self.cache.describe()}" if self.cache is not None else ""
-        return f"sweep runner: jobs={self.jobs}{cache}"
+        ckpt = (
+            f"; {self.checkpoints.describe()}"
+            if self.checkpoints is not None
+            else ""
+        )
+        return f"sweep runner: jobs={self.jobs}{cache}{ckpt}"

@@ -1,4 +1,4 @@
-"""Event heap and serially-shared resources.
+"""Event calendar and serially-shared resources.
 
 :class:`Engine` is a minimal discrete-event core: callbacks scheduled
 at absolute times, executed in (time, insertion-sequence) order.
@@ -10,8 +10,13 @@ surfaces the paper's Fig. 2(a) bottleneck: all GPUs' swap traffic
 queues on the one host uplink.
 
 Both classes sit on the simulator's innermost loop, so they use
-``__slots__`` and keep per-event allocation to the one heap tuple the
-ordering contract requires (see ``docs/INTERNALS.md`` §Performance).
+``__slots__`` and a *bucketed* calendar: one heap entry per distinct
+timestamp, with a FIFO list of ``(daemon, callback)`` pairs per bucket.
+Simulated clusters produce heavy timestamp collisions (every microbatch
+boundary wakes many devices at once), so bucketing replaces per-event
+4-tuple heap churn with a list append, while FIFO drain preserves the
+exact (time, insertion-sequence) order of the old one-tuple-per-event
+heap (see ``docs/INTERNALS.md`` §Performance).
 """
 
 from __future__ import annotations
@@ -32,15 +37,20 @@ class Engine:
     strikes nor inflates the clock.
     """
 
-    __slots__ = ("_heap", "now", "_seq", "_live", "events_processed")
+    __slots__ = (
+        "_times", "_buckets", "now", "_live", "_pending", "events_processed"
+    )
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, bool, Callable[[], None]]] = []
+        #: Min-heap of distinct timestamps with a pending bucket.
+        self._times: list[float] = []
+        #: time -> FIFO of (daemon, callback) pairs scheduled at it.
+        self._buckets: dict[float, list[tuple[bool, Callable[[], None]]]] = {}
         #: Current simulated time.  A plain attribute (not a property):
         #: it is read on every schedule/log call in the inner loop.
         self.now = 0.0
-        self._seq = 0
-        self._live = 0  # non-daemon events in the heap
+        self._live = 0  # non-daemon events pending
+        self._pending = 0  # all events pending (daemons included)
         #: Total events executed over the engine's lifetime — the
         #: denominator-free counter behind the benchmark harness's
         #: events/sec metric.
@@ -55,13 +65,20 @@ class Engine:
         # simulated times (exactly the regime steady-state fast-forward
         # creates) a ulp of float error on ``start + duration`` dwarfs
         # any absolute epsilon — 1e-12 absolute would reject legitimate
-        # events at t ~ 1e9 where one ulp is ~1.2e-7.
-        if time < now - 1e-12 * (now if now > 1.0 else 1.0):
+        # events at t ~ 1e9 where one ulp is ~1.2e-7.  The tolerance
+        # math only runs on the rare ``time < now`` path; almost every
+        # schedule is at-or-after the clock and takes one compare.
+        if time < now and time < now - 1e-12 * (now if now > 1.0 else 1.0):
             raise SimulationError(
                 f"cannot schedule event in the past ({time} < {now})"
             )
-        heapq.heappush(self._heap, (time, self._seq, daemon, callback))
-        self._seq += 1
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [(daemon, callback)]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append((daemon, callback))
+        self._pending += 1
         if not daemon:
             self._live += 1
 
@@ -73,28 +90,63 @@ class Engine:
         self.at(self.now + delay, callback, daemon=daemon)
 
     def run(self, max_events: int = 100_000_000) -> None:
-        """Drain the event heap (down to trailing daemon events)."""
-        heap = self._heap
+        """Drain the event calendar (down to trailing daemon events).
+
+        The loop sets ``self.now`` once per *bucket* rather than once
+        per event — same-time batches skip the redundant clock compare —
+        and drains each bucket by index so that same-time events a
+        callback schedules mid-drain land behind the bucket's remaining
+        entries, exactly where the old per-event heap would have put
+        them (larger insertion sequence, same timestamp).
+        """
+        times = self._times
+        buckets = self._buckets
         pop = heapq.heappop
+        push = heapq.heappush
         events = 0
-        while heap and self._live > 0:
-            if events >= max_events:
-                raise SimulationError(
-                    f"exceeded {max_events} events at t={self.now} with "
-                    f"{len(heap)} event(s) still pending; likely livelock"
-                )
-            time, __, daemon, callback = pop(heap)
-            if not daemon:
-                self._live -= 1
+        while times and self._live > 0:
+            time = pop(times)
+            bucket = buckets[time]
             if time > self.now:
                 self.now = time
-            callback()
-            events += 1
+            i = 0
+            while i < len(bucket):
+                if events >= max_events:
+                    # Stash the remainder so pending counts stay honest
+                    # for the diagnostic (and any post-mortem).
+                    buckets[time] = bucket[i:]
+                    push(times, time)
+                    self._pending -= i
+                    raise SimulationError(
+                        f"exceeded {max_events} events at t={self.now} with "
+                        f"{self._pending} event(s) still pending; likely "
+                        "livelock"
+                    )
+                daemon, callback = bucket[i]
+                i += 1
+                if not daemon:
+                    self._live -= 1
+                callback()
+                events += 1
+                if self._live == 0 or (times and times[0] < time):
+                    # _live == 0: trailing daemons stay pending, like the
+                    # old heap.  times[0] < time: a callback scheduled an
+                    # event slightly in the past (within the relative
+                    # tolerance above); the old heap ran it before the
+                    # rest of this batch, so stash the remainder and let
+                    # the outer loop pop the earlier bucket first.
+                    break
+            self._pending -= i
+            if i < len(bucket):
+                buckets[time] = bucket[i:]
+                push(times, time)
+            else:
+                del buckets[time]
         self.events_processed += events
 
     @property
     def pending_events(self) -> int:
-        return len(self._heap)
+        return self._pending
 
 
 class ResourceTimeline:

@@ -24,6 +24,7 @@ from repro.errors import CapacityError, SimulationError, SteadyStateError
 
 if TYPE_CHECKING:
     from repro.faults.injector import FaultInjector
+    from repro.perf.incremental import CheckpointStore
 from repro.hardware.topology import Topology
 from repro.memory.manager import MemoryManager
 from repro.memory.stats import Direction, SwapStats
@@ -70,6 +71,17 @@ class ExecOptions:
         process default (see :func:`repro.steady.resolve_mode`).  Any
         injector vetoes fast-forward wholesale, keeping fault-injected
         runs bit-for-bit identical to the pre-steady-state simulator.
+    checkpoints:
+        Prefix-checkpoint store (:mod:`repro.perf.incremental`).  On the
+        cycle path the executor restores the deepest stored boundary
+        ``<= iterations - 1`` before simulating, and writes throttled
+        boundary snapshots as it runs — byte-identical results either
+        way.  Requires ``checkpoint_key`` (the hierarchical prefix key);
+        ignored on the legacy path (single iteration or faults).
+    checkpoint_key:
+        The :func:`repro.perf.fingerprint.base_fingerprint` of this run
+        — the session layer computes it (and leaves it ``None`` for
+        unfingerprintable specs, which then run cold).
     """
 
     prefetch: bool = False
@@ -78,6 +90,8 @@ class ExecOptions:
     audit: bool = False
     injector: "FaultInjector | None" = None
     steady_state: "SteadyMode | str | None" = None
+    checkpoints: "CheckpointStore | None" = None
+    checkpoint_key: str | None = None
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -139,6 +153,35 @@ class Executor:
         # device set never changes mid-run.
         self._device_names = tuple(sorted(self.devstates))
         self._tasks = plan.graph.tasks  # validated: every ordered tid exists
+        # Targeted wake-up state.  The scheduling loop used to rescan
+        # every device after every completion (O(devices) per task, with
+        # an O(deps) subset check per device) — quadratic on wide
+        # fleets.  Instead: a per-task countdown of unfinished direct
+        # deps (checked in O(1) by _advance), a reverse-dependency map,
+        # and a task -> hosting-devices map.  A completion then advances
+        # exactly the devices that could have been unblocked: the
+        # completed task's own device(s) — its order continues, and a
+        # serially-deferred prepare retries — plus the devices of every
+        # dependent whose countdown just hit zero.  Any other device's
+        # head task saw none of its gates change, so the old full scan
+        # would have no-opped on it; wakes stay in sorted device order,
+        # so the event stream is bit-identical.
+        self._dep_template = {
+            tid: len(t.all_deps) for tid, t in self._tasks.items()
+        }
+        self._dep_missing = dict(self._dep_template)
+        rdeps: dict[int, list[int]] = {}
+        hosts: dict[int, set[str]] = {}
+        for tid, t in self._tasks.items():
+            for dep in t.all_deps:
+                rdeps.setdefault(dep, []).append(tid)
+        for dev in self._device_names:
+            for tid in self.devstates[dev].order:
+                hosts.setdefault(tid, set()).add(dev)
+        self._rdeps = {tid: tuple(ts) for tid, ts in rdeps.items()}
+        self._task_devices = {
+            tid: tuple(sorted(devs)) for tid, devs in hosts.items()
+        }
         self._device_of_replica = dict(plan.replica_device)
         self.done: set[int] = set()
         self._arrivals: dict[int, set[str]] = {}
@@ -165,6 +208,11 @@ class Executor:
             *self.links.values(), *self.compute_streams.values()
         )
         self.steady_report: SteadyReport | None = None
+        #: Boundary index a prefix checkpoint restored this run from
+        #: (``None`` = cold).  Deliberately *not* part of RunResult:
+        #: restored and cold results must compare equal byte-for-byte,
+        #: so reuse accounting lives here and on the store's counters.
+        self.restored_from: int | None = None
 
     # -- public ------------------------------------------------------------
 
@@ -233,10 +281,44 @@ class Executor:
         skipped = 0
         period: float | None = None
 
-        self.manager.materialize_initial()
-        prev_fp = entry_fingerprint(self) if detecting else None
-        it = 1
-        mark = 0  # first trace-event index of the current iteration
+        store = self.options.checkpoints
+        store_key = self.options.checkpoint_key
+        if store_key is None:
+            store = None  # unfingerprintable spec: run cold, write nothing
+        snap = store.best(store_key, n - 1) if store is not None else None
+        if snap is not None:
+            # Resume from the donor's deepest shared boundary: install
+            # the carried-across state, then replay the cycle-detection
+            # decision a cold run would have made at this boundary
+            # against *our* iteration count (the donor's fingerprints
+            # and ledger are the detection inputs; skip depends on n).
+            from repro.perf.incremental import install_snapshot
+
+            install_snapshot(self, snap)
+            it = self.restored_from = snap.iteration
+            mark = len(self.trace.events)
+            prev_fp = snap.fp
+            detecting = detecting and snap.detecting
+            if (
+                detecting
+                and snap.ledger is not None
+                and snap.fp == snap.prev_fp
+            ):
+                skip = n - 1 - it
+                if skip > 0:
+                    detected_at = it + 1
+                    period = snap.ledger.period
+                    skipped = skip
+                    apply_fast_forward(self, snap.ledger, skip)
+                    mark = len(self.trace.events)
+                    detecting = False
+                    it = n - 1
+            it += 1
+        else:
+            self.manager.materialize_initial()
+            prev_fp = entry_fingerprint(self) if detecting else None
+            it = 1
+            mark = 0  # first trace-event index of the current iteration
         while True:
             if detecting:
                 start_journals(self)
@@ -264,7 +346,7 @@ class Executor:
             self._epoch += local_makespan
             mark = len(self.trace.events)
             self._reset_iteration()
-            if engine._heap:
+            if engine.pending_events:
                 raise SimulationError(
                     "steady-state loop: events pending across an iteration "
                     "boundary (only fault daemons linger, and injectors "
@@ -273,8 +355,28 @@ class Executor:
             engine.now = 0.0
             for tl in self._all_timelines:
                 tl.free_at = 0.0
+            fp = entry_fingerprint(self) if detecting else None
+            if store is not None and (detecting or mode is SteadyMode.OFF):
+                # Donor-side prefix checkpoint: captured mid-boundary —
+                # after the entry fingerprint, before the detection
+                # branch — so a restoring run can replay the detection
+                # decision itself.  Post-detection boundaries are never
+                # reached here (detection jumps straight to the final
+                # iteration), so snapshots never carry compressed
+                # segments.  Throttled to O(log n) boundaries.
+                from repro.perf.incremental import (
+                    capture_snapshot,
+                    snapshot_boundary,
+                )
+
+                if snapshot_boundary(it, n) and not store.has(store_key, it):
+                    store.put(
+                        store_key,
+                        capture_snapshot(
+                            self, it, prev_fp, fp, ledger, detecting
+                        ),
+                    )
             if detecting:
-                fp = entry_fingerprint(self)
                 skip = n - 1 - it  # iterations to fast-forward; the
                 # final iteration always runs live so the flush departs
                 # from a naturally-arising state.
@@ -329,6 +431,7 @@ class Executor:
         from repro.tensors.tensor import TensorKind
 
         self.done.clear()
+        self._dep_missing = dict(self._dep_template)
         self._arrivals.clear()
         self._started_collectives.clear()
         self.manager._waiters.clear()  # nothing is in flight between iterations
@@ -352,6 +455,23 @@ class Executor:
         for dev in self._device_names:
             self._advance(dev)
 
+    def _advance_wakers(self, tid: int) -> None:
+        """Advance exactly the devices whose head task may have been
+        unblocked by ``tid`` completing (see the wake-up maps in
+        ``__init__``); also retires ``tid`` from its dependents'
+        countdowns — call exactly once per completion."""
+        task_devices = self._task_devices
+        woken = set(task_devices.get(tid, ()))
+        dep_missing = self._dep_missing
+        for dependent in self._rdeps.get(tid, ()):
+            left = dep_missing[dependent] - 1
+            dep_missing[dependent] = left
+            if left == 0:
+                woken.update(task_devices.get(dependent, ()))
+        advance = self._advance
+        for dev in sorted(woken):
+            advance(dev)
+
     def _advance(self, dev: str) -> None:
         st = self.devstates[dev]
         if st.run_idx >= len(st.order):
@@ -369,7 +489,7 @@ class Executor:
             return
         if st.computing is not None and not self.options.prefetch:
             return
-        if not task.all_deps <= self.done:
+        if self._dep_missing[task.tid]:
             return
         self._start_prepare(dev, task)
 
@@ -411,7 +531,7 @@ class Executor:
             self.done.add(task.tid)
             self._samples += task.samples
             st.computing = None
-            self._advance_all()
+            self._advance_wakers(task.tid)
 
         self.engine.at(end, complete)
         if self.options.prefetch:
@@ -430,15 +550,34 @@ class Executor:
             if self._device_of_replica.get(reg.by_id(tid).replica) == dev
         ]
 
+    def _tensors_by_device(
+        self, task: Task, participants: list[str]
+    ) -> dict[str, list[int]]:
+        """Every participant's :meth:`_tensors_on_device` in one pass
+        over ``task.touched`` instead of one scan per participant —
+        identical lists (each keeps its device's tids in touch order)."""
+        subsets = self.plan.collective_subsets.get(task.tid)
+        if subsets is not None:
+            return {dev: list(subsets.get(dev, ())) for dev in participants}
+        reg = self.plan.registry
+        dev_of = self._device_of_replica.get
+        out: dict[str, list[int]] = {dev: [] for dev in participants}
+        for tid in task.touched:
+            dev = dev_of(reg.by_id(tid).replica)
+            bucket = out.get(dev)
+            if bucket is not None:
+                bucket.append(tid)
+        return out
+
     def _advance_allreduce(self, dev: str, task: Task) -> None:
         st = self.devstates[dev]
         if st.computing is not None or st.prep_inflight is not None:
             return
-        if not task.all_deps <= self.done:
+        if self._dep_missing[task.tid]:
             return
         arrivals = self._arrivals.setdefault(task.tid, set())
         arrivals.add(dev)
-        if arrivals != set(task.participants):
+        if len(arrivals) != len(task.participants):
             return
         if task.tid in self._started_collectives:
             return
@@ -452,7 +591,7 @@ class Executor:
             st.computing = task.tid
             st.run_idx += 1
         pending = {"chains": len(participants)}
-        subsets = {dev: self._tensors_on_device(task, dev) for dev in participants}
+        subsets = self._tensors_by_device(task, participants)
 
         def chain_done() -> None:
             pending["chains"] -= 1
@@ -482,7 +621,7 @@ class Executor:
                 self.manager.task_finished(task, tensors=subsets[dev])
                 self.devstates[dev].computing = None
             self.done.add(task.tid)
-            self._advance_all()
+            self._advance_wakers(task.tid)
 
         for dev in participants:
             ops = self.manager.prepare(task, dev, tensors=subsets[dev])
@@ -530,6 +669,12 @@ class Executor:
     def _result(self) -> RunResult:
         makespan = max(self.trace.makespan(), self._epoch + self.engine.now)
         devices = {}
+        compute_busy_by_dev = (
+            None if self._cycle_path
+            else self.trace.busy_seconds_by_device("compute")
+        )
+        swap_in_by_dev = self.stats.volume_by_device(Direction.SWAP_IN)
+        swap_out_by_dev = self.stats.volume_by_device(Direction.SWAP_OUT)
         for gpu in self.topology.gpus():
             pool = self.manager.pools[gpu.name]
             if self._cycle_path:
@@ -539,15 +684,17 @@ class Executor:
                 # between off/auto arms (both fold the same additions).
                 compute_busy = self.compute_streams[gpu.name].busy_seconds
             else:
-                compute_busy = self.trace.busy_seconds(gpu.name, "compute")
+                # sum() over no events is int 0; match it for devices
+                # absent from the one-pass map.
+                compute_busy = compute_busy_by_dev.get(gpu.name, 0)
             devices[gpu.name] = DeviceReport(
                 name=gpu.name,
                 capacity=pool.capacity,
                 peak_used=pool.peak_used,
                 peak_demand=pool.peak_demand,
                 compute_busy=compute_busy,
-                swap_in_bytes=self.stats.volume(gpu.name, None, Direction.SWAP_IN),
-                swap_out_bytes=self.stats.volume(gpu.name, None, Direction.SWAP_OUT),
+                swap_in_bytes=swap_in_by_dev.get(gpu.name, 0),
+                swap_out_bytes=swap_out_by_dev.get(gpu.name, 0),
                 peak_activation=self.manager.activation_peak.get(gpu.name, 0.0),
             )
         return RunResult(

@@ -10,6 +10,7 @@ Harmony's optimization #3.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.errors import FaultError, SimulationError
@@ -69,7 +70,9 @@ class TransferEngine:
             # Fetch from the host that actually holds the copy: on a
             # multi-server topology a tensor written back on server A
             # and fetched by server B crosses the inter-server network.
-            rt = self.manager.runtime(op.tensor.tid)
+            manager = self.manager
+            tid = op.tensor.tid
+            rt = manager.runtimes.get(tid) or manager.runtime(tid)
             src_host = rt.host_device or self.topology.host_of(op.dst).name
             return self.topology.route(src_host, op.dst)
         if op.kind is MemOpKind.SWAP_OUT:
@@ -121,33 +124,33 @@ class TransferEngine:
         """Start one op.  Returns True if it completed synchronously;
         otherwise ``cont`` has been registered to fire on completion."""
         manager = self.manager
-        if op.kind is MemOpKind.WAIT:
-            rt = manager.runtime(op.tensor.tid)
-            if (
-                rt.state is TensorState.SWAPPING_IN
-                or rt.state is TensorState.SWAPPING_OUT
-            ):
-                manager.add_waiter(op.tensor.tid, cont)
+        kind = op.kind
+        tid = op.tensor.tid
+        swapping_in = TensorState.SWAPPING_IN
+        swapping_out = TensorState.SWAPPING_OUT
+        if kind is MemOpKind.WAIT:
+            rt = manager.runtimes.get(tid) or manager.runtime(tid)
+            state = rt.state
+            if state is swapping_in or state is swapping_out:
+                manager.add_waiter(tid, cont)
                 return False
             return True
-        if op.kind is MemOpKind.ALLOC:
+        if kind is MemOpKind.ALLOC:
             manager.op_begin(op)
             return True
         # Eviction ops can race with a concurrent task on another device
         # pinning the victim: substitute another victim, or wait for the
         # pin to release if nothing else is evictable.
-        if op.kind in (MemOpKind.DROP, MemOpKind.SWAP_OUT) and not op.forced:
-            rt = manager.runtime(op.tensor.tid)
+        if (kind is MemOpKind.DROP or kind is MemOpKind.SWAP_OUT) and not op.forced:
+            rt = manager.runtimes.get(tid) or manager.runtime(tid)
             if rt.pinned > 0 and rt.resident_on == op.src:
                 substitutes = manager.substitute_victims(op)
                 if substitutes is None:
-                    manager.add_waiter(
-                        op.tensor.tid, lambda: self.execute_op(op, cont)
-                    )
+                    manager.add_waiter(tid, lambda: self.execute_op(op, cont))
                 else:
                     self.execute_chain(substitutes, cont)
                 return False
-        if op.kind is MemOpKind.DROP:
+        if kind is MemOpKind.DROP:
             manager.op_begin(op)
             if op.kind is MemOpKind.DROP:  # not degraded to a write-back
                 return True
@@ -157,12 +160,10 @@ class TransferEngine:
             return False
         # Transfer op: if the tensor is mid-flight elsewhere (e.g. a peer
         # is still writing it back to host), retry when that completes.
-        rt = manager.runtime(op.tensor.tid)
-        if (
-            rt.state is TensorState.SWAPPING_IN
-            or rt.state is TensorState.SWAPPING_OUT
-        ):
-            manager.add_waiter(op.tensor.tid, lambda: self.execute_op(op, cont))
+        rt = manager.runtimes.get(tid) or manager.runtime(tid)
+        state = rt.state
+        if state is swapping_in or state is swapping_out:
+            manager.add_waiter(tid, lambda: self.execute_op(op, cont))
             return False
         if not manager.op_begin(op):
             return True  # state already satisfied; nothing to move
@@ -174,13 +175,14 @@ class TransferEngine:
     ) -> None:
         # op_begin may have degraded a planned P2P into a SWAP_IN.
         route = self._route_for(op)
-        if self.injector is None:
-            ready = self.engine.now
-            duration = route.transfer_time(op.tensor.size_bytes)
+        engine = self.engine
+        injector = self.injector
+        size = op.tensor.size_bytes
+        if injector is None:
+            ready = engine.now
+            duration = route.transfer_time(size)
         else:
-            ready, duration = self.injector.transfer_timing(
-                route, op.tensor.size_bytes, self.engine.now
-            )
+            ready, duration = injector.transfer_timing(route, size, engine.now)
         timelines = self._timelines(route)
         if timelines:
             start, end = ResourceTimeline.acquire_all(timelines, ready, duration)
@@ -189,29 +191,46 @@ class TransferEngine:
             # link; acquire_all rejects empty lists, so the window is
             # explicit here.
             start, end = ready, ready + duration
-        category = _CATEGORY[op.kind]
-        device = op.src if op.kind is MemOpKind.SWAP_OUT else op.dst
+        kind = op.kind
+        category = _CATEGORY[kind]
+        device = op.src if kind is MemOpKind.SWAP_OUT else op.dst
 
         if (
-            self.injector is not None
+            injector is not None
             and duration > 0
-            and self.injector.transfer_fails(route, start)
+            and injector.transfer_fails(route, start)
         ):
             self._schedule_failed_attempt(
                 op, route, device, category, start, end, attempt, done
             )
             return
 
-        def finish() -> None:
-            self.manager.op_finish(op)
-            if duration > 0:
-                self.trace.add(
-                    device, start, end, category, op.tensor.label,
-                    nbytes=op.tensor.size_bytes,
-                )
-            done()
+        # A ``partial`` on a bound method, not a closure: this runs once
+        # per transfer and a closure would allocate a cell per captured
+        # variable each time.
+        engine.at(
+            end,
+            partial(self._finish_transfer, op, device, category, start, end,
+                    duration, done),
+        )
 
-        self.engine.at(end, finish)
+    def _finish_transfer(
+        self,
+        op: MemOp,
+        device: str,
+        category: str,
+        start: float,
+        end: float,
+        duration: float,
+        done: Callable[[], None],
+    ) -> None:
+        self.manager.op_finish(op)
+        if duration > 0:
+            self.trace.add(
+                device, start, end, category, op.tensor.label,
+                nbytes=op.tensor.size_bytes,
+            )
+        done()
 
     def _schedule_failed_attempt(
         self,

@@ -205,18 +205,32 @@ class Decomposer:
     def _emit_forward(self, itasks: IterationTasks, replica: int) -> None:
         reg = itasks.registry
         last_layer = len(self.model) - 1
+        # Microbatch-invariant per-pack values (weight tids, pack flops)
+        # are computed during mb 0 — at the exact code position the
+        # per-mb expressions held, so tensor *creation order* (and
+        # therefore tid assignment) is unchanged — and reused for every
+        # later microbatch.
+        weight_tids: list[list[int]] = []
+        pack_flops: list[float] = []
         for mb in range(self.num_microbatches):
             for p, pack in enumerate(self.packs_fwd):
                 first, last = pack[0], pack[-1]
-                reads = [reg.activation(first - 1, mb, replica).tid]
-                reads += [reg.weight(l, replica).tid for l in pack]
+                in_act = reg.activation(first - 1, mb, replica).tid
+                if mb == 0:
+                    weight_tids.append([reg.weight(l, replica).tid for l in pack])
+                    pack_flops.append(sum(
+                        self.model.layer(l).flops(Phase.FORWARD, self.microbatch_size)
+                        for l in pack
+                    ))
+                reads = [in_act]
+                reads += weight_tids[p]
                 if self.recompute:
                     # Checkpoint only the pack's input; the backward pass
                     # re-runs the pack's forward from it.
                     writes = [reg.checkpoint(first, mb, replica).tid]
                 else:
                     writes = [reg.stash(l, mb, replica).tid for l in pack]
-                frees = [reg.activation(first - 1, mb, replica).tid]
+                frees = [in_act]
                 out_act = reg.activation(last, mb, replica).tid
                 writes.append(out_act)
                 if last == last_layer:
@@ -226,10 +240,7 @@ class Decomposer:
                 deps: set[int] = set()
                 if p > 0:
                     deps.add(itasks.fwd[(replica, p - 1, mb)].tid)
-                flops = sum(
-                    self.model.layer(l).flops(Phase.FORWARD, self.microbatch_size)
-                    for l in pack
-                )
+                flops = pack_flops[p]
                 task = Task(
                     tid=self._tid(),
                     kind=TaskKind.COMPUTE,
@@ -260,6 +271,14 @@ class Decomposer:
         reg = itasks.registry
         last_layer = len(self.model) - 1
         num_packs = len(self.packs_bwd)
+        # Microbatch-invariant per-pack values, filled during mb 0 at
+        # the exact code position the per-mb expressions held so tid
+        # creation order is unchanged (weight grads are first *created*
+        # here), then reused for every later microbatch.
+        w_tids: dict[int, list[int]] = {}
+        dw_tids: dict[int, list[int]] = {}
+        covering: dict[int, range] = {}
+        bwd_flops: dict[int, float] = {}
         for mb in range(self.num_microbatches):
             for rp, pack in enumerate(reversed(self.packs_bwd)):
                 p = num_packs - 1 - rp  # pack index in forward order
@@ -270,10 +289,31 @@ class Decomposer:
                     frees = [checkpoint]
                 else:
                     reads = [reg.stash(l, mb, replica).tid for l in pack]
-                    frees = [reg.stash(l, mb, replica).tid for l in pack]
-                reads += [reg.weight(l, replica).tid for l in pack]
-                reads += [reg.weight_grad(l, replica).tid for l in pack]
-                writes = [reg.weight_grad(l, replica).tid for l in pack]
+                    frees = list(reads)
+                if mb == 0:
+                    w_tids[p] = [reg.weight(l, replica).tid for l in pack]
+                    dw_tids[p] = [reg.weight_grad(l, replica).tid for l in pack]
+                    covering[p] = range(
+                        self._fwd_pack_covering(first),
+                        self._fwd_pack_covering(last) + 1,
+                    )
+                    flops = sum(
+                        self.model.layer(l).flops(Phase.BACKWARD, self.microbatch_size)
+                        for l in pack
+                    )
+                    if self.recompute:
+                        # The pack's forward is re-run from the checkpoint
+                        # before differentiating — compute traded for memory.
+                        flops += sum(
+                            self.model.layer(l).flops(
+                                Phase.FORWARD, self.microbatch_size
+                            )
+                            for l in pack
+                        )
+                    bwd_flops[p] = flops
+                reads += w_tids[p]
+                reads += dw_tids[p]
+                writes = list(dw_tids[p])
                 deps: set[int] = set()
                 if last != last_layer:
                     grad_in = reg.act_grad(last, mb, replica).tid
@@ -284,23 +324,9 @@ class Decomposer:
                     writes.append(reg.act_grad(first - 1, mb, replica).tid)
                 # The stash must exist: depend on every forward task
                 # whose pack covers any of this pack's layers.
-                for fp in range(
-                    self._fwd_pack_covering(first), self._fwd_pack_covering(last) + 1
-                ):
+                for fp in covering[p]:
                     deps.add(itasks.fwd[(replica, fp, mb)].tid)
-                flops = sum(
-                    self.model.layer(l).flops(Phase.BACKWARD, self.microbatch_size)
-                    for l in pack
-                )
-                if self.recompute:
-                    # The pack's forward is re-run from the checkpoint
-                    # before differentiating — compute traded for memory.
-                    flops += sum(
-                        self.model.layer(l).flops(
-                            Phase.FORWARD, self.microbatch_size
-                        )
-                        for l in pack
-                    )
+                flops = bwd_flops[p]
                 task = Task(
                     tid=self._tid(),
                     kind=TaskKind.COMPUTE,

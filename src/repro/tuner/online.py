@@ -19,12 +19,16 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.config import Parallelism
 from repro.errors import ConfigError
 from repro.hardware.topology import Topology
 from repro.models.graph import ModelGraph
 from repro.tuner.profiler import ProfilePoint, profile_configuration
+
+if TYPE_CHECKING:
+    from repro.perf.incremental import CheckpointStore
 
 
 @dataclass(frozen=True)
@@ -38,10 +42,20 @@ class _Config:
 class AnnealResult:
     best: ProfilePoint
     history: list[ProfilePoint] = field(default_factory=list)
+    #: Prefix-checkpoint accounting for the anneal's probes (zero
+    #: without a store).
+    prefix_hits: int = 0
+    prefix_misses: int = 0
+    saved_iterations: int = 0
 
     @property
     def probes(self) -> int:
         return len(self.history)
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        total = self.prefix_hits + self.prefix_misses
+        return self.prefix_hits / total if total else 0.0
 
 
 def _splits_of(minibatch: int) -> list[int]:
@@ -56,17 +70,30 @@ def anneal(
     steps: int = 24,
     initial_temperature: float = 0.3,
     seed: int = 0,
+    profile_iterations: int = 1,
+    steady_state: "str | None" = None,
+    checkpoints: "CheckpointStore | None" = None,
 ) -> AnnealResult:
     """Anneal over (pack, microbatch split, prefetch).
 
     ``steps`` bounds the number of profiled configurations — the
     online-tuning budget.  Deterministic for a given ``seed``.
+
+    ``profile_iterations`` makes each probe observe that many simulated
+    iterations; with a ``checkpoints`` store, probes of configurations
+    the store has seen (a previous anneal, a donor grid search, or this
+    anneal re-crossing its own path at a deeper budget) restore the
+    deepest shared iteration boundary instead of cold-starting —
+    byte-identical, per :mod:`repro.perf.incremental`.
     """
     if minibatch_per_replica < 1:
         raise ConfigError("minibatch_per_replica must be >= 1")
     if steps < 1:
         raise ConfigError("steps must be >= 1")
+    if profile_iterations < 1:
+        raise ConfigError("profile_iterations must be >= 1")
     rng = random.Random(seed)
+    ckpt0 = checkpoints.counters() if checkpoints is not None else None
     splits = _splits_of(minibatch_per_replica)
     max_pack = len(model)
 
@@ -92,6 +119,9 @@ def anneal(
             minibatch_per_replica // cfg.microbatch_size,
             parallelism=parallelism,
             prefetch=cfg.prefetch,
+            iterations=profile_iterations,
+            steady_state=steady_state,
+            checkpoints=checkpoints,
         )
 
     current = _Config(1, splits[0], False)
@@ -128,4 +158,16 @@ def anneal(
         raise ConfigError(
             "annealing found no feasible configuration within its budget"
         )
-    return AnnealResult(best=best_point, history=history)
+    prefix_hits = prefix_misses = saved = 0
+    if ckpt0 is not None:
+        ckpt1 = checkpoints.counters()
+        prefix_hits = ckpt1["hits"] - ckpt0["hits"]
+        prefix_misses = ckpt1["misses"] - ckpt0["misses"]
+        saved = ckpt1["saved_iterations"] - ckpt0["saved_iterations"]
+    return AnnealResult(
+        best=best_point,
+        history=history,
+        prefix_hits=prefix_hits,
+        prefix_misses=prefix_misses,
+        saved_iterations=saved,
+    )

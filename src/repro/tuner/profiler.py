@@ -1,13 +1,22 @@
 """Profiling one (pack size, microbatch shape) configuration.
 
-A profile point is one simulated iteration's outcome, or an explicit
-infeasibility marker when the configuration's working set cannot fit
-(the hard wall of the memory-performance tango).
+A profile point is one simulated iteration's outcome (or several, with
+``iterations > 1`` — e.g. an online tuner measuring settled steady-state
+throughput), or an explicit infeasibility marker when the
+configuration's working set cannot fit (the hard wall of the
+memory-performance tango).
+
+Multi-iteration probes accept a prefix-checkpoint store
+(:mod:`repro.perf.incremental`): re-probes of a configuration the store
+has seen restore the deepest shared iteration boundary and simulate
+only the suffix — byte-identical to a cold probe, at roughly
+``1/iterations`` the cost.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.config import HarmonyConfig, Parallelism
 from repro.core.session import HarmonySession
@@ -16,6 +25,9 @@ from repro.hardware.topology import Topology
 from repro.models.graph import ModelGraph
 from repro.schedulers.base import BatchConfig
 from repro.schedulers.options import HarmonyOptions
+
+if TYPE_CHECKING:
+    from repro.perf.incremental import CheckpointStore
 
 
 @dataclass(frozen=True)
@@ -57,6 +69,8 @@ def profile_config(
     parallelism: Parallelism | str = Parallelism.HARMONY_PP,
     prefetch: bool = False,
     pack_size_bwd: int | None = None,
+    iterations: int = 1,
+    steady_state: str | None = None,
 ) -> HarmonyConfig:
     """The exact session config a profile point simulates — the tuner
     fingerprints this to content-address points in its run cache."""
@@ -65,6 +79,8 @@ def profile_config(
         batch=BatchConfig(microbatch_size, num_microbatches),
         options=HarmonyOptions(pack_size=pack_size, pack_size_bwd=pack_size_bwd),
         prefetch=prefetch,
+        iterations=iterations,
+        steady_state=steady_state,
     )
 
 
@@ -77,6 +93,9 @@ def profile_configuration(
     parallelism: Parallelism | str = Parallelism.HARMONY_PP,
     prefetch: bool = False,
     pack_size_bwd: int | None = None,
+    iterations: int = 1,
+    steady_state: str | None = None,
+    checkpoints: "CheckpointStore | None" = None,
 ) -> ProfilePoint:
     """Simulate one configuration; infeasible configurations (working
     set exceeds device memory) are reported, not raised — the tuner
@@ -84,8 +103,9 @@ def profile_configuration(
     config = profile_config(
         pack_size, microbatch_size, num_microbatches,
         parallelism=parallelism, prefetch=prefetch, pack_size_bwd=pack_size_bwd,
+        iterations=iterations, steady_state=steady_state,
     )
-    session = HarmonySession(model, topology, config)
+    session = HarmonySession(model, topology, config, checkpoints=checkpoints)
     try:
         result = session.run()
     except CapacityError as exc:

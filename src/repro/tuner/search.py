@@ -27,6 +27,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 if TYPE_CHECKING:
+    from repro.perf.incremental import CheckpointStore
     from repro.supervisor import Supervisor
 
 from repro.core.config import Parallelism
@@ -89,14 +90,29 @@ def _combo_label(combo: _Combo) -> str:
 
 
 def _profile_combo(
-    payload: tuple[ModelGraph, Topology, Parallelism | str, _Combo],
+    payload: tuple[
+        ModelGraph, Topology, Parallelism | str, _Combo, int,
+        "str | None", "str | None",
+    ],
 ) -> ProfilePoint:
-    """Process-pool worker: profile one combo (top-level for pickling)."""
-    model, topology, parallelism, combo = payload
+    """Process-pool worker: profile one combo (top-level for pickling).
+
+    The checkpoint store crosses the process boundary as its *directory*
+    (the store object holds a lock): workers reopen the disk tier and
+    share prefix snapshots through it.  A memory-only store stays with
+    the inline path — its snapshots cannot cross processes.
+    """
+    model, topology, parallelism, combo, iterations, steady, ckpt_dir = payload
     pack, mb_size, m, prefetch, bwd = combo
+    checkpoints = None
+    if ckpt_dir is not None:
+        from repro.perf.incremental import CheckpointStore
+
+        checkpoints = CheckpointStore(ckpt_dir)
     return profile_configuration(
         model, topology, pack, mb_size, m,
         parallelism=parallelism, prefetch=prefetch, pack_size_bwd=bwd,
+        iterations=iterations, steady_state=steady, checkpoints=checkpoints,
     )
 
 
@@ -117,15 +133,23 @@ class _Profiler:
         cache: RunCache | None = None,
         jobs: int = 1,
         supervisor: "Supervisor | None" = None,
+        iterations: int = 1,
+        steady_state: "str | None" = None,
+        checkpoints: "CheckpointStore | None" = None,
     ):
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if iterations < 1:
+            raise ConfigError(f"iterations must be >= 1, got {iterations}")
         self.model = model
         self.topology = topology
         self.parallelism = parallelism
         self.cache = cache
         self.jobs = jobs
         self.supervisor = supervisor
+        self.iterations = iterations
+        self.steady_state = steady_state
+        self.checkpoints = checkpoints
         self.hits = 0
         self.misses = 0
 
@@ -137,6 +161,7 @@ class _Profiler:
             config = profile_config(
                 pack, mb_size, m, parallelism=self.parallelism,
                 prefetch=prefetch, pack_size_bwd=bwd,
+                iterations=self.iterations, steady_state=self.steady_state,
             )
             return "profile:" + fingerprint(self.model, self.topology, config)
         except FingerprintError:
@@ -166,8 +191,14 @@ class _Profiler:
                 self.misses += 1
                 pending.append(i)
         if pending:
+            ckpt_dir = (
+                self.checkpoints.checkpoint_dir
+                if self.checkpoints is not None
+                else None
+            )
             payloads = [
-                (self.model, self.topology, self.parallelism, combos[i])
+                (self.model, self.topology, self.parallelism, combos[i],
+                 self.iterations, self.steady_state, ckpt_dir)
                 for i in pending
             ]
             if self.supervisor is not None:
@@ -191,12 +222,23 @@ class _Profiler:
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     computed = list(pool.map(_profile_combo, payloads))
             else:
-                computed = [_profile_combo(p) for p in payloads]
+                # Inline: hand the store object straight through, so a
+                # memory-only store works (and counters accrue in-process).
+                computed = [self._profile_inline(combos[i]) for i in pending]
             for i, point in zip(pending, computed):
                 points[i] = point
                 if keys[i] is not None:
                     self.cache.put(keys[i], point)
         return points  # type: ignore[return-value]
+
+    def _profile_inline(self, combo: _Combo) -> ProfilePoint:
+        pack, mb_size, m, prefetch, bwd = combo
+        return profile_configuration(
+            self.model, self.topology, pack, mb_size, m,
+            parallelism=self.parallelism, prefetch=prefetch,
+            pack_size_bwd=bwd, iterations=self.iterations,
+            steady_state=self.steady_state, checkpoints=self.checkpoints,
+        )
 
 
 @dataclass
@@ -209,6 +251,14 @@ class TuneResult:
     cache_misses: int = 0
     hill_hits: int = 0
     hill_misses: int = 0
+    #: Prefix-checkpoint accounting (all zero without a store, or when
+    #: probes ran in worker processes against the store's disk tier —
+    #: those counters accrue in the workers).
+    prefix_hits: int = 0
+    prefix_misses: int = 0
+    #: Simulated iterations short-circuited by prefix restores across
+    #: the search — the work incremental re-simulation saved.
+    saved_iterations: int = 0
 
     @property
     def feasible_points(self) -> list[ProfilePoint]:
@@ -225,6 +275,13 @@ class TuneResult:
         the revisit savings the cache exists for."""
         total = self.hill_hits + self.hill_misses
         return self.hill_hits / total if total else 0.0
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of simulated probes that restored a prefix
+        checkpoint instead of cold-starting iteration 1."""
+        total = self.prefix_hits + self.prefix_misses
+        return self.prefix_hits / total if total else 0.0
 
     def table(self) -> Table:
         table = Table(
@@ -257,6 +314,9 @@ def tune(
     cache: RunCache | None = None,
     jobs: int = 1,
     supervisor: "Supervisor | None" = None,
+    profile_iterations: int = 1,
+    steady_state: "str | None" = None,
+    checkpoints: "CheckpointStore | None" = None,
 ) -> TuneResult:
     """Grid-search microbatch splits x pack sizes x prefetch, then
     hill-climb pack size around the winner.
@@ -270,16 +330,24 @@ def tune(
     repeated probes (hill-climb revisits, re-runs of the same search)
     cache hits.  ``supervisor`` routes every probe through a
     :class:`~repro.supervisor.Supervisor` instead of a bare pool —
-    crash recovery, watchdog, and ``--journal`` resumability.  All
-    three leave the selected ``best`` point bit-identical to a serial,
+    crash recovery, watchdog, and ``--journal`` resumability.
+
+    ``profile_iterations`` makes each probe simulate that many
+    iterations (settled steady-state throughput rather than a first
+    iteration's); ``checkpoints`` then turns re-probes into incremental
+    re-simulations — restore the deepest shared iteration boundary,
+    simulate only the suffix (:mod:`repro.perf.incremental`).  All of
+    these leave the selected ``best`` point bit-identical to a serial,
     uncached, unsupervised search.
     """
     if minibatch_per_replica < 1:
         raise ConfigError("minibatch_per_replica must be >= 1")
     profiler = _Profiler(
         model, topology, parallelism, cache=cache, jobs=jobs,
-        supervisor=supervisor,
+        supervisor=supervisor, iterations=profile_iterations,
+        steady_state=steady_state, checkpoints=checkpoints,
     )
+    ckpt0 = checkpoints.counters() if checkpoints is not None else None
     combos: list[_Combo] = [
         (pack, mb_size, m, prefetch, None)
         for mb_size, m in _splits(minibatch_per_replica)
@@ -304,6 +372,12 @@ def tune(
     if search_bwd_pack:
         best, extra = _refine_bwd_pack(best, profiler)
         points = points + extra
+    prefix_hits = prefix_misses = saved = 0
+    if ckpt0 is not None:
+        ckpt1 = checkpoints.counters()
+        prefix_hits = ckpt1["hits"] - ckpt0["hits"]
+        prefix_misses = ckpt1["misses"] - ckpt0["misses"]
+        saved = ckpt1["saved_iterations"] - ckpt0["saved_iterations"]
     return TuneResult(
         best=best,
         points=points,
@@ -311,6 +385,9 @@ def tune(
         cache_misses=profiler.misses,
         hill_hits=hill_hits,
         hill_misses=hill_misses,
+        prefix_hits=prefix_hits,
+        prefix_misses=prefix_misses,
+        saved_iterations=saved,
     )
 
 
