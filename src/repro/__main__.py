@@ -81,6 +81,7 @@ from repro import BatchConfig, HarmonyConfig, HarmonySession, compare_runs
 from repro.core.report import audit_summary
 from repro.errors import (
     AuditError,
+    ConfigError,
     DrainedError,
     PoisonedSpecError,
     ReproError,
@@ -440,72 +441,171 @@ def _dump_resilient_trace(result, path: str) -> None:
                 f"  {ev.device} {ev.category} {ev.label} "
                 f"{ev.start!r} {ev.end!r} {ev.nbytes!r}"
             )
+    for inc in fr.incidents:
+        lines.append(
+            f"incident {inc.device} {inc.kind} occurred={inc.occurred_at!r} "
+            f"suspected={inc.suspected_at!r} confirmed={inc.confirmed_at!r} "
+            f"exonerated={inc.exonerated_at!r} recovered={inc.recovered_at!r} "
+            f"action={inc.action} false_positive={inc.false_positive} "
+            f"detector={inc.detector}"
+        )
     lines.append(
         f"makespan={fr.total_makespan!r} samples={fr.samples} "
         f"retried_bytes={fr.retried_bytes!r} retry_events={fr.retry_events} "
         f"losses={fr.device_losses!r} replans={fr.replans} "
+        f"rejoins={fr.rejoins} spares={fr.spares_used} "
+        f"stall={fr.stall_seconds!r} heartbeats={fr.heartbeats_observed} "
         f"recovered={fr.recovered}"
     )
     with open(path, "w") as fh:
         fh.write("\n".join(lines) + "\n")
 
 
+def _validate_faults_args(args: argparse.Namespace) -> None:
+    """Structured validation for ``repro faults`` — every rejection
+    names the offending value and the valid range."""
+    if args.iterations < 1:
+        raise ConfigError(
+            f"--iterations must be >= 1, got {args.iterations}"
+        )
+    if args.gpus < 1:
+        raise ConfigError(f"--gpus must be >= 1, got {args.gpus}")
+    for mttf in args.mttf or ():
+        if not mttf > 0:
+            raise ConfigError(
+                f"--mttf values must be > 0 iteration times, got {mttf:g} "
+                f"(use 'inf' for a healthy column)"
+            )
+    if not 0.0 <= args.transient_probability < 1.0:
+        raise ConfigError(
+            f"--transient-probability must be in [0, 1), got "
+            f"{args.transient_probability:g}"
+        )
+    if args.grace < 0:
+        raise ConfigError(
+            f"--grace must be >= 0 seconds (the wait-rejoin hold), got "
+            f"{args.grace:g}"
+        )
+    if args.spares < 0:
+        raise ConfigError(
+            f"--spares must be >= 0 standby devices, got {args.spares}"
+        )
+    if args.straggler != 0 and args.straggler < 1:
+        raise ConfigError(
+            f"--straggler must be 0 (off) or a slowdown >= 1, got "
+            f"{args.straggler:g}"
+        )
+
+
 def cmd_faults(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
     from repro.experiments import faults_degradation
-    from repro.faults import mttf_loss_plan, run_resilient
+    from repro.faults import (
+        ComputeStraggler,
+        DetectorConfig,
+        ResiliencePolicy,
+        SpareDevice,
+        mttf_loss_plan,
+        run_resilient,
+    )
     from repro.validate import audit_resilient
 
+    _validate_faults_args(args)
     model = (
         zoo.build(args.model)
         if args.model
         else zoo.synthetic_uniform(num_layers=8)
     )
     mttfs = tuple(args.mttf) if args.mttf else (float("inf"), 8.0, 4.0, 2.5)
-    sup = _make_supervisor(args)
-    with _drain_scope(sup):
-        rows = faults_degradation.run(
+
+    failed: list = []
+    if args.recovery:
+        # MTTR x policy x scheme sweep on a fixed fault scenario.
+        rows = faults_degradation.run_recovery(
             model=model,
             num_gpus=args.gpus,
             iterations=args.iterations,
-            mttf_iters=mttfs,
-            transient_probability=args.transient_probability,
             seed=args.seed,
             jobs=_jobs(args),
-            supervisor=sup,
         )
-    print(faults_degradation.table(rows).render())
-    if sup is not None:
-        print(sup.report.render())
-
-    comparisons = faults_degradation.gracefulness(rows)
-    if comparisons:
-        print()
-        for harmony, baseline, mttf, h_ratio, b_ratio in comparisons:
-            verdict = "more graceful" if h_ratio > b_ratio else "NOT more graceful"
-            print(
-                f"mttf={mttf:g}: {harmony} retains {h_ratio:.3f} vs "
-                f"{baseline} {b_ratio:.3f} -> {verdict}"
+        print(faults_degradation.recovery_table(rows).render())
+        failed = [r for r in rows if not r.recovered]
+        for row in failed:
+            print(f"RECOVERY FAILED: {row.scheme} under {row.policy}")
+    else:
+        sup = _make_supervisor(args)
+        with _drain_scope(sup):
+            rows = faults_degradation.run(
+                model=model,
+                num_gpus=args.gpus,
+                iterations=args.iterations,
+                mttf_iters=mttfs,
+                transient_probability=args.transient_probability,
+                seed=args.seed,
+                jobs=_jobs(args),
+                supervisor=sup,
             )
+        print(faults_degradation.table(rows).render())
+        if sup is not None:
+            print(sup.report.render())
 
-    failed = [r for r in rows if not r.recovered]
-    for row in failed:
-        print(f"RECOVERY FAILED: {row.scheme} at mttf={row.mttf_iters:g}")
+        comparisons = faults_degradation.gracefulness(rows)
+        if comparisons:
+            print()
+            for harmony, baseline, mttf, h_ratio, b_ratio in comparisons:
+                verdict = "more graceful" if h_ratio > b_ratio else "NOT more graceful"
+                print(
+                    f"mttf={mttf:g}: {harmony} retains {h_ratio:.3f} vs "
+                    f"{baseline} {b_ratio:.3f} -> {verdict}"
+                )
+
+        failed = [r for r in rows if not r.recovered]
+        for row in failed:
+            print(f"RECOVERY FAILED: {row.scheme} at mttf={row.mttf_iters:g}")
 
     if args.trace_out:
         # One seeded faulty run, dumped deterministically for the CI
-        # determinism diff.
+        # determinism diff.  --recovery-policy/--detector/--straggler/
+        # --spares/--grace shape this run only, so CI can byte-diff a
+        # false-positive suspicion case too.
         server = presets.gtx1080ti_server(num_gpus=args.gpus)
         finite = [m for m in mttfs if m != float("inf")]
         mttf = min(finite) if finite else 2.5
         config = HarmonyConfig(args.scheme)
+        extra: list = [SpareDevice(f"spare{i}") for i in range(args.spares)]
+        if args.straggler:
+            # Throttle the last GPU from the start.  With the heartbeat
+            # interval pinned to mttf/8 below, its first stretched gap
+            # (slowdown x mttf/8) both trips the adaptive detector and
+            # completes before the earliest loss (at mttf) — one
+            # deterministic false positive, exonerated on resumption.
+            extra.append(ComputeStraggler(
+                server.gpus()[-1].name, slowdown=args.straggler,
+                start=0.0, end=0.5 * mttf,
+            ))
         plan = mttf_loss_plan(
             [g.name for g in server.gpus()],
             mttf=mttf,  # absolute seconds here; fine for a replay check
             horizon=mttf * args.iterations,
             seed=args.seed,
+            extra=tuple(extra),
+        )
+        policy = dc_replace(
+            ResiliencePolicy.for_scheme(args.scheme),
+            recovery=args.recovery_policy,
+            grace_window=args.grace,
+            detection=(
+                # Interval pinned to the fault horizon, not the (model-
+                # dependent) iteration time, so the false-positive
+                # window is stable across workloads.
+                DetectorConfig(kind=args.detector, interval=mttf / 8.0)
+                if args.detector != "none" else None
+            ),
         )
         result = run_resilient(
-            model, server, config, plan, iterations=args.iterations
+            model, server, config, plan,
+            policy=policy, iterations=args.iterations,
         )
         audit = audit_resilient(result.faults)
         if not audit.passed:
@@ -760,6 +860,37 @@ def main(argv: list[str] | None = None) -> int:
     faults_p.add_argument(
         "--trace-out", default=None, metavar="PATH",
         help="dump the deterministic trace of one seeded faulty run",
+    )
+    faults_p.add_argument(
+        "--recovery", action="store_true",
+        help="sweep the recovery-policy zoo instead: MTTR and goodput "
+             "per (scheme, policy) on a fixed fault scenario",
+    )
+    from repro.faults.detection import detector_names
+    from repro.faults.recovery import recovery_names
+
+    faults_p.add_argument(
+        "--recovery-policy", choices=recovery_names(),
+        default="restart-replan",
+        help="recovery policy for the --trace-out determinism run",
+    )
+    faults_p.add_argument(
+        "--detector", choices=("none",) + detector_names(), default="none",
+        help="failure detector for the --trace-out run (none = instant "
+             "detection, no heartbeats)",
+    )
+    faults_p.add_argument(
+        "--grace", type=float, default=0.0,
+        help="wait-rejoin grace window in simulated seconds (>= 0)",
+    )
+    faults_p.add_argument(
+        "--spares", type=int, default=0,
+        help="cold standby devices added to the --trace-out plan (>= 0)",
+    )
+    faults_p.add_argument(
+        "--straggler", type=float, default=0.0,
+        help="throttle one device by this slowdown (0 = off, else >= 1) "
+             "to reproduce a detector false positive",
     )
 
     bench_p = sub.add_parser(

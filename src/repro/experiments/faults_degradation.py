@@ -14,7 +14,7 @@ gracefully than their corresponding baseline under the same fault plan.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
@@ -22,7 +22,17 @@ if TYPE_CHECKING:
     from repro.supervisor import Supervisor
 
 from repro.core.config import HarmonyConfig
-from repro.faults.model import FaultPlan, TransientTransferError, mttf_loss_plan
+from repro.faults.detection import DetectorConfig
+from repro.faults.model import (
+    DeviceLoss,
+    DeviceReturn,
+    FaultPlan,
+    SpareDevice,
+    TransientTransferError,
+    mttf_loss_plan,
+)
+from repro.faults.recovery import recovery_names
+from repro.faults.resilience import ResiliencePolicy
 from repro.faults.runner import run_resilient
 from repro.hardware import presets
 from repro.hardware.topology import Topology
@@ -193,6 +203,148 @@ def table(rows: list[DegradationRow] | None = None) -> Table:
             str(row.replans),
             str(row.iterations_redone),
             f"{row.retried_gb:.3f}",
+            f"{row.goodput:.3f}",
+            f"{row.goodput_ratio:.3f}",
+            "yes" if row.recovered else "NO",
+        ])
+    return out
+
+
+# -- recovery-policy sweep (MTTR x policy x scheme) ---------------------------
+
+#: Schemes the recovery sweep crosses with every registered policy:
+#: both Harmony/baseline DP flavors plus Harmony's pipeline scheme.
+RECOVERY_SCHEMES = ("harmony-dp", "dp-baseline", "harmony-pp")
+
+
+@dataclass(frozen=True)
+class RecoveryRow:
+    """One (scheme, recovery policy) cell of the MTTR sweep."""
+
+    scheme: str
+    policy: str
+    losses: int
+    rejoins: int
+    spares_used: int
+    mttr_p50: float            # median time-to-repair across incidents
+    mttr_p95: float
+    stall_seconds: float       # grace-window holds (wait-rejoin)
+    goodput: float
+    goodput_ratio: float       # vs the scheme's own fault-free run
+    recovered: bool
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of a sorted sample (0.0 when empty)."""
+    if not values:
+        return 0.0
+    idx = min(len(values) - 1, max(0, int(round(q * (len(values) - 1)))))
+    return values[idx]
+
+
+def _run_recovery_cell(payload) -> "FaultReport":
+    """Process-pool worker for one (scheme, policy) cell."""
+    model, topology, config, plan, policy, iterations = payload
+    result = run_resilient(
+        model, topology, config, plan, policy=policy, iterations=iterations
+    )
+    return result.faults
+
+
+def run_recovery(
+    model: ModelGraph | None = None,
+    num_gpus: int = 4,
+    iterations: int = 6,
+    policies: tuple[str, ...] | None = None,
+    schemes: tuple[str, ...] = RECOVERY_SCHEMES,
+    seed: int = 1,
+    batch: BatchConfig | None = None,
+    jobs: int = 1,
+) -> list[RecoveryRow]:
+    """Cross every recovery policy with ``schemes`` on one *fixed* fault
+    scenario — a mid-run device loss, a return inside the grace window,
+    and one cold spare — so the policies differ only in what they do
+    about it.  Detection runs the adaptive phi-accrual detector; the
+    loss is timed per scheme in its own iteration times so every scheme
+    faces the same relative disruption.  Deterministic in ``seed``."""
+    model = model if model is not None else zoo.synthetic_uniform(num_layers=8)
+    topology = presets.gtx1080ti_server(num_gpus=num_gpus)
+    batch = batch if batch is not None else BatchConfig()
+    policies = policies if policies is not None else recovery_names()
+    iter_time = {
+        scheme: _iteration_time(scheme, model, topology, batch)
+        for scheme in schemes
+    }
+    victim = topology.gpus()[0].name
+
+    cells: list[tuple[str, str]] = [
+        (scheme, policy) for scheme in schemes for policy in policies
+    ]
+    payloads = []
+    for scheme, policy_name in cells:
+        t_iter = iter_time[scheme]
+        plan = FaultPlan(seed=seed, faults=(
+            DeviceLoss(victim, at=1.5 * t_iter),
+            # Comes back three-quarters of an iteration later: inside
+            # wait-rejoin's grace window below.
+            DeviceReturn(victim, at=2.25 * t_iter),
+            SpareDevice("spare0"),
+        ))
+        policy = replace(
+            ResiliencePolicy.for_scheme(scheme),
+            recovery=policy_name,
+            grace_window=1.5 * t_iter,
+            spare_attach_seconds=0.05 * t_iter,
+            detection=DetectorConfig(kind="phi-accrual"),
+        )
+        config = HarmonyConfig(scheme, batch=batch)
+        payloads.append((model, topology, config, plan, policy, iterations))
+
+    if jobs > 1 and len(payloads) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+            reports = list(pool.map(_run_recovery_cell, payloads))
+    else:
+        reports = [_run_recovery_cell(p) for p in payloads]
+
+    rows: list[RecoveryRow] = []
+    for (scheme, policy_name), report in zip(cells, reports):
+        mttrs = report.mttr_values()
+        rows.append(
+            RecoveryRow(
+                scheme=scheme,
+                policy=policy_name,
+                losses=len(report.device_losses),
+                rejoins=report.rejoins,
+                spares_used=report.spares_used,
+                mttr_p50=_percentile(mttrs, 0.50),
+                mttr_p95=_percentile(mttrs, 0.95),
+                stall_seconds=report.stall_seconds,
+                goodput=report.goodput,
+                goodput_ratio=report.goodput_ratio,
+                recovered=report.recovered,
+            )
+        )
+    return rows
+
+
+def recovery_table(rows: list[RecoveryRow] | None = None) -> Table:
+    rows = rows if rows is not None else run_recovery()
+    out = Table(
+        ["scheme", "policy", "losses", "rejoins", "spares",
+         "mttr p50 (s)", "mttr p95 (s)", "stalled (s)", "goodput",
+         "vs fault-free", "recovered"],
+        title="recovery-policy zoo: MTTR and goodput per policy (fixed fault plan)",
+    )
+    for row in rows:
+        out.add_row([
+            row.scheme,
+            row.policy,
+            str(row.losses),
+            str(row.rejoins),
+            str(row.spares_used),
+            f"{row.mttr_p50:.3f}",
+            f"{row.mttr_p95:.3f}",
+            f"{row.stall_seconds:.3f}",
             f"{row.goodput:.3f}",
             f"{row.goodput_ratio:.3f}",
             "yes" if row.recovered else "NO",

@@ -25,6 +25,7 @@ from repro.faults.model import FaultPlan
 from repro.faults.resilience import ResiliencePolicy
 
 if TYPE_CHECKING:
+    from repro.faults.detection import HeartbeatMonitor
     from repro.hardware.topology import Route
     from repro.memory.allocator import DevicePool
     from repro.sim.engine import Engine
@@ -40,11 +41,15 @@ class FaultInjector:
         offset: float = 0.0,
         rng: random.Random | None = None,
         lost: Iterable[str] = (),
+        monitor: "HeartbeatMonitor | None" = None,
     ):
         self.plan = plan
         self.policy = policy if policy is not None else ResiliencePolicy()
         self.offset = offset
         self.rng = rng if rng is not None else plan.rng()
+        #: Optional heartbeat monitor (failure detection); armed on the
+        #: segment's engine alongside the plan's discrete events.
+        self.monitor = monitor
         #: Devices already lost in earlier segments: their (consumed)
         #: loss events must not re-fire.
         self.lost = set(lost)
@@ -65,6 +70,8 @@ class FaultInjector:
         Everything is scheduled as a daemon event: if the segment's real
         work drains first, the fault simply never struck this segment.
         """
+        if self.monitor is not None:
+            self.monitor.arm(engine, pools.keys(), self.offset)
         for loss in self.plan.device_losses():
             if loss.device in self.lost or loss.device not in pools:
                 continue

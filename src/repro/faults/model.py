@@ -11,7 +11,17 @@ trace.
 Fault vocabulary
 ----------------
 :class:`DeviceLoss`
-    A GPU disappears at time ``at`` and never comes back.
+    A GPU disappears at time ``at``.  Whether it is gone forever is the
+    recovery policy's problem, not the fault's: pair it with a
+    :class:`DeviceReturn` to model a flapping host.
+:class:`DeviceReturn`
+    A previously-lost device rejoins at time ``at`` (a rebooted host, a
+    re-seated card).  Its on-device state is gone — rejoining always
+    costs a state reload.
+:class:`SpareDevice`
+    A cold standby named ``device`` that a recovery policy may attach
+    in a dead device's place (``Topology.substitute``).  Not an event:
+    it has no time, only availability.
 :class:`LinkDegradation`
     A link's bandwidth is divided by ``factor`` during a window (a
     flaky riser, PCIe retraining to a lower generation).
@@ -59,6 +69,35 @@ class DeviceLoss:
     def __post_init__(self) -> None:
         if self.at < 0:
             raise ConfigError(f"DeviceLoss({self.device}): negative time {self.at}")
+
+
+@dataclass(frozen=True)
+class DeviceReturn:
+    """Lost device ``device`` rejoins at global time ``at`` (memory
+    wiped — the runtime must reload its state shard)."""
+
+    device: str
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigError(
+                f"DeviceReturn({self.device}): negative time {self.at}"
+            )
+
+
+@dataclass(frozen=True)
+class SpareDevice:
+    """A cold standby GPU named ``device``, attachable by a recovery
+    policy in a dead device's position.  The spare clones the lost
+    device's spec and wiring (commodity chassis keep identical cards on
+    the shelf), so substitution preserves the world's size and shape."""
+
+    device: str
+
+    def __post_init__(self) -> None:
+        if not self.device:
+            raise ConfigError("SpareDevice: device name must be non-empty")
 
 
 @dataclass(frozen=True)
@@ -161,6 +200,8 @@ class MemoryPressure:
 
 Fault = Union[
     DeviceLoss,
+    DeviceReturn,
+    SpareDevice,
     LinkDegradation,
     LinkFlap,
     TransientTransferError,
@@ -197,6 +238,13 @@ class FaultPlan:
 
     def device_losses(self) -> list[DeviceLoss]:
         return sorted(self._of(DeviceLoss), key=lambda f: (f.at, f.device))
+
+    def device_returns(self) -> list[DeviceReturn]:
+        return sorted(self._of(DeviceReturn), key=lambda f: (f.at, f.device))
+
+    def spare_devices(self) -> list[SpareDevice]:
+        """Spares in declaration order — policies consume them FIFO."""
+        return self._of(SpareDevice)
 
     def link_degradations(self) -> list[LinkDegradation]:
         return self._of(LinkDegradation)

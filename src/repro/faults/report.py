@@ -8,13 +8,23 @@ time) so the audit layer can re-check faulty runs; :class:`FaultReport`
 aggregates them into the quantities the degradation experiments plot:
 lost work, retried bytes, recovery time, and goodput versus the
 fault-free makespan.
+
+:class:`IncidentReport` is the per-incident ledger the detection and
+recovery layers fill: when a device was suspected, confirmed,
+exonerated (false positives), and recovered, and which policy acted —
+the raw material for the MTTR x policy x scheme tables.  The report
+and its incidents round-trip through ``to_json``/``from_json`` so
+serve jobs and supervisor journals can ledger them; the simulation
+artifacts (segment results, plans, topologies) deliberately do not
+serialize and come back ``None``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.errors import ConfigError
 from repro.units import GB, fmt_time
 
 if TYPE_CHECKING:
@@ -45,6 +55,42 @@ class SegmentReport:
 
 
 @dataclass
+class IncidentReport:
+    """One device incident through the detect -> recover lifecycle.
+
+    ``kind`` is ``"loss"`` for a real :class:`DeviceLoss` and
+    ``"suspicion"`` for a detector episode that never confirmed
+    (always ``false_positive=True``).  Times are global simulated
+    seconds; ``None`` means the stage never happened.
+    """
+
+    device: str
+    kind: str
+    #: When the underlying event physically happened (the loss time,
+    #: or the start of the suspicious silence for a false positive).
+    occurred_at: float
+    suspected_at: float
+    confirmed_at: float | None = None
+    exonerated_at: float | None = None
+    recovered_at: float | None = None
+    #: Recovery-policy name that handled the confirmed loss.
+    action: str | None = None
+    false_positive: bool = False
+    #: Detector that produced the suspicion ("none" = instant/scalar
+    #: detection, no heartbeat machinery).
+    detector: str = "none"
+
+    @property
+    def mttr(self) -> float | None:
+        """Time from the physical loss to recovery completing (the
+        world running again), ``None`` while unrecovered or for false
+        positives."""
+        if self.recovered_at is None:
+            return None
+        return self.recovered_at - self.occurred_at
+
+
+@dataclass
 class FaultReport:
     """Aggregate outcome of a resilient (fault-injected) run."""
 
@@ -68,8 +114,21 @@ class FaultReport:
     retry_events: int = 0
     checkpoints: int = 0
     checkpoint_seconds: float = 0.0
-    #: Detection + state-reload time across all recoveries.
+    #: Detection + state-reload + spare-attach time across recoveries.
     recovery_seconds: float = 0.0
+    #: Deliberate waits (wait-rejoin grace holds): the world stalled on
+    #: purpose, distinct from recovery work.
+    stall_seconds: float = 0.0
+    #: Per-incident detection/recovery lifecycle records, ordered by
+    #: suspicion time.
+    incidents: list[IncidentReport] = field(default_factory=list)
+    #: Lost devices that rejoined the world (DeviceReturn honored).
+    rejoins: int = 0
+    #: Cold standbys substituted in for dead devices.
+    spares_used: int = 0
+    #: Heartbeat emissions that actually ticked through segment engines
+    #: (daemon events) — the monitor's ledger, 0 without detection.
+    heartbeats_observed: int = 0
     #: Makespan of the same config with no faults injected.
     fault_free_makespan: float = 0.0
     #: End-to-end wall-clock of the faulty run (segments + checkpoints
@@ -110,6 +169,16 @@ class FaultReport:
         """Wall-clock added by faults and fault-tolerance machinery."""
         return self.total_makespan - self.fault_free_makespan
 
+    def mttr_values(self) -> list[float]:
+        """Per-incident mean-time-to-repair samples (recovered losses
+        only), sorted — feed of the MTTR p50/p95 columns."""
+        return sorted(
+            i.mttr for i in self.incidents if i.mttr is not None
+        )
+
+    def false_positives(self) -> list[IncidentReport]:
+        return [i for i in self.incidents if i.false_positive]
+
     def summary(self) -> str:
         lines = [
             (
@@ -135,6 +204,164 @@ class FaultReport:
                 f"{fmt_time(self.recovery_seconds)}"
             ),
         ]
+        if self.stall_seconds or self.rejoins or self.spares_used:
+            lines.append(
+                f"  policy {self.policy.recovery}: "
+                f"{self.rejoins} rejoin(s), {self.spares_used} spare(s) "
+                f"used, {fmt_time(self.stall_seconds)} stalled waiting"
+            )
         for dev, t in self.device_losses:
             lines.append(f"  lost {dev} at t={t:.4g}s")
+        for inc in self.false_positives():
+            lines.append(
+                f"  false positive: {inc.device} suspected at "
+                f"t={inc.suspected_at:.4g}s, exonerated at "
+                f"t={inc.exonerated_at:.4g}s ({inc.detector})"
+            )
         return "\n".join(lines)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> dict:
+        """JSON-able ledger of the run: plan, policy, incidents, and
+        every accounting scalar.  Segments serialize as summaries (the
+        result/plan/topology artifacts stay in-process)."""
+        return {
+            "schema": 1,
+            "plan": _plan_to_json(self.plan),
+            "policy": _policy_to_json(self.policy),
+            "segments": [
+                {
+                    "index": s.index,
+                    "iteration": s.iteration,
+                    "started_at": s.started_at,
+                    "duration": s.duration,
+                    "aborted": s.aborted,
+                    "lost_device": s.lost_device,
+                }
+                for s in self.segments
+            ],
+            "device_losses": [[dev, t] for dev, t in self.device_losses],
+            "incidents": [asdict(i) for i in self.incidents],
+            "replans": self.replans,
+            "iterations_redone": self.iterations_redone,
+            "lost_wall_seconds": self.lost_wall_seconds,
+            "lost_compute_seconds": self.lost_compute_seconds,
+            "retried_bytes": self.retried_bytes,
+            "retry_events": self.retry_events,
+            "checkpoints": self.checkpoints,
+            "checkpoint_seconds": self.checkpoint_seconds,
+            "recovery_seconds": self.recovery_seconds,
+            "stall_seconds": self.stall_seconds,
+            "rejoins": self.rejoins,
+            "spares_used": self.spares_used,
+            "heartbeats_observed": self.heartbeats_observed,
+            "fault_free_makespan": self.fault_free_makespan,
+            "total_makespan": self.total_makespan,
+            "samples": self.samples,
+            "fault_free_samples": self.fault_free_samples,
+            "recovered": self.recovered,
+            "failure_reason": self.failure_reason,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "FaultReport":
+        """Rebuild the ledger from :meth:`to_json` output.  Plan,
+        policy, and incidents come back as real (equal) objects;
+        segment summaries come back as :class:`SegmentReport` with
+        ``result``/``plan``/``topology`` set to ``None``."""
+        if doc.get("schema") != 1:
+            raise ConfigError(
+                f"unsupported FaultReport schema {doc.get('schema')!r}"
+            )
+        report = cls(
+            plan=_plan_from_json(doc["plan"]),
+            policy=_policy_from_json(doc["policy"]),
+            segments=[
+                SegmentReport(
+                    index=s["index"],
+                    iteration=s["iteration"],
+                    result=None,
+                    plan=None,
+                    topology=None,
+                    started_at=s["started_at"],
+                    duration=s["duration"],
+                    aborted=s["aborted"],
+                    lost_device=s["lost_device"],
+                )
+                for s in doc["segments"]
+            ],
+            device_losses=[(dev, t) for dev, t in doc["device_losses"]],
+            incidents=[IncidentReport(**i) for i in doc["incidents"]],
+        )
+        for key in (
+            "replans", "iterations_redone", "lost_wall_seconds",
+            "lost_compute_seconds", "retried_bytes", "retry_events",
+            "checkpoints", "checkpoint_seconds", "recovery_seconds",
+            "stall_seconds", "rejoins", "spares_used",
+            "heartbeats_observed", "fault_free_makespan",
+            "total_makespan", "samples", "fault_free_samples",
+            "recovered", "failure_reason",
+        ):
+            setattr(report, key, doc[key])
+        return report
+
+
+# -- plan / policy codecs -----------------------------------------------------
+
+
+def _fault_types() -> dict[str, type]:
+    from repro.faults import model
+
+    return {
+        cls.__name__: cls
+        for cls in (
+            model.DeviceLoss, model.DeviceReturn, model.SpareDevice,
+            model.LinkDegradation, model.LinkFlap,
+            model.TransientTransferError, model.ComputeStraggler,
+            model.MemoryPressure,
+        )
+    }
+
+
+def _plan_to_json(plan: "FaultPlan") -> dict:
+    return {
+        "seed": plan.seed,
+        "faults": [
+            {"type": type(f).__name__, **asdict(f)} for f in plan.faults
+        ],
+    }
+
+
+def _plan_from_json(doc: dict) -> "FaultPlan":
+    from repro.faults.model import FaultPlan
+
+    types = _fault_types()
+    faults = []
+    for entry in doc["faults"]:
+        entry = dict(entry)
+        name = entry.pop("type")
+        cls = types.get(name)
+        if cls is None:
+            raise ConfigError(
+                f"unknown fault type {name!r}; known types: "
+                + ", ".join(sorted(types))
+            )
+        faults.append(cls(**entry))
+    return FaultPlan(seed=doc["seed"], faults=tuple(faults))
+
+
+def _policy_to_json(policy: "ResiliencePolicy") -> dict:
+    return asdict(policy)  # nests DetectorConfig as a plain dict
+
+
+def _policy_from_json(doc: dict) -> "ResiliencePolicy":
+    from repro.faults.detection import DetectorConfig
+    from repro.faults.resilience import ResiliencePolicy
+
+    doc = dict(doc)
+    detection = doc.pop("detection", None)
+    return ResiliencePolicy(
+        detection=DetectorConfig(**detection) if detection else None,
+        **doc,
+    )

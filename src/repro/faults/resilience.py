@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.faults.detection import DetectorConfig
 
 
 @dataclass(frozen=True)
@@ -56,7 +57,24 @@ class ResiliencePolicy:
         state (True: Harmony — survivors keep their resident state)
         or the full state (False: baselines restart cold).
     detection_delay:
-        Seconds between the loss and the runtime noticing it.
+        Seconds between the loss and the runtime noticing it — the
+        legacy scalar, used only when ``detection`` is ``None``.
+    detection:
+        Simulated failure detection (:class:`~repro.faults.detection.
+        DetectorConfig`): heartbeats, suspicion, and confirmation
+        replace the scalar delay, and straggler-induced false
+        positives become observable.  ``None`` keeps instant (or
+        scalar-delayed) detection and byte-identical legacy replays.
+    recovery:
+        Name in :data:`~repro.faults.recovery.RECOVERY_REGISTRY`
+        choosing what world to recover onto (restart-replan,
+        wait-rejoin, spare-substitute, degrade-continue).
+    grace_window:
+        ``wait-rejoin``'s hold: how long a stalled world waits for a
+        :class:`~repro.faults.model.DeviceReturn` before shrinking.
+    spare_attach_seconds:
+        Fixed cost of powering up and attaching one spare (bus rescan,
+        driver init) on top of the state reload.
     """
 
     max_retries: int = 8
@@ -66,6 +84,10 @@ class ResiliencePolicy:
     checkpoint_usable_after_loss: bool = True
     partial_reload: bool = True
     detection_delay: float = 0.0
+    detection: DetectorConfig | None = None
+    recovery: str = "restart-replan"
+    grace_window: float = 0.0
+    spare_attach_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -78,6 +100,16 @@ class ResiliencePolicy:
             raise ConfigError("checkpoint_every must be >= 0")
         if self.detection_delay < 0:
             raise ConfigError("detection_delay must be >= 0")
+        if self.grace_window < 0:
+            raise ConfigError("grace_window must be >= 0")
+        if self.spare_attach_seconds < 0:
+            raise ConfigError("spare_attach_seconds must be >= 0")
+        # Imported lazily: the registry module depends on the fault
+        # model, not on this one, so the late import only breaks a
+        # would-be cycle, never correctness.
+        from repro.faults.recovery import build_recovery
+
+        build_recovery(self.recovery)  # raises ConfigError with valid names
 
     def backoff_delay(self, attempt: int) -> float:
         """Backoff before retry number ``attempt`` (0-based)."""

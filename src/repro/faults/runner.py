@@ -15,17 +15,28 @@ DeviceLostError` escapes a segment, the runner
 
 1. collects the aborted segment's partial result and accounts the lost
    wall/compute time,
-2. rolls back to the last *usable* checkpoint — everything since it
-   must be redone (for rigid baselines no checkpoint survives a
-   world-size change, so *all* credited iterations roll back),
-3. charges detection + state-reload time,
-4. rebuilds the topology without the dead device and re-invokes
-   :func:`~repro.schedulers.build_scheduler` on the survivors — the
-   mid-run re-planning that Harmony's late-binding design makes cheap,
-5. continues until all iterations are credited or recovery becomes
+2. charges *detection*: either the legacy scalar
+   ``policy.detection_delay``, or — with ``policy.detection`` set —
+   the simulated heartbeat detector's suspicion + confirmation time
+   (see :mod:`repro.faults.detection`), recorded per incident,
+3. dispatches the confirmed loss to the configured **recovery policy**
+   (:data:`~repro.faults.recovery.RECOVERY_REGISTRY`): shrink onto the
+   survivors and re-plan (``restart-replan``/``degrade-continue``),
+   hold for a grace window and resume the full world if the device
+   returns (``wait-rejoin``), or swap in a cold standby
+   (``spare-substitute``) — each composed with the Harmony/baseline
+   checkpoint-usability and reload asymmetry in
+   :class:`~repro.faults.resilience.ResiliencePolicy`,
+4. continues until all iterations are credited or recovery becomes
    impossible (no survivors, re-planning fails, retry budgets exhaust),
    in which case the :class:`~repro.faults.report.FaultReport` records
    ``recovered=False`` instead of raising.
+
+:class:`~repro.faults.model.DeviceReturn` events come due between
+segments: elastic policies grow the world back (one more re-plan and a
+shard reload); ``degrade-continue`` ignores them.  Straggler-induced
+false-positive suspicions are scanned after the run and ledgered in
+``report.incidents`` with ``false_positive=True``.
 
 The returned :class:`~repro.sim.result.RunResult` aggregates the whole
 run (makespan, credited samples) and carries the report in ``.faults``.
@@ -48,10 +59,18 @@ from repro.errors import (
     SchedulingError,
     TopologyError,
 )
+from repro.faults.detection import (
+    DetectorConfig,
+    HeartbeatMonitor,
+    death_detection,
+    scan_device,
+)
 from repro.faults.injector import FaultInjector
-from repro.faults.model import DeviceLoss, FaultPlan
-from repro.faults.report import FaultReport, SegmentReport
+from repro.faults.model import DeviceLoss, DeviceReturn, FaultPlan, SpareDevice
+from repro.faults.recovery import build_recovery
+from repro.faults.report import FaultReport, IncidentReport, SegmentReport
 from repro.faults.resilience import ResiliencePolicy
+from repro.hardware.device import DeviceSpec
 from repro.hardware.topology import Topology
 from repro.models.graph import ModelGraph
 from repro.schedulers import build_scheduler
@@ -112,9 +131,17 @@ class _ResilientRun:
         self.state_bytes = model.param_bytes + model.optimizer_bytes
         self.rng: random.Random = fault_plan.rng()
         self.topo = topology
+        #: The pristine world: rejoin wiring is looked up here, never
+        #: reconstructed from a shrunken survivor.
+        self.initial_topo = topology
         self.plan: Plan | None = None
         self.lost: set[str] = set()
         self.pending: deque[DeviceLoss] = deque(fault_plan.device_losses())
+        self.pending_returns: list[DeviceReturn] = fault_plan.device_returns()
+        self.spares: list[SpareDevice] = fault_plan.spare_devices()
+        self.recovery = build_recovery(self.policy.recovery)
+        self.detector_config: DetectorConfig | None = None
+        self.monitor: HeartbeatMonitor | None = None
         self.offset = 0.0           # global wall-clock
         self.completed = 0          # credited iterations
         self.since_ckpt = 0         # credited since the last checkpoint
@@ -134,7 +161,8 @@ class _ResilientRun:
 
     def fault_free_reference(self) -> None:
         """One healthy iteration on the full topology; its plan seeds the
-        first segment and its makespan anchors the goodput ratio."""
+        first segment, its makespan anchors the goodput ratio and the
+        heartbeat timing defaults."""
         self.plan = self.build_plan()
         healthy = Executor(
             self.topo, self.plan, cost_model=self.config.cost_model,
@@ -143,6 +171,13 @@ class _ResilientRun:
         self.report.fault_free_makespan = healthy.makespan * self.iterations
         self.report.fault_free_samples = healthy.samples * self.iterations
         self.last_result = healthy
+        if self.policy.detection is not None:
+            self.detector_config = self.policy.detection.resolve(
+                healthy.makespan
+            )
+            self.monitor = HeartbeatMonitor(
+                self.fault_plan, self.detector_config, self.lost
+            )
 
     def fail(self, reason: str) -> None:
         self.report.recovered = False
@@ -152,18 +187,27 @@ class _ResilientRun:
         self.report.retried_bytes += result.stats.retried_volume()
         self.report.retry_events += result.stats.retry_events()
 
-    # -- loss recovery -----------------------------------------------------
+    # -- accounting helpers (the recovery policies compose these) ----------
 
-    def strike(self, device: str, at_global: float) -> bool:
-        """Recover from losing ``device`` at global time ``at_global``;
-        returns False when recovery is impossible (run over)."""
-        self.report.device_losses.append((device, at_global))
-        self.lost.add(device)
+    def charge_recovery(self, seconds: float) -> None:
+        """Recovery *work*: detection, reloads, spare attach."""
+        self.report.recovery_seconds += seconds
+        self.offset += seconds
 
-        # Roll back to the last checkpoint this policy can still use.
+    def charge_stall(self, seconds: float) -> None:
+        """Deliberate waiting (wait-rejoin's grace hold)."""
+        self.report.stall_seconds += seconds
+        self.offset += seconds
+
+    def rollback(self, world_preserved: bool = False) -> None:
+        """Un-credit iterations back to the last checkpoint this policy
+        can still use.  ``world_preserved`` recoveries (wait-rejoin
+        resume, spare substitution) keep the world's size and shape, so
+        the checkpoint stays usable even for the rigid baselines —
+        their layout assumption holds."""
         redo = (
             self.since_ckpt
-            if self.policy.checkpoint_usable_after_loss
+            if self.policy.checkpoint_usable_after_loss or world_preserved
             else self.completed
         )
         redo = min(redo, self.completed)
@@ -175,38 +219,193 @@ class _ResilientRun:
         self.since_ckpt = 0
         self.report.iterations_redone += redo
 
-        # Survivor topology + state reload + re-plan.
+    def reload_seconds(self, topology: Topology) -> float:
+        """State-reload stall onto ``topology``: the lost shard for
+        partial-reload policies, the full state for cold restarts."""
+        reload_bytes = self.state_bytes
+        if self.policy.partial_reload:
+            reload_bytes /= len(topology.gpus())
+        return reload_bytes / _uplink_bandwidth(topology)
+
+    # -- world transitions (the recovery-policy vocabulary) ----------------
+
+    def shrink(self, device: str, at: float) -> bool:
+        """Drop ``device``, roll back per the checkpoint asymmetry,
+        reload state, and re-plan onto the survivors — today's recovery
+        path, extracted."""
+        self.rollback()
         try:
             survivor = self.topo.without_device(device)
             survivor.validate()
-            reload_bytes = self.state_bytes
-            if self.policy.partial_reload:
-                reload_bytes /= len(survivor.gpus())
-            recovery = (
-                self.policy.detection_delay
-                + reload_bytes / _uplink_bandwidth(survivor)
-            )
+            recovery = self.reload_seconds(survivor)
             self.topo = survivor
             self.plan = self.build_plan()
         except _RECOVERY_FAILURES as exc:
-            self.fail(f"lost {device} at t={at_global:.4g}s: {exc}")
+            self.fail(f"lost {device} at t={at:.4g}s: {exc}")
             return False
         self.report.replans += 1
-        self.report.recovery_seconds += recovery
-        self.offset += recovery
+        self.charge_recovery(recovery)
         return True
 
-    def drain_pending_losses(self) -> bool:
-        """Losses whose global time already passed while no segment was
-        running (checkpoint stalls, recovery windows) still kill their
-        device — they just abort no in-flight work."""
-        while self.pending and self.pending[0].at <= self.offset:
-            loss = self.pending.popleft()
-            if loss.device in self.lost or loss.device not in self.topo.devices:
-                continue
-            if not self.strike(loss.device, loss.at):
-                return False
+    def rejoin(self, device: str, at: float) -> bool:
+        """Grow the world back: re-attach ``device`` with its original
+        wiring, reload its (wiped) shard, re-plan.  A world-*size*
+        change, so the rigid baselines roll back like on a loss."""
+        spec = self.initial_topo.devices.get(device)
+        if spec is None:
+            return True  # a return for a device this world never had
+        self.rollback()
+        try:
+            grown = self.topo.with_device(
+                spec, self.initial_topo.device_links(device)
+            )
+            grown.validate()
+            recovery = self.reload_seconds(grown)
+            self.topo = grown
+            self.plan = self.build_plan()
+        except _RECOVERY_FAILURES as exc:
+            self.fail(f"rejoin of {device} at t={at:.4g}s failed: {exc}")
+            return False
+        self.lost.discard(device)
+        self.report.replans += 1
+        self.report.rejoins += 1
+        self.charge_recovery(recovery)
         return True
+
+    def resume_full(self, device: str) -> bool:
+        """wait-rejoin's happy path: the world never shrank, the plan
+        is unchanged, the checkpoint stayed usable for every scheme —
+        pay only the rejoiner's state reload (plus the stall already
+        charged) and carry on."""
+        self.rollback(world_preserved=True)
+        try:
+            recovery = self.reload_seconds(self.topo)
+        except _RECOVERY_FAILURES as exc:
+            self.fail(f"resume after {device} rejoin failed: {exc}")
+            return False
+        self.lost.discard(device)
+        self.report.rejoins += 1
+        self.charge_recovery(recovery)
+        return True
+
+    def substitute(self, device: str, spare: SpareDevice) -> bool:
+        """Swap ``spare`` into ``device``'s position: same size, same
+        shape, checkpoints stay usable; pay attach + shard reload and
+        one re-plan (the device names changed)."""
+        old = self.topo.devices.get(device)
+        if old is None:
+            self.fail(f"cannot substitute for unknown device {device!r}")
+            return False
+        self.rollback(world_preserved=True)
+        try:
+            swapped = self.topo.substitute(
+                device,
+                DeviceSpec(
+                    spare.device, old.kind, old.memory_bytes,
+                    old.flops_per_sec,
+                ),
+            )
+            swapped.validate()
+            recovery = (
+                self.policy.spare_attach_seconds + self.reload_seconds(swapped)
+            )
+            self.topo = swapped
+            self.plan = self.build_plan()
+        except _RECOVERY_FAILURES as exc:
+            self.fail(
+                f"substituting spare {spare.device!r} for {device!r} "
+                f"failed: {exc}"
+            )
+            return False
+        self.report.replans += 1
+        self.report.spares_used += 1
+        self.charge_recovery(recovery)
+        return True
+
+    def claim_return(
+        self, device: str, deadline: float
+    ) -> DeviceReturn | None:
+        """Consume the first pending return of ``device`` due by
+        ``deadline`` (wait-rejoin's grace check)."""
+        for ret in self.pending_returns:
+            if ret.device == device and ret.at <= deadline:
+                self.pending_returns.remove(ret)
+                return ret
+        return None
+
+    def claim_spare(self) -> SpareDevice | None:
+        """Consume the next cold standby, FIFO."""
+        return self.spares.pop(0) if self.spares else None
+
+    # -- loss handling -----------------------------------------------------
+
+    def strike(self, device: str, at_global: float) -> bool:
+        """Absorb losing ``device`` at global time ``at_global``:
+        charge detection, ledger the incident, dispatch the recovery
+        policy; returns False when the run is over."""
+        # Consume the plan event that caused this strike: once the
+        # device rejoins, a stale pending entry must not re-kill it
+        # (a genuinely later second loss still will).
+        for pending_loss in self.pending:
+            if pending_loss.device == device and pending_loss.at <= at_global:
+                self.pending.remove(pending_loss)
+                break
+        self.report.device_losses.append((device, at_global))
+        self.lost.add(device)
+        incident = IncidentReport(
+            device=device, kind="loss",
+            occurred_at=at_global, suspected_at=at_global,
+        )
+        if self.detector_config is not None:
+            suspected, confirmed = death_detection(
+                self.fault_plan, device, at_global, self.detector_config
+            )
+            incident.suspected_at = suspected
+            incident.confirmed_at = confirmed
+            incident.detector = self.detector_config.kind
+            latency = max(0.0, confirmed - at_global)
+        else:
+            latency = self.policy.detection_delay
+            incident.confirmed_at = at_global + latency
+        self.report.incidents.append(incident)
+        self.charge_recovery(latency)
+        if not self.recovery.on_loss(self, device, at_global):
+            return False
+        incident.recovered_at = self.offset
+        incident.action = self.recovery.name
+        return True
+
+    def drain_pending_events(self) -> bool:
+        """Losses and returns whose global time already passed while no
+        segment was running (checkpoint stalls, recovery windows,
+        grace holds) still take effect — losses just abort no in-flight
+        work, and returns re-bind at this boundary."""
+        while True:
+            loss = (
+                self.pending[0]
+                if self.pending and self.pending[0].at <= self.offset
+                else None
+            )
+            ret = (
+                self.pending_returns[0]
+                if self.pending_returns
+                and self.pending_returns[0].at <= self.offset
+                else None
+            )
+            if loss is not None and (ret is None or loss.at <= ret.at):
+                self.pending.popleft()
+                if loss.device in self.lost or loss.device not in self.topo.devices:
+                    continue
+                if not self.strike(loss.device, loss.at):
+                    return False
+            elif ret is not None:
+                self.pending_returns.pop(0)
+                if ret.device not in self.lost:
+                    continue
+                if not self.recovery.on_return(self, ret):
+                    return False
+            else:
+                return True
 
     # -- the loop ----------------------------------------------------------
 
@@ -214,6 +413,7 @@ class _ResilientRun:
         injector = FaultInjector(
             self.fault_plan, self.policy,
             offset=self.offset, rng=self.rng, lost=self.lost,
+            monitor=self.monitor,
         )
         executor = Executor(
             self.topo, self.plan, cost_model=self.config.cost_model,
@@ -268,11 +468,37 @@ class _ResilientRun:
             self.since_ckpt = 0
         return True
 
+    def collect_suspicions(self) -> None:
+        """Post-run scan for detector episodes that never confirmed —
+        the straggler-induced false positives.  Confirmed deaths were
+        already ledgered by :meth:`strike` (same pure functions, same
+        times), so only exonerated episodes are added here."""
+        if self.detector_config is None:
+            return
+        horizon = self.report.total_makespan
+        for gpu in self.initial_topo.gpus():
+            for ep in scan_device(
+                self.fault_plan, gpu.name, self.detector_config, horizon
+            ):
+                if not ep.false_positive:
+                    continue
+                self.report.incidents.append(IncidentReport(
+                    device=ep.device, kind="suspicion",
+                    occurred_at=ep.suspected_at,
+                    suspected_at=ep.suspected_at,
+                    exonerated_at=ep.exonerated_at,
+                    false_positive=True,
+                    detector=self.detector_config.kind,
+                ))
+
     def execute(self) -> RunResult:
         self.fault_free_reference()
-        # Finite by construction (each loss strikes once), but guard the
-        # loop against accounting bugs turning it into a spin.
-        max_segments = (self.iterations + 1) * (len(self.pending) + 2)
+        # Finite by construction (each loss strikes once, each return
+        # rejoins at most once), but guard the loop against accounting
+        # bugs turning it into a spin.
+        max_segments = (self.iterations + 1) * (
+            len(self.pending) + len(self.pending_returns) + 2
+        )
         index = 0
         while self.completed < self.iterations and self.report.recovered:
             if index >= max_segments:
@@ -280,7 +506,7 @@ class _ResilientRun:
                     f"resilient run exceeded {max_segments} segments for "
                     f"{self.iterations} iteration(s); accounting bug?"
                 )
-            if not self.drain_pending_losses():
+            if not self.drain_pending_events():
                 break
             if not self.run_segment(index):
                 break
@@ -288,6 +514,10 @@ class _ResilientRun:
 
         self.report.total_makespan = self.offset
         self.report.samples = sum(s for s, _, _ in self.credited)
+        if self.monitor is not None:
+            self.report.heartbeats_observed = len(self.monitor.observed)
+        self.collect_suspicions()
+        self.report.incidents.sort(key=lambda i: (i.suspected_at, i.device))
         result = replace(
             self.last_result,
             makespan=self.report.total_makespan,
@@ -306,9 +536,10 @@ def run_resilient(
     iterations: int = 1,
 ) -> RunResult:
     """Execute ``iterations`` under ``fault_plan`` with checkpointing,
-    retries, and mid-run re-planning; never raises on an injected fault
-    — inspect ``result.faults.recovered``.  Deterministic: the same
-    (model, topology, config, fault_plan) replays byte-identically."""
+    retries, failure detection, and policy-driven recovery; never
+    raises on an injected fault — inspect ``result.faults.recovered``.
+    Deterministic: the same (model, topology, config, fault_plan,
+    policy) replays byte-identically."""
     return _ResilientRun(
         model, topology, config, fault_plan, policy, iterations
     ).execute()

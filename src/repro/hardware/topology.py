@@ -222,6 +222,76 @@ class Topology:
         """Whether two GPUs can reach each other without the host uplink."""
         return not self.route(gpu_a, gpu_b).crosses_host_uplink
 
+    def device_links(self, name: str) -> list[tuple[LinkSpec, str]]:
+        """The links incident to ``name`` as ``(link, other endpoint)``
+        pairs, in insertion order — the wiring a rejoining device or a
+        substituted spare must re-create."""
+        if name not in self.devices and name not in self.switches:
+            raise TopologyError(f"unknown node {name!r}")
+        return [
+            (self.links[link_name], neighbor)
+            for neighbor, link_name in self._adjacency[name]
+        ]
+
+    def with_device(
+        self, spec: DeviceSpec, connections: list[tuple[LinkSpec, str]]
+    ) -> "Topology":
+        """A new topology with ``spec`` attached via ``connections``
+        (``(link, peer node)`` pairs) — the elastic-rejoin counterpart
+        of :meth:`without_device`.  Specs are shared (immutable); the
+        original topology is untouched.  Raises
+        :class:`~repro.errors.TopologyError` on duplicate device or
+        link names or unknown peers, so a bad rejoin fails loudly
+        instead of silently mis-wiring."""
+        if not connections:
+            raise TopologyError(
+                f"cannot attach {spec.name!r} with no links (it would be "
+                f"unreachable)"
+            )
+        grown = Topology(name=f"{self.name}+{spec.name}")
+        for existing in self.devices.values():
+            grown.add_device(existing)
+        for switch in sorted(self.switches):
+            grown.add_switch(switch)
+        seen: set[str] = set()
+        for a, neighbors in self._adjacency.items():
+            for b, link_name in neighbors:
+                if link_name in seen:
+                    continue
+                seen.add(link_name)
+                grown.add_link(self.links[link_name], a, b)
+        grown.add_device(spec)
+        for link, peer in connections:
+            grown.add_link(link, spec.name, peer)
+        return grown
+
+    def substitute(
+        self, old: str, spec: DeviceSpec,
+        connections: list[tuple[LinkSpec, str]] | None = None,
+    ) -> "Topology":
+        """Swap device ``old`` for ``spec`` in place: the new device
+        inherits ``old``'s wiring (or explicit ``connections``), so the
+        world keeps its size and shape — the hot-spare substitution the
+        recovery-policy zoo's ``spare-substitute`` performs.  The
+        inherited links keep their :class:`LinkSpec` objects but are
+        renamed ``{name}@{spec.name}`` to avoid any stale-name illusion
+        that the old device's queues survived."""
+        if old not in self.devices:
+            raise TopologyError(f"cannot substitute unknown device {old!r}")
+        if connections is None:
+            connections = [
+                (
+                    LinkSpec(
+                        name=f"{link.name}@{spec.name}",
+                        bandwidth_bytes_per_sec=link.bandwidth_bytes_per_sec,
+                        latency_sec=link.latency_sec,
+                    ),
+                    peer,
+                )
+                for link, peer in self.device_links(old)
+            ]
+        return self.without_device(old).with_device(spec, connections)
+
     def without_device(self, name: str) -> "Topology":
         """The surviving topology after losing ``name`` (a GPU falling
         off the bus): same nodes, switches, and links minus the device

@@ -28,7 +28,10 @@ on two 550 MB GPUs, harmony-pp, 2 microbatches) and a scaled variant
   identical makespan, swap ledgers, per-link busy seconds, and event
   counts, and that the measured ``steady_speedup`` clears a floor
   (100x at the full 10,000-iteration point) — equivalence and speedup
-  are checked, not eyeballed.
+  are checked, not eyeballed;
+* **recovery-policy zoo** — simulated MTTR p50/p95 and goodput per
+  recovery policy on a fixed fault scenario (deterministic on every
+  host); the gate watches each policy's goodput ratio one-sided.
 
 ``write_json`` emits ``BENCH_sim.json`` (committed at the repo root)
 so the repo carries a perf trajectory; ``check_regression`` is the CI
@@ -397,10 +400,59 @@ def _time_serve(quick: bool) -> dict:
     return doc
 
 
+def _time_recovery(quick: bool) -> dict:
+    """The recovery-policy zoo on a fixed fault scenario: MTTR p50/p95
+    and goodput per policy (see ``repro faults --recovery``).  The
+    quantities are *simulated* seconds — deterministic on every host —
+    so the regression gate guards the policies' goodput, not harness
+    wall time: a policy whose goodput ratio collapses means recovery
+    got more expensive, not that the runner got slower."""
+    from repro.experiments.faults_degradation import (
+        RECOVERY_SCHEMES,
+        _percentile,
+        run_recovery,
+    )
+
+    schemes = ("harmony-dp",) if quick else RECOVERY_SCHEMES
+    t0 = time.perf_counter()
+    rows = run_recovery(iterations=4, schemes=schemes)
+    wall = time.perf_counter() - t0
+    unrecovered = [f"{r.scheme}/{r.policy}" for r in rows if not r.recovered]
+    if unrecovered:
+        raise ReproError(
+            "recovery bench: unrecovered cells: " + ", ".join(unrecovered)
+        )
+    policies: dict[str, dict] = {}
+    for row in rows:
+        entry = policies.setdefault(
+            row.policy,
+            {"mttr_p50": [], "mttr_p95": [], "goodput_ratio": []},
+        )
+        entry["mttr_p50"].append(row.mttr_p50)
+        entry["mttr_p95"].append(row.mttr_p95)
+        entry["goodput_ratio"].append(row.goodput_ratio)
+    return {
+        "wall_sec": wall,
+        "iterations": 4,
+        "schemes": list(schemes),
+        "policies": {
+            name: {
+                # Aggregated across schemes: median of the per-cell
+                # medians, worst of the tails and ratios (the one-sided
+                # gate watches the weakest scheme).
+                "mttr_p50": _percentile(sorted(e["mttr_p50"]), 0.50),
+                "mttr_p95": max(e["mttr_p95"]),
+                "goodput_ratio": min(e["goodput_ratio"]),
+            }
+            for name, e in policies.items()
+        },
+    }
+
+
 #: The harness sections, in report order.
 _SECTIONS = (
     "fig4", "fig4_scaled", "cache", "incremental", "fleet_scale",
-    "sweep", "steady", "serve",
+    "sweep", "steady", "serve", "recovery",
 )
 
 
@@ -427,6 +479,8 @@ def _bench_section(payload: tuple[str, bool, int]) -> dict:
         return _time_steady(quick)
     if name == "serve":
         return _time_serve(quick)
+    if name == "recovery":
+        return _time_recovery(quick)
     raise ReproError(f"unknown bench section: {name!r}")
 
 
@@ -561,6 +615,19 @@ def render(report: dict) -> str:
             f"(cache hit rate {100 * serve['cache_hit_rate']:.0f}%, "
             f"{serve['rejections']} rejection(s))",
         ]
+    recovery = cur.get("recovery")
+    if recovery is not None:
+        lines += [
+            "",
+            f"recovery-policy zoo ({', '.join(recovery['schemes'])}; "
+            "simulated MTTR and goodput, worst scheme per policy):",
+        ]
+        for name, p in recovery["policies"].items():
+            lines.append(
+                f"  {name:<17} mttr p50 {p['mttr_p50']:7.3f} s  "
+                f"p95 {p['mttr_p95']:7.3f} s   goodput ratio "
+                f"{p['goodput_ratio']:.3f}"
+            )
     return "\n".join(lines)
 
 
@@ -667,5 +734,31 @@ def check_regression(
                 f"(floor {fleet_floor:,.0f}): {fleet_verdict}"
             )
             failed = failed or measured_eps < fleet_floor
+
+    recovery = report["current"].get("recovery")
+    if recovery is not None:
+        # Goodput ratios are simulated (host-independent), but the gate
+        # stays one-sided at the usual threshold: recovery getting
+        # *cheaper* is progress, only a collapse fails.  Comparable only
+        # when the committed run covered the same schemes.
+        committed_rec = committed.get("current", {}).get("recovery")
+        comparable = (
+            committed_rec is not None
+            and committed_rec.get("schemes") == recovery["schemes"]
+        )
+        for name, p in recovery["policies"].items():
+            ratio = p["goodput_ratio"]
+            if comparable and name in committed_rec["policies"]:
+                rec_floor = (1.0 - threshold) * (
+                    committed_rec["policies"][name]["goodput_ratio"]
+                )
+            else:
+                rec_floor = 0.0  # absolute sanity: recovered with progress
+            rec_verdict = "ok" if ratio >= rec_floor and ratio > 0 else "REGRESSION"
+            print(
+                f"bench check: recovery {name} goodput ratio {ratio:.3f} "
+                f"(floor {rec_floor:.3f}): {rec_verdict}"
+            )
+            failed = failed or ratio < rec_floor or ratio <= 0
 
     return 1 if failed else 0

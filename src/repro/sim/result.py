@@ -93,6 +93,17 @@ class RunResult:
             return 0.0
         return self.samples / self.makespan
 
+    @property
+    def goodput(self) -> float:
+        """*Credited* samples per second of end-to-end wall-clock.  For
+        a fault-injected run this excludes rolled-back work and counts
+        checkpoint, detection, recovery, and stall time in the
+        denominator (the MTTR sweep's quality axis); for a healthy run
+        goodput equals throughput."""
+        if self.faults is not None:
+            return self.faults.goodput
+        return self.throughput
+
     def activation_peaks(self) -> dict[str, float]:
         """Per-device peak activation-class residency, sorted by device
         name — the per-stage memory axis of the schedule-zoo figure."""

@@ -103,7 +103,8 @@ def audit_resilient(fault_report: "FaultReport") -> AuditReport:
     * the report's retried bytes equal the sum of its segments' retry
       ledgers;
     * the report's wall clock reconciles: segment durations plus
-      checkpoint and recovery stalls add up to the total makespan;
+      checkpoint, recovery, and grace-window stalls add up to the
+      total makespan;
     * credited samples never exceed what completed segments produced
       (equal when no iteration was rolled back).
     """
@@ -161,13 +162,14 @@ def _check_fault_accounting(fr: "FaultReport") -> list[AuditViolation]:
         sum(s.duration for s in fr.segments)
         + fr.checkpoint_seconds
         + fr.recovery_seconds
+        + fr.stall_seconds
     )
     if not _close(fr.total_makespan, accounted, _TIME_TOL):
         violations.append(
             AuditViolation(
                 ViolationKind.FAULT_ACCOUNTING,
                 f"total makespan {fr.total_makespan:.6g}s != segments + "
-                f"checkpoints + recoveries ({accounted:.6g}s)",
+                f"checkpoints + recoveries + stalls ({accounted:.6g}s)",
                 subject="total_makespan",
                 expected=accounted,
                 actual=fr.total_makespan,

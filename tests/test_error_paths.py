@@ -130,3 +130,70 @@ class TestResourceTimelineValidation:
 
         with pytest.raises(SimulationError, match="no resources.*negative"):
             ResourceTimeline.acquire_all([], now=0.0, duration=-1.0)
+
+
+class TestFaultsCliValidation:
+    """`repro faults` rejects out-of-range arguments with a structured
+    error naming the offending value and the valid range, before any
+    simulation starts."""
+
+    def _run(self, capsys, *extra):
+        from repro.__main__ import main
+
+        code = main(["faults", *extra])
+        err = capsys.readouterr().err
+        return code, err
+
+    def test_rejects_nonpositive_mttf_and_names_the_value(self, capsys):
+        code, err = self._run(capsys, "--mttf", "-2")
+        assert code == 1
+        assert "error:" in err
+        assert "--mttf values must be > 0" in err
+        assert "-2" in err
+        assert "'inf'" in err  # points at the healthy-column escape hatch
+
+    def test_rejects_zero_iterations_with_range(self, capsys):
+        code, err = self._run(capsys, "--iterations", "0")
+        assert code == 1
+        assert "--iterations must be >= 1, got 0" in err
+
+    def test_rejects_zero_gpus_with_range(self, capsys):
+        code, err = self._run(capsys, "--gpus", "0")
+        assert code == 1
+        assert "--gpus must be >= 1, got 0" in err
+
+    def test_rejects_transient_probability_of_one(self, capsys):
+        code, err = self._run(capsys, "--transient-probability", "1.0")
+        assert code == 1
+        assert "--transient-probability must be in [0, 1), got 1" in err
+
+    def test_rejects_negative_grace_window(self, capsys):
+        code, err = self._run(capsys, "--grace", "-0.5")
+        assert code == 1
+        assert "--grace must be >= 0 seconds" in err
+        assert "wait-rejoin" in err  # explains what the knob holds for
+
+    def test_rejects_negative_spares(self, capsys):
+        code, err = self._run(capsys, "--spares", "-1")
+        assert code == 1
+        assert "--spares must be >= 0 standby devices, got -1" in err
+
+    def test_rejects_fractional_straggler_slowdown(self, capsys):
+        code, err = self._run(capsys, "--straggler", "0.5")
+        assert code == 1
+        assert "--straggler must be 0 (off) or a slowdown >= 1" in err
+
+    def test_unknown_recovery_policy_rejected_by_argparse(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["faults", "--recovery-policy", "reboot"])
+        err = capsys.readouterr().err
+        assert "invalid choice: 'reboot'" in err
+
+    def test_config_error_lists_valid_recovery_policies(self):
+        from repro.errors import ConfigError
+        from repro.faults import build_recovery
+
+        with pytest.raises(ConfigError, match="valid policies"):
+            build_recovery("reboot")

@@ -1,0 +1,182 @@
+"""Failure detection: the heartbeat stream, both detectors in
+DETECTOR_REGISTRY, straggler-induced false positives (deterministic
+suspicion -> exoneration under the plan's seed, adaptation under
+phi-accrual), death confirmation latency, and the heartbeat monitor's
+daemon events ticking through a real engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    DETECTOR_REGISTRY,
+    ComputeStraggler,
+    DetectorConfig,
+    DeviceLoss,
+    FaultPlan,
+    HeartbeatMonitor,
+    build_detector,
+    detection_latency,
+    detector_names,
+    heartbeat_times,
+    scan_device,
+)
+from repro.sim.engine import Engine
+
+
+def cfg(kind="fixed-timeout", **kw) -> DetectorConfig:
+    """A resolved config with interval 1s (timeout 4s, confirm 2s)."""
+    return DetectorConfig(kind=kind, **kw).resolve(4.0)
+
+
+class TestDetectorConfig:
+    def test_resolve_derives_timing_from_iteration_time(self):
+        resolved = DetectorConfig().resolve(8.0)
+        assert resolved.interval == pytest.approx(2.0)
+        assert resolved.timeout == pytest.approx(8.0)
+        assert resolved.confirm == pytest.approx(4.0)
+        assert resolved.resolved
+
+    def test_explicit_timing_survives_resolve(self):
+        resolved = DetectorConfig(interval=0.5, timeout=3.0).resolve(100.0)
+        assert resolved.interval == 0.5
+        assert resolved.timeout == 3.0
+        assert resolved.confirm == pytest.approx(1.0)  # derived: 2x interval
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError, match="interval"):
+            DetectorConfig(interval=-1.0)
+        with pytest.raises(ConfigError, match="phi_threshold"):
+            DetectorConfig(phi_threshold=1.0)
+        with pytest.raises(ConfigError, match="window"):
+            DetectorConfig(window=0)
+        with pytest.raises(ConfigError, match="iteration time"):
+            DetectorConfig().resolve(0.0)
+
+    def test_registry_mirrors_scheduler_discipline(self):
+        assert detector_names() == ("fixed-timeout", "phi-accrual")
+        for name in detector_names():
+            assert DETECTOR_REGISTRY[name].name == name
+        with pytest.raises(ConfigError, match="valid detectors"):
+            build_detector(cfg(kind="nope"))
+        with pytest.raises(ConfigError, match="resolve"):
+            build_detector(DetectorConfig())  # unresolved
+
+
+class TestHeartbeatStream:
+    def test_healthy_device_beats_on_the_interval(self):
+        plan = FaultPlan(seed=0)
+        times = heartbeat_times(plan, "gpu0", horizon=5.0, interval=1.0)
+        assert times == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_straggler_stretches_gaps_by_slowdown(self):
+        plan = FaultPlan(seed=0, faults=(
+            ComputeStraggler("gpu0", slowdown=4.0, start=1.5, end=7.0),
+        ))
+        times = heartbeat_times(plan, "gpu0", horizon=10.0, interval=1.0)
+        # 0, 1, 2 healthy (gap starting at 1 is pre-window), then the
+        # gap starting at 2 is stretched x4, and so on until the window
+        # closes.
+        assert times[:3] == [0.0, 1.0, 2.0]
+        assert times[3] == pytest.approx(6.0)
+        assert times[4] == pytest.approx(10.0)
+
+    def test_loss_silences_the_device_forever(self):
+        plan = FaultPlan(seed=0, faults=(DeviceLoss("gpu0", at=2.5),))
+        times = heartbeat_times(plan, "gpu0", horizon=10.0, interval=1.0)
+        assert times == [0.0, 1.0, 2.0]
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ConfigError, match="interval"):
+            heartbeat_times(FaultPlan(seed=0), "gpu0", 1.0, 0.0)
+
+
+class TestFalsePositives:
+    def straggler_plan(self, slowdown=8.0):
+        return FaultPlan(seed=3, faults=(
+            ComputeStraggler("gpu0", slowdown=slowdown, start=2.5, end=30.0),
+        ))
+
+    def test_fixed_timeout_suspects_every_stretched_gap(self):
+        plan = self.straggler_plan()
+        episodes = scan_device(plan, "gpu0", cfg("fixed-timeout"), 30.0)
+        assert len(episodes) >= 2
+        for ep in episodes:
+            assert ep.false_positive
+            assert ep.exonerated_at is not None
+            assert ep.confirmed_at is None
+
+    def test_phi_accrual_suspects_once_then_adapts(self):
+        plan = self.straggler_plan()
+        episodes = scan_device(plan, "gpu0", cfg("phi-accrual"), 30.0)
+        # The first stretched gap trips it; the gap then enters the
+        # window, the mean rises, and later stretched gaps pass.
+        assert len(episodes) == 1
+        ep = episodes[0]
+        assert ep.false_positive
+        # Suspected mid-silence (after 3x the mean gap of 1s), and the
+        # late heartbeat exonerates it when it finally lands at 3+8=11.
+        assert ep.suspected_at == pytest.approx(3.0 + 3.0)
+        assert ep.exonerated_at == pytest.approx(3.0 + 8.0)
+
+    def test_scan_is_deterministic(self):
+        plan = self.straggler_plan()
+        a = scan_device(plan, "gpu0", cfg("phi-accrual"), 30.0)
+        b = scan_device(plan, "gpu0", cfg("phi-accrual"), 30.0)
+        assert a == b
+
+    def test_healthy_device_is_never_suspected(self):
+        for kind in detector_names():
+            assert scan_device(FaultPlan(seed=0), "gpu0", cfg(kind), 50.0) == []
+
+
+class TestDeathConfirmation:
+    def test_death_episode_confirms_after_silence_plus_confirm(self):
+        plan = FaultPlan(seed=0, faults=(DeviceLoss("gpu0", at=2.5),))
+        episodes = scan_device(plan, "gpu0", cfg("fixed-timeout"), 30.0)
+        assert len(episodes) == 1
+        ep = episodes[0]
+        assert not ep.false_positive
+        assert ep.suspected_at == pytest.approx(2.0 + 4.0)  # last beat + timeout
+        assert ep.confirmed_at == pytest.approx(6.0 + 2.0)
+
+    def test_detection_latency_matches_episode(self):
+        plan = FaultPlan(seed=0, faults=(DeviceLoss("gpu0", at=2.5),))
+        latency = detection_latency(plan, "gpu0", 2.5, cfg("fixed-timeout"))
+        assert latency == pytest.approx(8.0 - 2.5)
+
+    def test_latency_clamped_for_already_suspected_device(self):
+        # Straggler silence began long before the death: suspicion +
+        # confirm can land before the loss itself; latency floors at 0.
+        plan = FaultPlan(seed=0, faults=(
+            ComputeStraggler("gpu0", slowdown=50.0, start=1.5, end=60.0),
+            DeviceLoss("gpu0", at=40.0),
+        ))
+        assert detection_latency(plan, "gpu0", 40.0, cfg("fixed-timeout")) == 0.0
+
+
+class TestHeartbeatMonitor:
+    def test_daemon_beats_tick_while_work_runs(self):
+        config = cfg()
+        monitor = HeartbeatMonitor(FaultPlan(seed=0), config, lost=set())
+        engine = Engine()
+        engine.after(3.5, lambda: None)  # non-daemon work keeps it alive
+        monitor.arm(engine, ["gpu0", "gpu1"], offset=10.0)
+        engine.run()
+        # Beats at local 0,1,2,3 per device, ledgered in global time.
+        gpu0 = [t for dev, t in monitor.observed if dev == "gpu0"]
+        assert gpu0 == pytest.approx([10.0, 11.0, 12.0, 13.0])
+        assert len(monitor.observed) == 8
+
+    def test_lost_devices_stay_silent(self):
+        monitor = HeartbeatMonitor(FaultPlan(seed=0), cfg(), lost={"gpu0"})
+        engine = Engine()
+        engine.after(2.0, lambda: None)
+        monitor.arm(engine, ["gpu0", "gpu1"], offset=0.0)
+        engine.run()
+        assert all(dev == "gpu1" for dev, _ in monitor.observed)
+
+    def test_requires_resolved_config(self):
+        with pytest.raises(ConfigError, match="resolved"):
+            HeartbeatMonitor(FaultPlan(seed=0), DetectorConfig(), lost=set())
