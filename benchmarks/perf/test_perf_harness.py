@@ -63,7 +63,7 @@ def test_quick_report_shape(once):
     report = once(bench.run_bench, quick=True, jobs=2)
     print_report(bench.render(report))
     assert report["schema"] == bench.SCHEMA
-    assert set(report["current"]) == {"fig4", "fig4_scaled", "cache", "sweep"}
+    assert set(report["current"]) == set(bench._SECTIONS)
     for name in ("fig4", "fig4_scaled"):
         assert report["baseline"][name]["events_per_sec"] > 0
         assert report["speedup_vs_baseline"][name] > 0

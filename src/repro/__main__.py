@@ -624,7 +624,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     # wall-clock measurements aren't perturbed by sibling sections.
     sup = _make_supervisor(args, jobs=1)
     report = bench.run_bench(
-        quick=args.quick, jobs=_jobs(args, fallback=4), supervisor=sup
+        quick=args.quick,
+        jobs=_jobs(args, fallback=4),
+        supervisor=sup,
+        profile=args.profile,
     )
     print(bench.render(report))
     if sup is not None:
@@ -910,6 +913,12 @@ def main(argv: list[str] | None = None) -> int:
         "--check", default=None, metavar="PATH",
         help="regression gate: exit nonzero if measured events/sec falls "
              ">30%% below the committed baseline in PATH",
+    )
+    bench_p.add_argument(
+        "--profile", action="store_true",
+        help="run one large-fleet simulation under cProfile and append "
+             "the top functions by cumulative time to the report "
+             "(deterministic call counts; ignored by --check)",
     )
 
     serve_p = sub.add_parser(

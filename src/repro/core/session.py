@@ -16,6 +16,7 @@ from repro.sim.executor import ExecOptions, Executor
 from repro.sim.plan import Plan
 from repro.sim.result import RunResult
 from repro.sim.trace import render_timeline
+from repro.util.gcpause import paused_gc
 from repro.validate.audit import audit_run
 from repro.validate.violations import AuditReport
 
@@ -65,7 +66,12 @@ class HarmonySession:
 
     def plan(self) -> Plan:
         if self._plan is None:
-            self._plan = self.scheduler().plan()
+            # Decomposing and placing a large fleet's graph is an
+            # allocation storm over a growing live object graph — the
+            # shape that makes generational GC quadratic-ish (see
+            # :mod:`repro.util.gcpause`).
+            with paused_gc():
+                self._plan = self.scheduler().plan()
         return self._plan
 
     # -- simulation --------------------------------------------------------------
@@ -138,22 +144,27 @@ class HarmonySession:
                         )
                     except FingerprintError:
                         checkpoint_key = None  # uncacheable spec: run cold
-                executor = Executor(
-                    self.topology,
-                    self.plan(),
-                    cost_model=self.config.cost_model,
-                    options=ExecOptions(
-                        prefetch=self.config.prefetch,
-                        audit=self.config.audit,
-                        iterations=self.config.iterations,
-                        steady_state=self.config.steady_state,
-                        checkpoints=(
-                            checkpoints if checkpoint_key is not None else None
+                # One guard spans construction and the run: executor
+                # init builds the fleet-sized dependency/device tables,
+                # the same allocation shape the plan phase pauses the
+                # collector for.
+                with paused_gc():
+                    executor = Executor(
+                        self.topology,
+                        self.plan(),
+                        cost_model=self.config.cost_model,
+                        options=ExecOptions(
+                            prefetch=self.config.prefetch,
+                            audit=self.config.audit,
+                            iterations=self.config.iterations,
+                            steady_state=self.config.steady_state,
+                            checkpoints=(
+                                checkpoints if checkpoint_key is not None else None
+                            ),
+                            checkpoint_key=checkpoint_key,
                         ),
-                        checkpoint_key=checkpoint_key,
-                    ),
-                )
-                self._result = executor.run()
+                    )
+                    self._result = executor.run()
         return self._result
 
     def audit_report(self, fresh: bool = False) -> AuditReport:

@@ -27,6 +27,7 @@ from repro.hardware.presets import (
     dgx1_like_server,
     gtx1080ti_server,
     multi_server_cluster,
+    rack_cluster,
     single_gpu_server,
 )
 
@@ -46,4 +47,5 @@ __all__ = [
     "dgx1_like_server",
     "single_gpu_server",
     "multi_server_cluster",
+    "rack_cluster",
 ]

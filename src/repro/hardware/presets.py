@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.errors import ConfigError
 from repro.hardware.device import gtx1080ti, host_cpu, v100
-from repro.hardware.links import ethernet, infiniband, nvlink2, pcie_gen3
+from repro.hardware.links import LinkSpec, ethernet, infiniband, nvlink2, pcie_gen3
 from repro.hardware.topology import Topology
 
 
@@ -135,5 +135,85 @@ def multi_server_cluster(
         for g in range(gpus_per_server):
             gpu = topo.add_device(gpu_factory(f"s{s}g{g}"))
             topo.add_link(pcie_gen3(f"pcie-s{s}g{g}"), gpu.name, switch)
+    topo.validate()
+    return topo
+
+
+def rack_cluster(
+    num_racks: int = 4,
+    servers_per_rack: int = 8,
+    gpus_per_server: int = 4,
+    gpu_factory=gtx1080ti,
+    network: str = "100gbe",
+    oversubscription: float = 4.0,
+    name: str = "rack",
+) -> Topology:
+    """A rack-scale fleet: racks of commodity servers under top-of-rack
+    switches, joined by a spine with an oversubscribed uplink tier.
+
+    This is the shape the paper's §4 "masses" deployment implies once a
+    fleet outgrows one network switch: each server keeps the commodity
+    box's internal 4:1 host-uplink bottleneck, each rack's servers hang
+    off a ToR switch at full network rate, and every ToR reaches the
+    spine over one aggregate uplink carrying ``servers_per_rack /
+    oversubscription`` servers' worth of bandwidth (a 4:1 factor is the
+    classic datacenter figure).  Cross-rack collectives therefore see a
+    second bottleneck tier above the host uplink, which is what the
+    hierarchy-aware placement and analytic collectives must model.
+
+    Naming: GPU ``r1s2g3`` is GPU 3 of server 2 in rack 1, its host is
+    ``r1s2cpu``.  Names sort rack-major, then server-major, so
+    round-robin placement over sorted GPUs stays server- and rack-local
+    as long as possible.  Host uplinks keep the ``uplink`` name prefix
+    (``Route.crosses_host_uplink`` keys on it); rack->spine links use
+    the ``rackup`` prefix so :meth:`Topology.link_oversubscription` can
+    report the tier's ratio.  The result is a tree, so routing uses the
+    topology's O(path) tree router rather than per-pair BFS.
+    """
+    if num_racks < 1:
+        raise ConfigError("need at least one rack")
+    if servers_per_rack < 1:
+        raise ConfigError("need at least one server per rack")
+    if gpus_per_server < 1:
+        raise ConfigError("need at least one GPU per server")
+    if oversubscription <= 0:
+        raise ConfigError("oversubscription must be positive")
+    factories = {
+        "100gbe": lambda n: ethernet(n, gbits=100),
+        "25gbe": lambda n: ethernet(n, gbits=25),
+        "ib": lambda n: infiniband(n, gbits=200),
+    }
+    try:
+        net_factory = factories[network]
+    except KeyError:
+        raise ConfigError(
+            f"unknown network {network!r}; choose from {sorted(factories)}"
+        ) from None
+    topo = Topology(
+        name=f"{name}-{num_racks}x{servers_per_rack}x{gpus_per_server}"
+    )
+    spine = topo.add_switch("spine")
+    for r in range(num_racks):
+        tor = topo.add_switch(f"r{r}tor")
+        base = net_factory(f"rackup{r}")
+        topo.add_link(
+            LinkSpec(
+                base.name,
+                bandwidth_bytes_per_sec=base.bandwidth_bytes_per_sec
+                * servers_per_rack
+                / oversubscription,
+                latency_sec=base.latency_sec,
+            ),
+            tor,
+            spine,
+        )
+        for s in range(servers_per_rack):
+            host = topo.add_device(host_cpu(f"r{r}s{s}cpu"))
+            switch = topo.add_switch(f"r{r}s{s}switch")
+            topo.add_link(pcie_gen3(f"uplink-r{r}s{s}"), switch, host.name)
+            topo.add_link(net_factory(f"net-r{r}s{s}"), host.name, tor)
+            for g in range(gpus_per_server):
+                gpu = topo.add_device(gpu_factory(f"r{r}s{s}g{g}"))
+                topo.add_link(pcie_gen3(f"pcie-r{r}s{s}g{g}"), gpu.name, switch)
     topo.validate()
     return topo

@@ -77,6 +77,13 @@ class Topology:
     _adjacency: dict[str, list[tuple[str, str]]] = field(default_factory=dict)
     _route_cache: dict[tuple[str, str], Route] = field(default_factory=dict)
     _host_of_cache: dict[str, DeviceSpec] = field(default_factory=dict)
+    #: Tree-routing index: ``None`` = stale (rebuild lazily), ``False`` =
+    #: the graph is not a tree (BFS fallback), else ``(parents, depth)``
+    #: maps rooted at the lexicographically-first node.
+    _tree: "object" = field(default=None, repr=False)
+    _hosts_by_distance_cache: dict[str, tuple[DeviceSpec, ...]] = field(
+        default_factory=dict, repr=False
+    )
 
     # -- construction ----------------------------------------------------
 
@@ -85,6 +92,7 @@ class Topology:
             raise TopologyError(f"duplicate node name {spec.name!r}")
         self.devices[spec.name] = spec
         self._adjacency.setdefault(spec.name, [])
+        self._tree = None
         return spec
 
     def add_switch(self, name: str) -> str:
@@ -92,6 +100,7 @@ class Topology:
             raise TopologyError(f"duplicate node name {name!r}")
         self.switches.add(name)
         self._adjacency.setdefault(name, [])
+        self._tree = None
         return name
 
     def add_link(self, link: LinkSpec, a: str, b: str) -> LinkSpec:
@@ -106,6 +115,9 @@ class Topology:
         self._adjacency[a].append((b, link.name))
         self._adjacency[b].append((a, link.name))
         self._route_cache.clear()
+        self._host_of_cache.clear()
+        self._hosts_by_distance_cache.clear()
+        self._tree = None
         return link
 
     # -- queries ---------------------------------------------------------
@@ -135,23 +147,81 @@ class Topology:
         )
 
     def host_of(self, device: str) -> DeviceSpec:
-        """The nearest host to ``device`` by hop count — the swap target
-        for that GPU (its own server's DRAM, never a remote host)."""
+        """The nearest host to ``device`` by hop count — the default swap
+        target for that GPU (its own server's DRAM).  Ties break on the
+        lowest host name, matching the ``min((hops, name))`` rule the old
+        all-hosts route scan applied; the early-exit BFS here stops at
+        the first level containing a host instead of routing to every
+        host in the fleet (O(N^2) on large clusters)."""
         cached = self._host_of_cache.get(device)
         if cached is not None:
             return cached
-        candidates: list[tuple[int, str, DeviceSpec]] = []
-        for h in self.hosts():
-            try:
-                hops = len(self.route(device, h.name).links)
-            except TopologyError:
-                continue
-            candidates.append((hops, h.name, h))
-        if not candidates:
+        devices = self.devices
+        spec = devices.get(device)
+        if spec is None:
             raise TopologyError(f"no host reachable from {device!r}")
-        best = min(candidates)[2]
-        self._host_of_cache[device] = best
-        return best
+        if spec.kind is DeviceKind.CPU:
+            self._host_of_cache[device] = spec
+            return spec
+        adjacency = self._adjacency
+        visited = {device}
+        frontier = [device]
+        while frontier:
+            nxt: list[str] = []
+            found: list[str] = []
+            for node in frontier:
+                for neighbor, _ in adjacency[node]:
+                    if neighbor in visited:
+                        continue
+                    visited.add(neighbor)
+                    s = devices.get(neighbor)
+                    if s is not None and s.kind is DeviceKind.CPU:
+                        found.append(neighbor)
+                    nxt.append(neighbor)
+            if found:
+                best = devices[min(found)]
+                self._host_of_cache[device] = best
+                return best
+            frontier = nxt
+        raise TopologyError(f"no host reachable from {device!r}")
+
+    def hosts_by_distance(self, device: str) -> tuple[DeviceSpec, ...]:
+        """Every host reachable from ``device``, nearest first (ties on
+        name) — the candidate order for remote host-RAM swap targeting
+        when the local host is full (see
+        :class:`~repro.memory.policy.MemoryPolicy` ``remote_swap``)."""
+        cached = self._hosts_by_distance_cache.get(device)
+        if cached is not None:
+            return cached
+        if device not in self.devices:
+            raise TopologyError(f"no host reachable from {device!r}")
+        adjacency = self._adjacency
+        devices = self.devices
+        ordered: list[DeviceSpec] = []
+        visited = {device}
+        frontier = [device]
+        spec = devices.get(device)
+        if spec is not None and spec.kind is DeviceKind.CPU:
+            ordered.append(spec)
+        while frontier:
+            nxt: list[str] = []
+            found: list[str] = []
+            for node in frontier:
+                for neighbor, _ in adjacency[node]:
+                    if neighbor in visited:
+                        continue
+                    visited.add(neighbor)
+                    s = devices.get(neighbor)
+                    if s is not None and s.kind is DeviceKind.CPU:
+                        found.append(neighbor)
+                    nxt.append(neighbor)
+            ordered.extend(devices[name] for name in sorted(found))
+            frontier = nxt
+        if not ordered:
+            raise TopologyError(f"no host reachable from {device!r}")
+        result = tuple(ordered)
+        self._hosts_by_distance_cache[device] = result
+        return result
 
     def device(self, name: str) -> DeviceSpec:
         try:
@@ -160,8 +230,18 @@ class Topology:
             raise TopologyError(f"unknown device {name!r}") from None
 
     def route(self, src: str, dst: str) -> Route:
-        """Shortest-hop route between two devices (BFS, deterministic
-        neighbor order).  Raises :class:`TopologyError` if disconnected."""
+        """Shortest-hop route between two devices.  Raises
+        :class:`TopologyError` if disconnected.
+
+        Tree topologies (every preset except the NVLink-meshed DGX)
+        resolve through a rooted parent-pointer index: the unique path
+        climbs src and dst to their lowest common ancestor in O(path
+        length) instead of an O(nodes) BFS per pair — this is what keeps
+        route resolution size-independent on rack-scale fleets.  The
+        path a tree has is exactly the one BFS finds (shortest paths in
+        trees are unique), so the two strategies produce bit-identical
+        routes; non-tree graphs fall back to BFS with deterministic
+        sorted neighbor order."""
         key = (src, dst)
         cached = self._route_cache.get(key)
         if cached is not None:
@@ -171,6 +251,11 @@ class Topology:
                 raise TopologyError(f"route endpoint {node!r} is not a device")
         if src == dst:
             route = Route(src, dst, ())
+            self._route_cache[key] = route
+            return route
+        tree = self._tree_routing()
+        if tree is not None:
+            route = self._tree_path(src, dst, tree)
             self._route_cache[key] = route
             return route
         # BFS over nodes, remembering the link taken to reach each node.
@@ -193,6 +278,66 @@ class Topology:
             frontier = nxt
         raise TopologyError(f"no route from {src!r} to {dst!r} in {self.name!r}")
 
+    def _tree_routing(self):
+        """``(parents, depth)`` maps for tree topologies, ``None`` when
+        the graph is not a connected tree (cycle or disconnected)."""
+        tree = self._tree
+        if tree is None:
+            tree = self._build_tree_routing()
+            self._tree = tree
+        return tree or None
+
+    def _build_tree_routing(self):
+        adjacency = self._adjacency
+        nodes = len(adjacency)
+        if nodes == 0 or len(self.links) != nodes - 1:
+            return False  # a connected graph with cycles, or a forest
+        root = min(adjacency)
+        parents: dict[str, tuple[str, str] | None] = {root: None}
+        depth = {root: 0}
+        frontier = [root]
+        while frontier:
+            nxt: list[str] = []
+            for node in frontier:
+                d = depth[node] + 1
+                for neighbor, link_name in adjacency[node]:
+                    if neighbor in parents:
+                        continue
+                    parents[neighbor] = (node, link_name)
+                    depth[neighbor] = d
+                    nxt.append(neighbor)
+            frontier = nxt
+        if len(parents) != nodes:
+            return False  # disconnected: fall back to (failing) BFS
+        return parents, depth
+
+    def _tree_path(self, src: str, dst: str, tree) -> Route:
+        """The unique src->dst path in a tree: climb both endpoints to
+        their lowest common ancestor.  Link order matches what BFS's
+        back-trace produces (the path is unique), so cached routes —
+        and their latency sums — are bit-identical either way."""
+        parents, depth = tree
+        links_map = self.links
+        up: list[LinkSpec] = []
+        down: list[LinkSpec] = []
+        a, b = src, dst
+        da, db = depth[a], depth[b]
+        while da > db:
+            a, link_name = parents[a]
+            up.append(links_map[link_name])
+            da -= 1
+        while db > da:
+            b, link_name = parents[b]
+            down.append(links_map[link_name])
+            db -= 1
+        while a != b:
+            a, link_name = parents[a]
+            up.append(links_map[link_name])
+            b, link_name = parents[b]
+            down.append(links_map[link_name])
+        down.reverse()
+        return Route(src, dst, tuple(up + down))
+
     def _trace_route(
         self, src: str, dst: str, parents: dict[str, tuple[str, str]]
     ) -> Route:
@@ -213,10 +358,17 @@ class Topology:
     def host_uplink_oversubscription(self) -> float:
         """Ratio of GPUs to host uplinks — the 4:1 / 8:1 figure the paper
         cites for commodity servers."""
-        uplinks = [name for name in self.links if name.startswith("uplink")]
-        if not uplinks:
+        return self.link_oversubscription("uplink")
+
+    def link_oversubscription(self, prefix: str) -> float:
+        """Ratio of GPUs to links whose name starts with ``prefix`` —
+        the per-tier oversubscription figure for hierarchical racks
+        (``"uplink"`` = host tier, ``"rackup"`` = ToR->spine tier in the
+        rack preset).  1.0 when no such links exist."""
+        n = sum(1 for name in self.links if name.startswith(prefix))
+        if not n:
             return 1.0
-        return len(self.gpus()) / len(uplinks)
+        return len(self.gpus()) / n
 
     def shares_switch(self, gpu_a: str, gpu_b: str) -> bool:
         """Whether two GPUs can reach each other without the host uplink."""
@@ -233,6 +385,20 @@ class Topology:
             for neighbor, link_name in self._adjacency[name]
         ]
 
+    def _clone(self, name: str) -> "Topology":
+        """A structural copy sharing the immutable device and link
+        specs, with fresh (empty) route/host caches.  O(nodes + links)
+        dict copies instead of replaying the ``add_*`` construction path
+        element by element — this is what keeps elastic rejoin and
+        spare substitution cheap on rack-scale fleets."""
+        return Topology(
+            name=name,
+            devices=dict(self.devices),
+            switches=set(self.switches),
+            links=dict(self.links),
+            _adjacency={n: list(v) for n, v in self._adjacency.items()},
+        )
+
     def with_device(
         self, spec: DeviceSpec, connections: list[tuple[LinkSpec, str]]
     ) -> "Topology":
@@ -248,18 +414,7 @@ class Topology:
                 f"cannot attach {spec.name!r} with no links (it would be "
                 f"unreachable)"
             )
-        grown = Topology(name=f"{self.name}+{spec.name}")
-        for existing in self.devices.values():
-            grown.add_device(existing)
-        for switch in sorted(self.switches):
-            grown.add_switch(switch)
-        seen: set[str] = set()
-        for a, neighbors in self._adjacency.items():
-            for b, link_name in neighbors:
-                if link_name in seen:
-                    continue
-                seen.add(link_name)
-                grown.add_link(self.links[link_name], a, b)
+        grown = self._clone(f"{self.name}+{spec.name}")
         grown.add_device(spec)
         for link, peer in connections:
             grown.add_link(link, spec.name, peer)
@@ -301,21 +456,15 @@ class Topology:
         """
         if name not in self.devices:
             raise TopologyError(f"cannot remove unknown device {name!r}")
-        survivor = Topology(name=f"{self.name}-minus-{name}")
-        for spec in self.devices.values():
-            if spec.name != name:
-                survivor.add_device(spec)
-        for switch in sorted(self.switches):
-            survivor.add_switch(switch)
-        seen: set[str] = set()
-        for a, neighbors in self._adjacency.items():
-            for b, link_name in neighbors:
-                if link_name in seen:
-                    continue
-                seen.add(link_name)
-                if a == name or b == name:
-                    continue
-                survivor.add_link(self.links[link_name], a, b)
+        survivor = self._clone(f"{self.name}-minus-{name}")
+        del survivor.devices[name]
+        incident = survivor._adjacency.pop(name)
+        for _, link_name in incident:
+            del survivor.links[link_name]
+        for peer in {peer for peer, _ in incident}:
+            survivor._adjacency[peer] = [
+                pair for pair in survivor._adjacency[peer] if pair[0] != name
+            ]
         return survivor
 
     def validate(self) -> None:

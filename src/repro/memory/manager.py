@@ -61,6 +61,10 @@ class MemOp:
     src: str | None = None
     dst: str | None = None
     forced: bool = False
+    #: For SWAP_OUT under ``MemoryPolicy.remote_swap``: the host whose
+    #: DRAM receives the copy (chosen once when the transfer is routed,
+    #: so retries reuse the same target).  ``None`` = the local host.
+    host: str | None = None
 
     @property
     def is_transfer(self) -> bool:
@@ -111,6 +115,13 @@ class MemoryManager:
         # the decomposer (or a test) names tensors, and the manager must
         # track whatever exists by the time each tensor is first touched.
         self.runtimes: dict[int, TensorRuntime] = {}
+        #: Bytes of swapped-out tensor copies per host device —
+        #: ``sum(rt.meta.size_bytes for rt if rt.host_device == host)``,
+        #: maintained incrementally by ``op_finish`` so the remote-swap
+        #: target choice never scans the runtimes.  Checkpoint restore
+        #: snapshots/restores this alongside the runtimes it derives
+        #: from.
+        self._host_used: dict[str, float] = {}
         self._home: dict[int, str | None] = {}
         self._use_seq = 0
         self._waiters: dict[int, list[Callable[[], None]]] = {}
@@ -437,6 +448,26 @@ class MemoryManager:
                 best, best_free = name, pool.free
         return best
 
+    def swap_host_for(self, device: str, nbytes: float) -> str:
+        """Which host's DRAM a swap-out from ``device`` should target.
+
+        Without ``remote_swap`` (the default) this is always the local
+        host, so single-server behavior — and every existing trace — is
+        untouched.  With it, the nearest host (by hop count, name-
+        ordered within a tier: ``Topology.hosts_by_distance``) whose
+        ledgered spill volume leaves room wins; a fleet whose every
+        host is full falls back to the local host, which is the
+        pre-feature behavior under pressure.
+        """
+        local = self.topology.host_of(device).name
+        if not self.policy.remote_swap:
+            return local
+        used = self._host_used
+        for host in self.topology.hosts_by_distance(device):
+            if used.get(host.name, 0.0) + nbytes <= host.memory_bytes:
+                return host.name
+        return local
+
     # -- op lifecycle (called by the engine) -------------------------------------
 
     def op_begin(self, op: MemOp) -> bool:
@@ -525,7 +556,14 @@ class MemoryManager:
         if kind is MemOpKind.SWAP_OUT:
             src = op.src
             rt.finish_swap_out()
-            rt.host_device = self.topology.host_of(src).name
+            host = op.host if op.host is not None else self.topology.host_of(src).name
+            old_host = rt.host_device
+            if old_host != host:
+                used = self._host_used
+                if old_host is not None:
+                    used[old_host] = used.get(old_host, 0.0) - meta.size_bytes
+                used[host] = used.get(host, 0.0) + meta.size_bytes
+            rt.host_device = host
             pool = self.pools[src]
             pool.release(meta.tid)
             self._track_activation(src, meta, -1.0)

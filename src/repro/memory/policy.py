@@ -43,6 +43,14 @@ class MemoryPolicy:
     #: Off by default: profitable only when some GPU has slack, which the
     #: dedicated ablation benchmark sets up explicitly.
     swap_to_peer: bool = False
+    #: Allow swap-outs to target a *neighbor server's* host DRAM when
+    #: the local host is full — the rack-scale extension of the paper's
+    #: "use all the memory you have" stance.  The manager picks the
+    #: nearest host with room (``Topology.hosts_by_distance``); the
+    #: swap then rides the inter-server network, and the later swap-in
+    #: fetches from wherever the copy landed.  Off by default: local
+    #: host DRAM is modelled as ample on single-server presets.
+    remote_swap: bool = False
 
     def __post_init__(self) -> None:
         if self.eviction not in _EVICTION_ORDERS:

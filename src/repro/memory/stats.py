@@ -52,6 +52,15 @@ class SwapStats:
     _retry_events: dict[tuple[str, TensorKind, Direction], int] = field(
         default_factory=lambda: defaultdict(int)
     )
+    #: Running device roster: every device that ever appeared in a
+    #: record.  Maintained incrementally so :meth:`devices` (called by
+    #: the validation layer per run) never rescans the whole ledger —
+    #: on wide fleets the ledger has O(devices x kinds x directions)
+    #: keys and the rescan was a per-call fleet-sized cost.  Code that
+    #: replaces the ledger wholesale (checkpoint restore) must rebuild
+    #: this set from the new keys; steady-state fast-forward only folds
+    #: existing keys, so the roster is untouched there.
+    _devices: set[str] = field(default_factory=set, repr=False)
     #: When set (a list), every record also appends ``(key, nbytes)`` —
     #: the per-iteration delta capture behind steady-state fast-forward
     #: (see :mod:`repro.steady.cycle`), which must replay the exact
@@ -65,6 +74,7 @@ class SwapStats:
         key = (device, kind, direction)
         self._volume[key] += nbytes
         self._events[key] += 1
+        self._devices.add(device)
         if self._journal is not None:
             self._journal.append((key, nbytes))
 
@@ -190,17 +200,30 @@ class SwapStats:
         return sum(self._volume.values())
 
     def devices(self) -> list[str]:
-        return sorted({d for (d, _, _) in self._volume})
+        """Sorted roster of devices that moved any bytes — served from
+        the running :attr:`_devices` aggregate, not a ledger scan."""
+        return sorted(self._devices)
 
     def summary(self) -> str:
+        # One pass over each ledger instead of devices x directions
+        # filtered rescans.  Per-(device, direction) sums accumulate in
+        # ledger order, so each total adds the same values in the same
+        # order as a filtered volume() call would.
+        per_dir: dict[tuple[str, Direction], float] = {}
+        for (dev, _, dr), v in self._volume.items():
+            k = (dev, dr)
+            per_dir[k] = per_dir.get(k, 0.0) + v
+        per_retried: dict[str, float] = {}
+        for (dev, _, _), v in self._retried.items():
+            per_retried[dev] = per_retried.get(dev, 0.0) + v
         lines = ["swap stats (GB):"]
         for device in self.devices():
             parts = []
             for direction in Direction:
-                vol = self.volume(device, None, direction)
+                vol = per_dir.get((device, direction), 0.0)
                 if vol:
                     parts.append(f"{direction.value}={vol / GB:.2f}")
-            retried = self.retried_volume(device)
+            retried = per_retried.get(device, 0.0)
             if retried:
                 parts.append(f"retried={retried / GB:.2f}")
             lines.append(f"  {device}: " + (", ".join(parts) or "none"))

@@ -98,6 +98,11 @@ class Snapshot:
     fp: tuple | None
     ledger: "CycleLedger | None"
     detecting: bool
+    #: Per-host spill-volume ledger in accumulation order (the
+    #: remote-swap target choice compares these float sums against host
+    #: capacity, so they are restored verbatim, not recomputed).
+    #: Defaults empty — correct for donors that never remote-swapped.
+    host_used: tuple[tuple[str, float], ...] = ()
 
 
 def capture_snapshot(
@@ -129,6 +134,7 @@ def capture_snapshot(
             for tid, rt in manager.runtimes.items()
         ),
         home=tuple(manager._home.items()),
+        host_used=tuple(manager._host_used.items()),
         use_seq=manager._use_seq,
         pools=tuple(
             (name, pool.used, pool.peak_used, pool.demand, pool.peak_demand,
@@ -179,6 +185,7 @@ def install_snapshot(ex: "Executor", snap: Snapshot) -> None:
         runtimes[tid] = rt
     manager.runtimes = runtimes
     manager._home = dict(snap.home)
+    manager._host_used = dict(snap.host_used)
     manager._use_seq = snap.use_seq
     for name, used, peak_used, demand, peak_demand, pressure, resv in (
         snap.pools
@@ -203,6 +210,10 @@ def install_snapshot(ex: "Executor", snap: Snapshot) -> None:
     stats._retried.update(snap.stats_retried)
     stats._retry_events.clear()
     stats._retry_events.update(snap.stats_retry_events)
+    # The ledger was replaced wholesale; rebuild the running device
+    # roster that record() normally maintains incrementally.
+    stats._devices.clear()
+    stats._devices.update(d for (d, _, _) in stats._volume)
     timelines = {tl.name: tl for tl in ex._all_timelines}
     for name, busy_seconds in snap.busy:
         timelines[name].busy_seconds = busy_seconds

@@ -69,6 +69,11 @@ class HarmonyOptions:
     #: device-to-device links for cross-device swaps").  Profitable only
     #: when load is uneven enough that some GPU has slack.
     swap_to_peer: bool = False
+    #: Let swap-outs spill to a *neighbor server's* host DRAM when the
+    #: local host is full (rack-scale fleets; see
+    #: ``MemoryPolicy.remote_swap``).  The nearest host with room wins;
+    #: the copy then rides the inter-server network both ways.
+    remote_swap: bool = False
 
     def __post_init__(self) -> None:
         if self.pack_size < 1:
@@ -98,4 +103,5 @@ class HarmonyOptions:
             track_clean=self.track_clean,
             p2p_enabled=self.p2p,
             swap_to_peer=self.swap_to_peer,
+            remote_swap=self.remote_swap,
         )

@@ -1,0 +1,97 @@
+"""Analytic collective operations: ring topology costed in closed form.
+
+A gradient all-reduce over N participants is physically 2(N-1) ring
+rounds of chunk exchanges, but simulating every hop of every round is
+O(world) events per collective — the cost that made large-fleet runs
+quadratic-ish.  :class:`CollectiveOp` resolves the ring *once* per
+participant set (the device subsets come from
+``Plan.collective_subsets`` / the wired participants): each ring hop's
+route through the link hierarchy, the bottleneck bandwidth across all
+hops, and the worst-case hop latency.  A collective then becomes one
+timed event whose duration is the closed form
+
+    max_hop_latency + comm_bytes / bottleneck_bandwidth
+
+with ``comm_bytes`` the per-participant wire volume the decomposer
+precomputed (``2(N-1)/N x payload`` for all-reduce, ``(N-1)/N x
+payload`` for the ZeRO all-gather).  The cut-through assumption matches
+:meth:`Route.transfer_time`: rounds pipeline, so latency is paid once.
+
+The *expanded per-hop* audit mode (``ExecOptions.collective_mode =
+"per-hop"``) subdivides the same closed-form window into the 2(N-1)
+ring rounds, tracing each round on every participant.  Round ``k`` of
+``R`` ends at ``start + duration * (k / R)`` — for ``k == R`` the
+factor is exactly 1.0, so the expansion's final event lands bitwise on
+the analytic end time: the bit-identity tests assert equal makespans on
+small fleets across every scheduler scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.hardware.topology import Route, Topology
+
+
+@dataclass(frozen=True)
+class CollectiveOp:
+    """One resolved ring collective over a fixed participant set.
+
+    Immutable and cached per participant tuple by the transfer engine,
+    so per-collective cost is independent of fleet size after the first
+    resolution (the resolution itself is O(participants x path length)
+    thanks to the topology's cached route table).
+    """
+
+    participants: tuple[str, ...]
+    #: Ring hop i: participants[i] -> participants[(i+1) % N].
+    routes: tuple[Route, ...]
+    #: Slowest link on any ring hop — the ring runs at its pace.
+    bottleneck_bandwidth: float
+    #: Worst single-hop latency, paid once (cut-through pipelining).
+    max_latency: float
+    #: Every distinct link the ring occupies, in first-use order
+    #: (hop order, then link order along each hop's route).
+    link_names: tuple[str, ...]
+
+    @property
+    def world(self) -> int:
+        return len(self.participants)
+
+    @property
+    def rounds(self) -> int:
+        """Ring rounds the analytic window stands in for: N-1 reduce-
+        scatter + N-1 all-gather steps."""
+        return 2 * (len(self.participants) - 1)
+
+    def duration(self, comm_bytes: float) -> float:
+        """Closed-form collective duration for one participant's wire
+        volume — the same float expression the pre-analytic simulator
+        evaluated per call, so cached specs change nothing bitwise."""
+        return self.max_latency + comm_bytes / self.bottleneck_bandwidth
+
+
+def ring_collective(topology: Topology, participants: tuple[str, ...]) -> CollectiveOp:
+    """Resolve the ring for ``participants`` against ``topology``."""
+    if len(participants) < 2:
+        raise SimulationError(
+            f"a collective needs at least two participants, got "
+            f"{participants!r}"
+        )
+    n = len(participants)
+    routes = tuple(
+        topology.route(a, participants[(i + 1) % n])
+        for i, a in enumerate(participants)
+    )
+    seen: dict[str, None] = {}
+    for route in routes:
+        for link in route.links:
+            seen[link.name] = None
+    return CollectiveOp(
+        participants=tuple(participants),
+        routes=routes,
+        bottleneck_bandwidth=min(r.bottleneck_bandwidth for r in routes),
+        max_latency=max(r.total_latency for r in routes),
+        link_names=tuple(seen),
+    )

@@ -36,6 +36,7 @@ from repro.sim.trace import Trace, TraceEvent
 from repro.sim.transfer import TransferEngine
 from repro.steady import SteadyMode, SteadyReport, resolve_mode
 from repro.tasks.task import Task, TaskKind
+from repro.util.gcpause import paused_gc
 
 
 @dataclass(frozen=True)
@@ -82,6 +83,11 @@ class ExecOptions:
         The :func:`repro.perf.fingerprint.base_fingerprint` of this run
         — the session layer computes it (and leaves it ``None`` for
         unfingerprintable specs, which then run cold).
+    collective_mode:
+        ``"analytic"`` (default) costs each collective as one closed-form
+        timed event; ``"per-hop"`` expands the same window into traced
+        ring rounds — the audit mode the bit-identity tests run on small
+        fleets (see :mod:`repro.sim.collective`).
     """
 
     prefetch: bool = False
@@ -92,12 +98,18 @@ class ExecOptions:
     steady_state: "SteadyMode | str | None" = None
     checkpoints: "CheckpointStore | None" = None
     checkpoint_key: str | None = None
+    collective_mode: str = "analytic"
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
             raise SimulationError("iterations must be >= 1")
         if self.steady_state is not None:
             SteadyMode.parse(self.steady_state)  # validate eagerly
+        if self.collective_mode not in ("analytic", "per-hop"):
+            raise SimulationError(
+                f"unknown collective_mode {self.collective_mode!r}; "
+                "choose 'analytic' or 'per-hop'"
+            )
 
 
 @dataclass(slots=True)
@@ -142,6 +154,7 @@ class Executor:
         self.transfers = TransferEngine(
             self.engine, topology, self.manager, self.trace, self.links,
             injector=self.injector,
+            collective_mode=self.options.collective_mode,
         )
         if self.injector is not None:
             self.injector.arm(self.engine, self.manager.pools)
@@ -217,10 +230,15 @@ class Executor:
     # -- public ------------------------------------------------------------
 
     def run(self) -> RunResult:
-        if self._cycle_path:
-            result = self._run_cycles()
-        else:
-            result = self._run_legacy()
+        # The event loop's garbage is acyclic and refcount-reclaimed;
+        # gen-2 GC passes rescanning the O(fleet) live plan graph are
+        # what made per-event cost grow with fleet size (see
+        # :mod:`repro.util.gcpause`).
+        with paused_gc():
+            if self._cycle_path:
+                result = self._run_cycles()
+            else:
+                result = self._run_legacy()
         if self.options.audit:
             # Imported lazily: repro.validate pulls in the session layer
             # for its differential checker, which imports this module.
@@ -597,7 +615,8 @@ class Executor:
             pending["chains"] -= 1
             if pending["chains"] == 0:
                 self.transfers.execute_allreduce(
-                    participants, task.comm_bytes, collective_done
+                    participants, task.comm_bytes, collective_done,
+                    label=task.label,
                 )
 
         def collective_done(start: float, end: float) -> None:

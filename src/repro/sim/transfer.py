@@ -17,6 +17,7 @@ from repro.errors import FaultError, SimulationError
 from repro.hardware.topology import Route, Topology
 from repro.memory.manager import MemOp, MemOpKind, MemoryManager
 from repro.memory.stats import Direction
+from repro.sim.collective import CollectiveOp, ring_collective
 from repro.sim.engine import Engine, ResourceTimeline
 from repro.sim.trace import Trace
 from repro.tensors.state import TensorState
@@ -51,6 +52,7 @@ class TransferEngine:
         trace: Trace,
         links: dict[str, ResourceTimeline],
         injector: "FaultInjector | None" = None,
+        collective_mode: str = "analytic",
     ):
         self.engine = engine
         self.topology = topology
@@ -58,10 +60,17 @@ class TransferEngine:
         self.trace = trace
         self.links = links
         self.injector = injector
+        self.collective_mode = collective_mode
         # Route -> timelines, keyed by route identity: the topology's
         # route cache keeps every Route alive and unique per (src, dst),
         # and each transfer over it needs the same timeline list.
         self._route_timelines: dict[int, list[ResourceTimeline]] = {}
+        # Participant tuple -> resolved ring + its timeline list.  Ring
+        # resolution walks O(world) routes; caching it makes every
+        # collective after the first O(1) in fleet size.
+        self._collectives: dict[
+            tuple[str, ...], tuple[CollectiveOp, list[ResourceTimeline]]
+        ] = {}
 
     # -- routes -------------------------------------------------------------
 
@@ -76,7 +85,13 @@ class TransferEngine:
             src_host = rt.host_device or self.topology.host_of(op.dst).name
             return self.topology.route(src_host, op.dst)
         if op.kind is MemOpKind.SWAP_OUT:
-            return self.topology.route(op.src, self.topology.host_of(op.src).name)
+            # The manager picks the receiving host (the local one unless
+            # remote_swap spills to a neighbor server); the choice sticks
+            # to the op so fault retries re-ride the same route and
+            # op_finish lands the copy where the bytes actually went.
+            if op.host is None:
+                op.host = self.manager.swap_host_for(op.src, op.tensor.size_bytes)
+            return self.topology.route(op.src, op.host)
         if op.kind is MemOpKind.P2P:
             return self.topology.route(op.src, op.dst)
         raise SimulationError(f"no route for op {op}")
@@ -286,45 +301,100 @@ class TransferEngine:
 
     # -- collectives -------------------------------------------------------------
 
+    def collective_for(self, participants: Sequence[str]) -> CollectiveOp:
+        """The cached :class:`CollectiveOp` for ``participants``
+        (resolved on first use)."""
+        key = tuple(participants)
+        cached = self._collectives.get(key)
+        if cached is None:
+            spec = ring_collective(self.topology, key)
+            timelines = [self.links[name] for name in spec.link_names]
+            cached = (spec, timelines)
+            self._collectives[key] = cached
+        return cached[0]
+
     def execute_allreduce(
         self,
         participants: Sequence[str],
         comm_bytes: float,
         done: Callable[[float, float], None],
+        label: str = "collective",
     ) -> None:
-        """Ring all-reduce across ``participants``: occupies the links of
-        every ring hop for the transfer duration; ``comm_bytes`` is the
-        per-participant wire volume (2(N-1)/N x payload, precomputed by
-        the decomposer)."""
+        """Ring all-reduce across ``participants``: one timed event that
+        occupies the links of every ring hop for the closed-form
+        duration; ``comm_bytes`` is the per-participant wire volume
+        (2(N-1)/N x payload, precomputed by the decomposer).  The ring's
+        routes, bottleneck, and involved-link set are resolved once per
+        participant set and cached (:meth:`collective_for`), so repeat
+        collectives cost O(1) in fleet size.  ``collective_mode ==
+        "per-hop"`` expands the same window into traced ring rounds
+        (see :mod:`repro.sim.collective`)."""
         if len(participants) < 2:
             done(self.engine.now, self.engine.now)
             return
-        routes = [
-            self.topology.route(a, participants[(i + 1) % len(participants)])
-            for i, a in enumerate(participants)
-        ]
-        involved: dict[str, ResourceTimeline] = {}
-        for route in routes:
-            for link in route.links:
-                involved[link.name] = self.links[link.name]
+        key = tuple(participants)
+        cached = self._collectives.get(key)
+        if cached is None:
+            spec = ring_collective(self.topology, key)
+            cached = (spec, [self.links[name] for name in spec.link_names])
+            self._collectives[key] = cached
+        spec, timelines = cached
         if self.injector is None:
             ready = self.engine.now
-            bottleneck = min(route.bottleneck_bandwidth for route in routes)
-            latency = max(route.total_latency for route in routes)
-            duration = latency + comm_bytes / bottleneck
+            duration = spec.duration(comm_bytes)
         else:
             # The ring runs at the pace of its slowest hop under the
             # currently-active link faults; a flapped hop defers the
             # whole collective.
             timings = [
                 self.injector.transfer_timing(route, comm_bytes, self.engine.now)
-                for route in routes
+                for route in spec.routes
             ]
             ready = max(t for t, _ in timings)
             duration = max(d for _, d in timings)
-        timelines = list(involved.values())
         if timelines:
             start, end = ResourceTimeline.acquire_all(timelines, ready, duration)
         else:
             start, end = ready, ready + duration
+        if self.collective_mode == "per-hop":
+            self._expand_per_hop(spec, label, start, duration, end, done)
+            return
         self.engine.at(end, lambda: done(start, end))
+
+    def _expand_per_hop(
+        self,
+        spec: CollectiveOp,
+        label: str,
+        start: float,
+        duration: float,
+        end: float,
+        done: Callable[[float, float], None],
+    ) -> None:
+        """Audit-mode expansion: the analytic window subdivided into the
+        2(N-1) ring rounds, each traced per participant.  Round ``k`` of
+        ``R`` ends at ``start + duration * (k / R)``; for ``k == R`` the
+        factor is exactly 1.0, so the final round's boundary — and the
+        completion callback — land bitwise on the analytic ``end``.  The
+        round markers carry zero bytes: the collective's wire volume is
+        ledgered once by the executor against the single allreduce trace
+        event, and the markers exist to expose the hop schedule to the
+        bit-identity audit, not to double-count traffic."""
+        engine = self.engine
+        trace = self.trace
+        rounds = spec.rounds
+        participants = spec.participants
+        prev = start
+
+        def round_boundary(k: int, round_start: float, round_end: float) -> None:
+            for dev in participants:
+                trace.add(
+                    dev, round_start, round_end, "p2p",
+                    f"{label}.round{k}/{rounds}",
+                )
+            if k == rounds:
+                done(start, end)
+
+        for k in range(1, rounds + 1):
+            boundary = start + duration * (k / rounds) if k < rounds else end
+            engine.at(boundary, partial(round_boundary, k, prev, boundary))
+            prev = boundary

@@ -56,10 +56,31 @@ class IterationTasks:
     #: ZeRO-style weight all-gathers after sharded updates, keyed by
     #: update-pack index (empty unless ``zero_optimizer``).
     weight_gather: dict[int, Task] = field(default_factory=dict)
+    #: Lazy replica -> compute-task index (see :meth:`compute_tasks_of`).
+    _replica_compute: dict[int, list[Task]] | None = field(
+        default=None, repr=False
+    )
 
     @property
     def samples_per_iteration(self) -> int:
         return self.num_replicas * self.num_microbatches * self.microbatch_size
+
+    def compute_tasks_of(self, replica: int) -> list[Task]:
+        """Every COMPUTE task of one replica, in graph insertion order.
+
+        Built lazily in one pass over the graph and reused for every
+        replica: data-parallel schedulers place each replica's tasks on
+        one device, and scanning the whole graph once per replica is
+        O(N^2) on wide fleets (the dominant plan-time cost at 1024
+        devices before this index existed)."""
+        index = self._replica_compute
+        if index is None:
+            index = {}
+            for task in self.graph:
+                if task.kind is TaskKind.COMPUTE:
+                    index.setdefault(task.replica, []).append(task)
+            self._replica_compute = index
+        return index.get(replica, [])
 
     def fwd_task(self, replica: int, pack_index: int, microbatch: int) -> Task:
         return self.fwd[(replica, pack_index, microbatch)]
